@@ -1,0 +1,52 @@
+//! Substrate benchmarks: road-network shortest paths and stream
+//! generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retrasyn_datagen::{BrinkhoffConfig, RoadNetwork, RoadNetworkConfig, TDriveConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roadnet_shortest_path");
+    group.sample_size(30).measurement_time(Duration::from_millis(800));
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = RoadNetwork::generate(&RoadNetworkConfig::default(), &mut rng);
+    group.bench_function("random_pair_256_nodes", |b| {
+        b.iter(|| {
+            let from = net.random_node(&mut rng);
+            let to = net.random_node(&mut rng);
+            black_box(net.shortest_path(from, to))
+        })
+    });
+    group.finish();
+}
+
+fn bench_brinkhoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("brinkhoff_500objects_100ts", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let config = BrinkhoffConfig {
+                initial_objects: 500,
+                new_per_ts: 25,
+                timestamps: 100,
+                ..Default::default()
+            };
+            black_box(config.generate(&mut rng).trajectories().len())
+        })
+    });
+    group.bench_function("tdrive_500taxis_100ts", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let config = TDriveConfig { taxis: 500, timestamps: 100, ..Default::default() };
+            black_box(config.generate(&mut rng).trajectories().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_brinkhoff);
+criterion_main!(benches);

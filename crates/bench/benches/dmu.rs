@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the DMU selection (§III-C): O(|S|) per timestamp.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retrasyn_core::dmu;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmu_select_significant");
+    group.sample_size(30).measurement_time(Duration::from_millis(700));
+    let mut rng = StdRng::seed_from_u64(3);
+    for domain in [400usize, 3600, 32_400] {
+        // Domain sizes ~ O(9|C|) for K = 6, 18, 60.
+        let current: Vec<f64> = (0..domain).map(|_| rng.random::<f64>() * 0.01).collect();
+        let fresh: Vec<f64> = (0..domain).map(|_| rng.random::<f64>() * 0.01).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(domain), &domain, |b, _| {
+            b.iter(|| {
+                black_box(dmu::select_significant(
+                    black_box(&current),
+                    black_box(&fresh),
+                    1e-5,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_total_error(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmu_total_error");
+    group.sample_size(30).measurement_time(Duration::from_millis(500));
+    let mut rng = StdRng::seed_from_u64(4);
+    let domain = 3600;
+    let current: Vec<f64> = (0..domain).map(|_| rng.random::<f64>() * 0.01).collect();
+    let fresh: Vec<f64> = (0..domain).map(|_| rng.random::<f64>() * 0.01).collect();
+    let selected = dmu::select_significant(&current, &fresh, 1e-5);
+    group.bench_function("domain_3600", |b| {
+        b.iter(|| black_box(dmu::total_error(&current, &fresh, 1e-5, &selected)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_select, bench_total_error);
+criterion_main!(benches);

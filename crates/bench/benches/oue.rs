@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the OUE frequency oracle: user-side perturbation
+//! cost (O(|S|) per user, §IV-B) and the two collection paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retrasyn_ldp::{FrequencyOracle, Oue, ReportMode};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oue_perturb_per_user");
+    group.sample_size(20).measurement_time(Duration::from_millis(800));
+    for domain in [100usize, 400, 1600] {
+        let oue = Oue::new(1.0, domain).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::from_parameter(domain), &domain, |b, _| {
+            b.iter(|| black_box(oue.perturb(black_box(7), &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oue_collect_1000_users");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let domain = 400;
+    let oue = Oue::new(1.0, domain).unwrap();
+    let values: Vec<usize> = (0..1000).map(|i| i % domain).collect();
+    for mode in [ReportMode::PerUser, ReportMode::Aggregate] {
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| black_box(oue.collect(&values, mode, &mut rng).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_debias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oue_debias");
+    group.sample_size(30).measurement_time(Duration::from_millis(600));
+    let domain = 1600;
+    let oue = Oue::new(1.0, domain).unwrap();
+    let ones: Vec<u64> = (0..domain as u64).map(|i| i % 37).collect();
+    group.bench_function("domain_1600", |b| {
+        b.iter(|| black_box(oue.debias(black_box(&ones), 5000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_collect, bench_debias);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the real-time synthesis step (§III-D) — the
+//! dominant per-timestamp cost in Table V.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retrasyn_core::{GlobalMobilityModel, SyntheticDb};
+use retrasyn_geo::{Grid, TransitionTable};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn informed_model(table: &TransitionTable) -> GlobalMobilityModel {
+    let mut model = GlobalMobilityModel::new(table.len());
+    let est: Vec<f64> = (0..table.len()).map(|i| ((i % 13) as f64 + 1.0) * 1e-3).collect();
+    model.replace_all(&est);
+    model
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_step");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let grid = Grid::unit(6);
+    let table = TransitionTable::new(&grid);
+    let model = informed_model(&table);
+    for population in [1000usize, 5000, 20_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(population),
+            &population,
+            |b, &population| {
+                b.iter_batched(
+                    || {
+                        // Pre-warm a database of the target size.
+                        let mut db = SyntheticDb::new();
+                        let mut rng = StdRng::seed_from_u64(7);
+                        db.step(0, &model, &table, population, 30.0, &mut rng);
+                        (db, StdRng::seed_from_u64(8))
+                    },
+                    |(mut db, mut rng)| {
+                        db.step(1, &model, &table, black_box(population), 30.0, &mut rng);
+                        black_box(db.active_count())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_size_adjustment(c: &mut Criterion) {
+    // Worst case: a 20% population swing in one tick.
+    let mut group = c.benchmark_group("synthesis_size_swing_5000");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let grid = Grid::unit(6);
+    let table = TransitionTable::new(&grid);
+    let model = informed_model(&table);
+    group.bench_function("shrink_20pct", |b| {
+        b.iter_batched(
+            || {
+                let mut db = SyntheticDb::new();
+                let mut rng = StdRng::seed_from_u64(9);
+                db.step(0, &model, &table, 5000, 30.0, &mut rng);
+                (db, StdRng::seed_from_u64(10))
+            },
+            |(mut db, mut rng)| {
+                db.step(1, &model, &table, 4000, 30.0, &mut rng);
+                black_box(db.active_count())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_parallel_step(c: &mut Criterion) {
+    // The paper's future-work acceleration (§VII): parallel synthesis.
+    let mut group = c.benchmark_group("synthesis_step_20000_threads");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let grid = Grid::unit(6);
+    let table = TransitionTable::new(&grid);
+    let model = informed_model(&table);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || {
+                        let mut db = SyntheticDb::new();
+                        let mut rng = StdRng::seed_from_u64(7);
+                        db.step(0, &model, &table, 20_000, 30.0, &mut rng);
+                        (db, StdRng::seed_from_u64(8))
+                    },
+                    |(mut db, mut rng)| {
+                        db.step_parallel(1, &model, &table, 20_000, 30.0, &mut rng, threads);
+                        black_box(db.active_count())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_size_adjustment, bench_parallel_step);
+criterion_main!(benches);

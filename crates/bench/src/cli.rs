@@ -1,0 +1,101 @@
+//! Minimal flag parsing shared by the harness binaries (no external CLI
+//! crate; flags are `--name value`).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse an iterator of arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut flags = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                flags.insert(name.to_string(), value);
+            } else {
+                panic!("unexpected positional argument: {arg} (flags are --name value)");
+            }
+        }
+        Args { flags }
+    }
+
+    /// String flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// f64 flag with default.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.get(name).map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be a number"))).unwrap_or(default)
+    }
+
+    /// u64 flag with default.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get(name).map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be an integer"))).unwrap_or(default)
+    }
+
+    /// usize flag with default.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get_u64(name, default as u64) as usize
+    }
+
+    /// Boolean flag (present without value, or `--name true/false`).
+    pub fn get_bool(&self, name: &str) -> bool {
+        matches!(self.get(name), Some("true") | Some("1"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_defaults() {
+        let a = parse("--scale 0.1 --seed 42 --quick --name t-drive");
+        assert_eq!(a.get_f64("scale", 1.0), 0.1);
+        assert_eq!(a.get_u64("seed", 0), 42);
+        assert!(a.get_bool("quick"));
+        assert!(!a.get_bool("absent"));
+        assert_eq!(a.get("name"), Some("t-drive"));
+        assert_eq!(a.get_f64("eps", 1.0), 1.0);
+        assert_eq!(a.get_usize("w", 20), 20);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse("--quick --scale 0.5");
+        assert!(a.get_bool("quick"));
+        assert_eq!(a.get_f64("scale", 1.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn rejects_positional() {
+        let _ = parse("oops");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a number")]
+    fn rejects_bad_number() {
+        let a = parse("--scale abc");
+        let _ = a.get_f64("scale", 1.0);
+    }
+}

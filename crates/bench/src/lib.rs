@@ -1,0 +1,33 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§V). One binary per artifact:
+//!
+//! | Binary   | Paper artifact |
+//! |----------|----------------|
+//! | `table1` | Table I — dataset statistics |
+//! | `table3` | Table III — overall utility across ε, datasets, methods |
+//! | `table4` | Table IV — AllUpdate / NoEQ ablations |
+//! | `table5` | Table V — component efficiency |
+//! | `fig3`   | Fig. 3 — allocation strategies |
+//! | `fig4`   | Fig. 4 — window size sweep |
+//! | `fig5`   | Fig. 5 — evaluation range φ sweep |
+//! | `fig6`   | Fig. 6 — granularity K sweep (utility + runtime) |
+//! | `fig7`   | Fig. 7 — scalability vs dataset size |
+//!
+//! Shared flags: `--scale` (dataset size multiplier; the paper's full sizes
+//! need a large server, see EXPERIMENTS.md), `--seed`, `--eps`, `--w`,
+//! `--k`, `--phi`, `--queries`, `--out <dir>` (CSV mirror of stdout).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod datasets;
+pub mod methods;
+pub mod output;
+pub mod params;
+pub mod runner;
+
+pub use cli::Args;
+pub use datasets::DatasetKind;
+pub use methods::MethodSpec;
+pub use params::Params;
+pub use runner::{evaluate_method, run_cells, Cell, CellResult};

@@ -1,0 +1,531 @@
+//! LDP-IDS baselines (Ren et al., SIGMOD 2022) adapted to trajectory
+//! streams exactly as the paper describes (§V-A):
+//!
+//! > "we employ its two-step private mechanism to collect the transition
+//! > states from users and build the global mobility model. Afterward, we
+//! > leverage the same Markov probability model as ours to generate new
+//! > points without considering the entering/quitting of users."
+//!
+//! Each timestamp runs the two-phase scheme: a *dissimilarity* phase
+//! estimates how far the stream has drifted from the last release, and a
+//! *publication* phase either refreshes the release (spending budget /
+//! users according to the strategy) or re-uses the previous release.
+//!
+//! - **LBD** (budget distribution): dissimilarity gets `ε/(2w)` per
+//!   timestamp; a publication spends half of the remaining publication
+//!   half-budget in the window (exponentially decreasing).
+//! - **LBA** (budget absorption): uniform `ε/(2w)` publication slots;
+//!   skipped slots are absorbed by the next publication, which then
+//!   nullifies an equal number of following slots.
+//! - **LPD** / **LPA**: the population-division analogues — user groups
+//!   reporting with the full ε are distributed / absorbed instead of
+//!   budget. Their group sizing assumes a fixed user population `n₀`
+//!   (the assumption the paper criticizes as unrealistic for dynamic
+//!   streams: the group size is derived from the initial population).
+//!
+//! The baselines collect *movement states only* (no enter/quit modelling):
+//! entering/quitting users simply hold no reportable state that timestamp.
+//! Synthesis uses the same Markov generator as RetraSyn in NoEQ mode: a
+//! fixed-size, randomly initialized synthetic database whose trajectories
+//! never terminate — which is why the paper's Table III shows their length
+//! error pinned at ln 2.
+
+use crate::model::GlobalMobilityModel;
+use crate::population::{UserRegistry, UserStatus};
+use crate::synthesis::SyntheticDb;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use retrasyn_geo::{
+    EventTimeline, Grid, GriddedDataset, StreamDataset, TransitionState, TransitionTable,
+    UserEvent,
+};
+use retrasyn_ldp::{oue, FrequencyOracle, Oue, ReportMode, WEventLedger};
+use std::collections::VecDeque;
+
+/// The four LDP-IDS mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Budget distribution (exponentially decreasing publication budgets).
+    Lbd,
+    /// Budget absorption (uniform slots with absorption + nullification).
+    Lba,
+    /// Population distribution.
+    Lpd,
+    /// Population absorption.
+    Lpa,
+}
+
+impl BaselineKind {
+    /// All four mechanisms, in the paper's order.
+    pub const ALL: [BaselineKind; 4] =
+        [BaselineKind::Lbd, BaselineKind::Lba, BaselineKind::Lpd, BaselineKind::Lpa];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::Lbd => "LBD",
+            BaselineKind::Lba => "LBA",
+            BaselineKind::Lpd => "LPD",
+            BaselineKind::Lpa => "LPA",
+        }
+    }
+
+    /// Whether this is a population-division mechanism.
+    pub fn is_population(self) -> bool {
+        matches!(self, BaselineKind::Lpd | BaselineKind::Lpa)
+    }
+}
+
+/// Baseline configuration.
+#[derive(Debug, Clone)]
+pub struct LdpIdsConfig {
+    /// Privacy budget ε per window.
+    pub eps: f64,
+    /// Window size w.
+    pub w: usize,
+    /// Report simulation mode.
+    pub report_mode: ReportMode,
+}
+
+impl LdpIdsConfig {
+    /// Paper-default baseline configuration.
+    pub fn new(eps: f64, w: usize) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive");
+        assert!(w >= 1, "window must be >= 1");
+        LdpIdsConfig { eps, w, report_mode: ReportMode::Aggregate }
+    }
+}
+
+/// An LDP-IDS baseline engine.
+#[derive(Debug)]
+pub struct LdpIds {
+    kind: BaselineKind,
+    config: LdpIdsConfig,
+    grid: Grid,
+    table: TransitionTable,
+    /// Current release over the movement domain.
+    released: Vec<f64>,
+    has_release: bool,
+    /// Full-domain wrapper for the shared synthesizer (enter/quit zero).
+    model: GlobalMobilityModel,
+    synthetic: SyntheticDb,
+    ledger: WEventLedger,
+    registry: UserRegistry,
+    rng: StdRng,
+    next_t: u64,
+    fixed_size: Option<usize>,
+    /// Fixed-population assumption n₀ (population variants).
+    n0: Option<usize>,
+    /// Publications (t, ε₂) in the budget variants (window accounting).
+    budget_pubs: VecDeque<(u64, f64)>,
+    /// Publication groups (t, size) in the population variants.
+    group_pubs: VecDeque<(u64, usize)>,
+    /// Absorption state (LBA/LPA).
+    last_pub_t: Option<u64>,
+    nullified_until: Option<u64>,
+}
+
+impl LdpIds {
+    /// Create a baseline engine.
+    pub fn new(kind: BaselineKind, config: LdpIdsConfig, grid: Grid, seed: u64) -> Self {
+        let table = TransitionTable::new(&grid);
+        let released = vec![0.0; table.num_moves()];
+        let model = GlobalMobilityModel::new(table.len());
+        let ledger = WEventLedger::new(config.eps, config.w);
+        LdpIds {
+            kind,
+            config,
+            grid,
+            table,
+            released,
+            has_release: false,
+            model,
+            synthetic: SyntheticDb::new(),
+            ledger,
+            registry: UserRegistry::new(),
+            rng: StdRng::seed_from_u64(seed),
+            next_t: 0,
+            fixed_size: None,
+            n0: None,
+            budget_pubs: VecDeque::new(),
+            group_pubs: VecDeque::new(),
+            last_pub_t: None,
+            nullified_until: None,
+        }
+    }
+
+    /// The mechanism kind.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// The privacy ledger.
+    pub fn ledger(&self) -> &WEventLedger {
+        &self.ledger
+    }
+
+    /// Whether `t` falls in a nullified stretch (absorption variants).
+    fn is_nullified(&self, t: u64) -> bool {
+        self.nullified_until.is_some_and(|until| t <= until)
+    }
+
+    /// Mean squared per-dimension deviation between an estimate and the
+    /// current release, debiased by the estimator variance — the
+    /// dissimilarity `dis` of the two-phase mechanism.
+    fn dissimilarity(&self, estimate: &[f64], variance: f64) -> f64 {
+        let d = estimate.len() as f64;
+        let raw: f64 = estimate
+            .iter()
+            .zip(&self.released)
+            .map(|(&e, &r)| (e - r).powi(2))
+            .sum::<f64>()
+            / d;
+        (raw - variance).max(0.0)
+    }
+
+    fn publish(&mut self, estimate: Vec<f64>) {
+        self.released = estimate.into_iter().map(|f| f.max(0.0)).collect();
+        self.has_release = true;
+        let mut full = vec![0.0; self.table.len()];
+        full[..self.table.num_moves()].copy_from_slice(&self.released);
+        self.model.replace_all(&full);
+    }
+
+    /// Advance one timestamp.
+    pub fn step(&mut self, t: u64, events: &[UserEvent]) {
+        assert_eq!(t, self.next_t, "timestamps must be consecutive from 0");
+        self.next_t += 1;
+
+        // Movement states only; enter/quit holders have nothing to report.
+        let mut states: Vec<(u64, usize)> = Vec::new();
+        let mut target_active = 0usize;
+        for e in events {
+            if !matches!(e.state, TransitionState::Quit(_)) {
+                target_active += 1;
+            }
+            if let TransitionState::Move { .. } = e.state {
+                let idx = self.table.index_of(e.state).expect("adjacent move");
+                states.push((e.user, idx));
+            }
+        }
+
+        if self.kind.is_population() {
+            self.step_population(t, &states);
+        } else {
+            self.step_budget(t, &states);
+        }
+
+        let size = *self.fixed_size.get_or_insert(target_active.max(1));
+        self.synthetic.step_no_eq(t, &self.model, &self.table, &self.grid, size, &mut self.rng);
+    }
+
+    /// LBD / LBA: two-phase budget division.
+    fn step_budget(&mut self, t: u64, states: &[(u64, usize)]) {
+        let w = self.config.w as u64;
+        let unit = self.config.eps / (2.0 * self.config.w as f64);
+        let domain = self.table.num_moves().max(2);
+        let n = states.len() as u64;
+        let values: Vec<usize> = states.iter().map(|&(_, s)| s).collect();
+        let mut spent = 0.0;
+
+        // Phase 1: dissimilarity estimation with eps1 = unit.
+        let dis = if n == 0 {
+            0.0
+        } else if !self.has_release {
+            f64::INFINITY // bootstrap: force the first publication
+        } else {
+            let oracle = Oue::new(unit, domain).expect("positive unit");
+            let est = oracle
+                .collect(&values, self.config.report_mode, &mut self.rng)
+                .expect("valid states");
+            spent += unit;
+            self.dissimilarity(&est.freqs, est.variance)
+        };
+
+        // Phase 2: candidate publication budget eps2.
+        self.budget_pubs.retain(|&(pt, _)| pt + w > t);
+        let eps2 = match self.kind {
+            BaselineKind::Lbd => {
+                let used: f64 = self.budget_pubs.iter().map(|&(_, e)| e).sum();
+                ((self.config.eps / 2.0 - used) / 2.0).max(0.0)
+            }
+            BaselineKind::Lba => {
+                if self.is_nullified(t) {
+                    0.0
+                } else {
+                    unit * (self.absorbable_slots(t) + 1) as f64
+                }
+            }
+            _ => unreachable!(),
+        };
+
+        let err = if n == 0 || eps2 <= 1e-12 {
+            f64::INFINITY
+        } else {
+            oue::variance(eps2, n)
+        };
+        if dis > err {
+            let oracle = Oue::new(eps2, domain).expect("positive eps2");
+            let est = oracle
+                .collect(&values, self.config.report_mode, &mut self.rng)
+                .expect("valid states");
+            spent += eps2;
+            self.publish(est.freqs);
+            self.budget_pubs.push_back((t, eps2));
+            if self.kind == BaselineKind::Lba {
+                let absorbed = self.absorbable_slots(t);
+                if absorbed > 0 {
+                    self.nullified_until = Some(t + absorbed as u64);
+                }
+            }
+            self.last_pub_t = Some(t);
+        }
+        self.ledger.record_budget(t, spent);
+    }
+
+    /// Number of unspent publication slots absorbable at `t` (LBA/LPA):
+    /// slots strictly inside the window, after the last publication and
+    /// after any nullified stretch.
+    fn absorbable_slots(&self, t: u64) -> usize {
+        let w = self.config.w as u64;
+        let mut start = (t + 1).saturating_sub(w);
+        if let Some(p) = self.last_pub_t {
+            start = start.max(p + 1);
+        }
+        if let Some(nu) = self.nullified_until {
+            start = start.max(nu + 1);
+        }
+        t.saturating_sub(start) as usize
+    }
+
+    /// LPD / LPA: two-phase population division.
+    fn step_population(&mut self, t: u64, states: &[(u64, usize)]) {
+        let domain = self.table.num_moves().max(2);
+        for &(u, _) in states {
+            self.registry.register(u);
+        }
+        self.registry.recycle(t, self.config.w);
+        // The fixed-set assumption: group sizing uses the population seen
+        // at the first timestamp with reporters.
+        if self.n0.is_none() && !states.is_empty() {
+            self.n0 = Some(self.registry.active_count().max(1));
+        }
+        let Some(n0) = self.n0 else {
+            return;
+        };
+        let unit = (n0 / (2 * self.config.w)).max(1);
+
+        let mut eligible: Vec<(u64, usize)> = states
+            .iter()
+            .filter(|&&(u, _)| self.registry.status(u) == Some(UserStatus::Active))
+            .copied()
+            .collect();
+        eligible.sort_unstable_by_key(|&(u, _)| u);
+        eligible.shuffle(&mut self.rng);
+
+        // Phase 1: dissimilarity group.
+        let m1 = unit.min(eligible.len());
+        let group1: Vec<(u64, usize)> = eligible.drain(..m1).collect();
+        let dis = if group1.is_empty() {
+            0.0
+        } else if !self.has_release {
+            f64::INFINITY
+        } else {
+            let values: Vec<usize> = group1.iter().map(|&(_, s)| s).collect();
+            let oracle = Oue::new(self.config.eps, domain).expect("positive eps");
+            let est = oracle
+                .collect(&values, self.config.report_mode, &mut self.rng)
+                .expect("valid states");
+            self.dissimilarity(&est.freqs, est.variance)
+        };
+        for &(u, _) in &group1 {
+            self.registry.mark_reported(u, t);
+            self.ledger.record_user_report(u, t);
+        }
+
+        // Phase 2: candidate publication group size.
+        let w = self.config.w as u64;
+        self.group_pubs.retain(|&(pt, _)| pt + w > t);
+        let m2 = match self.kind {
+            BaselineKind::Lpd => {
+                let used: usize = self.group_pubs.iter().map(|&(_, m)| m).sum();
+                (n0 / 2).saturating_sub(used) / 2
+            }
+            BaselineKind::Lpa => {
+                if self.is_nullified(t) {
+                    0
+                } else {
+                    unit * (self.absorbable_slots(t) + 1)
+                }
+            }
+            _ => unreachable!(),
+        };
+
+        let err = if m2 == 0 {
+            f64::INFINITY
+        } else {
+            oue::variance(self.config.eps, m2 as u64)
+        };
+        if dis > err {
+            let m2_actual = m2.min(eligible.len());
+            if m2_actual > 0 {
+                let group2: Vec<(u64, usize)> = eligible.drain(..m2_actual).collect();
+                let values: Vec<usize> = group2.iter().map(|&(_, s)| s).collect();
+                let oracle = Oue::new(self.config.eps, domain).expect("positive eps");
+                let est = oracle
+                    .collect(&values, self.config.report_mode, &mut self.rng)
+                    .expect("valid states");
+                for &(u, _) in &group2 {
+                    self.registry.mark_reported(u, t);
+                    self.ledger.record_user_report(u, t);
+                }
+                self.publish(est.freqs);
+                self.group_pubs.push_back((t, m2));
+                if self.kind == BaselineKind::Lpa {
+                    let absorbed = self.absorbable_slots(t);
+                    if absorbed > 0 {
+                        self.nullified_until = Some(t + absorbed as u64);
+                    }
+                }
+                self.last_pub_t = Some(t);
+            }
+        }
+    }
+
+    /// Run over a raw dataset.
+    pub fn run(&mut self, dataset: &StreamDataset) -> GriddedDataset {
+        let gridded = dataset.discretize(&self.grid);
+        self.run_gridded(&gridded)
+    }
+
+    /// Run over an already-discretized dataset.
+    pub fn run_gridded(&mut self, dataset: &GriddedDataset) -> GriddedDataset {
+        assert_eq!(dataset.grid(), &self.grid, "dataset grid mismatch");
+        let timeline = EventTimeline::build(dataset);
+        for t in 0..dataset.horizon() {
+            self.step(t, timeline.at(t));
+        }
+        let horizon = dataset.horizon();
+        std::mem::take(&mut self.synthetic).finish(&self.grid, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retrasyn_datagen::RandomWalkConfig;
+
+    fn dataset(seed: u64) -> StreamDataset {
+        RandomWalkConfig { users: 300, timestamps: 25, churn: 0.05, ..Default::default() }
+            .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(BaselineKind::ALL.len(), 4);
+        assert_eq!(BaselineKind::Lbd.name(), "LBD");
+        assert!(!BaselineKind::Lbd.is_population());
+        assert!(!BaselineKind::Lba.is_population());
+        assert!(BaselineKind::Lpd.is_population());
+        assert!(BaselineKind::Lpa.is_population());
+    }
+
+    #[test]
+    fn all_baselines_run_and_satisfy_ledger() {
+        let ds = dataset(1);
+        for kind in BaselineKind::ALL {
+            let config = LdpIdsConfig::new(1.0, 5);
+            let mut engine = LdpIds::new(kind, config, Grid::unit(5), 3);
+            let syn = engine.run(&ds);
+            assert_eq!(syn.horizon(), 25, "{}", kind.name());
+            assert!(!syn.streams().is_empty(), "{}", kind.name());
+            engine
+                .ledger()
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        }
+    }
+
+    #[test]
+    fn baseline_streams_never_terminate() {
+        let ds = dataset(2);
+        let config = LdpIdsConfig::new(1.0, 5);
+        let mut engine = LdpIds::new(BaselineKind::Lbd, config, Grid::unit(5), 3);
+        let syn = engine.run(&ds);
+        // Fixed-size DB: every stream spans the whole horizon.
+        for s in syn.streams() {
+            assert_eq!(s.start, 0);
+            assert_eq!(s.len(), 25);
+        }
+    }
+
+    #[test]
+    fn budget_variants_publish_at_least_once() {
+        let ds = dataset(3);
+        for kind in [BaselineKind::Lbd, BaselineKind::Lba] {
+            let config = LdpIdsConfig::new(2.0, 5);
+            let mut engine = LdpIds::new(kind, config, Grid::unit(4), 3);
+            let _ = engine.run(&ds);
+            assert!(engine.has_release, "{} never published", kind.name());
+        }
+    }
+
+    #[test]
+    fn population_variants_report_users() {
+        let ds = dataset(4);
+        for kind in [BaselineKind::Lpd, BaselineKind::Lpa] {
+            let config = LdpIdsConfig::new(1.0, 5);
+            let mut engine = LdpIds::new(kind, config, Grid::unit(4), 3);
+            let _ = engine.run(&ds);
+            assert!(engine.ledger().total_user_reports() > 0, "{}", kind.name());
+            engine.ledger().verify().expect("population ledger");
+        }
+    }
+
+    #[test]
+    fn lba_nullifies_after_absorption() {
+        // Construct a stable stream so LBA publishes early, then rarely.
+        let ds = dataset(5);
+        let config = LdpIdsConfig::new(1.0, 6);
+        let mut engine = LdpIds::new(BaselineKind::Lba, config, Grid::unit(4), 7);
+        let _ = engine.run(&ds);
+        engine.ledger().verify().expect("LBA ledger");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = dataset(6);
+        let run = |seed| {
+            let config = LdpIdsConfig::new(1.0, 5);
+            let mut engine = LdpIds::new(BaselineKind::Lpd, config, Grid::unit(5), seed);
+            engine.run(&ds)
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.streams().len(), b.streams().len());
+        assert_eq!(a.streams()[3], b.streams()[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn out_of_order_step_panics() {
+        let config = LdpIdsConfig::new(1.0, 5);
+        let mut engine = LdpIds::new(BaselineKind::Lbd, config, Grid::unit(4), 0);
+        engine.step(3, &[]);
+    }
+
+    #[test]
+    fn absorbable_slots_bounds() {
+        let config = LdpIdsConfig::new(1.0, 5);
+        let mut engine = LdpIds::new(BaselineKind::Lba, config, Grid::unit(4), 0);
+        // No history: everything inside the window is absorbable.
+        assert_eq!(engine.absorbable_slots(0), 0);
+        assert_eq!(engine.absorbable_slots(3), 3);
+        assert_eq!(engine.absorbable_slots(10), 4); // capped by w − 1
+        engine.last_pub_t = Some(8);
+        assert_eq!(engine.absorbable_slots(10), 1);
+        engine.nullified_until = Some(9);
+        assert_eq!(engine.absorbable_slots(10), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Dynamic Mobility Update — significant-transition selection (§III-C).
+//!
+//! At each timestamp the curator must decide, per transition state, whether
+//! to overwrite the model with the freshly perturbed estimate (incurring the
+//! OUE variance `Err_upd`, Eq. 3) or keep the extant value (incurring the
+//! approximation bias `Err_app = |f̃ − f̂|²`, estimated with the perturbed
+//! statistics since the true frequency is unavailable under LDP). The total
+//! error (Eq. 7)
+//!
+//! ```text
+//! Err = Σ_s x_s · Err_upd + Σ_s (1 − x_s) · |f̃_s − f̂_s|²
+//! ```
+//!
+//! is separable, so the optimum selects exactly the states whose estimated
+//! bias exceeds the update variance.
+
+/// Select the significant transitions `S*`: `x_s = 1` iff
+/// `(f̃_s − f̂_s)² > Err_upd`.
+///
+/// `current` is the extant model frequency `f̃`, `fresh` the new perturbed
+/// estimate `f̂`, and `err_upd` the per-state update error (OUE variance for
+/// this round's `ε_t`, `n_t`).
+pub fn select_significant(current: &[f64], fresh: &[f64], err_upd: f64) -> Vec<bool> {
+    assert_eq!(current.len(), fresh.len(), "model / estimate length mismatch");
+    current
+        .iter()
+        .zip(fresh)
+        .map(|(&cur, &new)| (cur - new).powi(2) > err_upd)
+        .collect()
+}
+
+/// The total introduced error of a selection (Eq. 7) — used by tests to
+/// verify optimality and by the harness for diagnostics.
+pub fn total_error(current: &[f64], fresh: &[f64], err_upd: f64, selected: &[bool]) -> f64 {
+    assert_eq!(current.len(), fresh.len());
+    assert_eq!(current.len(), selected.len());
+    let mut err = 0.0;
+    for i in 0..current.len() {
+        if selected[i] {
+            err += err_upd;
+        } else {
+            err += (current[i] - fresh[i]).powi(2);
+        }
+    }
+    err
+}
+
+/// Number of selected states.
+pub fn count_selected(selected: &[bool]) -> usize {
+    selected.iter().filter(|&&x| x).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_large_deviations_only() {
+        let current = [0.5, 0.5, 0.5, 0.5];
+        let fresh = [0.5, 0.6, 0.9, 0.48];
+        // err_upd = 0.02: deviations^2 are 0, 0.01, 0.16, 0.0004.
+        let sel = select_significant(&current, &fresh, 0.02);
+        assert_eq!(sel, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn high_noise_selects_nothing() {
+        // When perturbation noise dwarfs every deviation, approximating is
+        // always better (the "low budget" regime of §III-C).
+        let current = [0.1, 0.2, 0.3];
+        let fresh = [0.2, 0.1, 0.4];
+        let sel = select_significant(&current, &fresh, 10.0);
+        assert_eq!(count_selected(&sel), 0);
+    }
+
+    #[test]
+    fn zero_noise_selects_every_change() {
+        // Infinite users / budget: publishing is free, update everything
+        // that moved.
+        let current = [0.1, 0.2, 0.3];
+        let fresh = [0.1, 0.25, 0.29];
+        let sel = select_significant(&current, &fresh, 0.0);
+        assert_eq!(sel, vec![false, true, true]);
+    }
+
+    #[test]
+    fn selection_minimizes_eq7() {
+        // Exhaustively verify optimality on a small instance.
+        let current = [0.5, 0.1, 0.9, 0.3, 0.0];
+        let fresh = [0.45, 0.4, 0.2, 0.31, 0.05];
+        let err_upd = 0.03;
+        let best = select_significant(&current, &fresh, err_upd);
+        let best_err = total_error(&current, &fresh, err_upd, &best);
+        for mask in 0..32u32 {
+            let candidate: Vec<bool> = (0..5).map(|i| mask >> i & 1 == 1).collect();
+            let err = total_error(&current, &fresh, err_upd, &candidate);
+            assert!(
+                best_err <= err + 1e-12,
+                "mask {mask:05b} beats DMU: {err} < {best_err}"
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_variance_selects_nothing() {
+        // n = 0 -> Var = inf -> keep the model untouched.
+        let sel = select_significant(&[0.3, 0.4], &[0.9, 0.0], f64::INFINITY);
+        assert_eq!(count_selected(&sel), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = select_significant(&[0.1], &[0.1, 0.2], 0.1);
+    }
+}

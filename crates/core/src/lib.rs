@@ -1,0 +1,44 @@
+//! RetraSyn core: the paper's primary contribution.
+//!
+//! - [`GlobalMobilityModel`] (§III-B): curator-side movement / entering /
+//!   quitting distributions over the reachability-constrained transition
+//!   domain, maintained from debiased OUE estimates (Eq. 6).
+//! - [`dmu`] (§III-C): the Dynamic Mobility Update mechanism — selects the
+//!   *significant transitions* whose approximation bias exceeds the OUE
+//!   perturbation variance (Eq. 7) and refreshes only those.
+//! - [`SyntheticDb`] (§III-D): real-time synthesis — Markov-chain point
+//!   generation with length-reweighted termination (Eq. 8) and size
+//!   adjustment against the live population.
+//! - [`allocation`] (§III-E): portion-based adaptive allocation (Eq. 9–10)
+//!   plus the Uniform / Sample / one-report-per-window comparison
+//!   strategies, in both budget-division and population-division forms.
+//! - [`UserRegistry`] (§III-F): the dynamic active-user set with w-window
+//!   recycling of Algorithm 1.
+//! - [`RetraSyn`] (§III-F, Algorithm 1): the end-to-end streaming engine,
+//!   with runtime w-event accounting and per-component timing (Table V).
+//! - [`baselines`]: the four LDP-IDS mechanisms (LBD, LBA, LPD, LPA)
+//!   adapted to transition-state collection exactly as the paper describes
+//!   (§V-A), sharing the Markov synthesizer but without enter/quit
+//!   modelling.
+//!
+//! Ablation variants are configuration flags: `dmu: false` reproduces
+//! *AllUpdate*, `enter_quit: false` reproduces *NoEQ* (Table IV).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod baselines;
+pub mod config;
+pub mod dmu;
+pub mod engine;
+pub mod model;
+pub mod population;
+pub mod synthesis;
+
+pub use allocation::AllocationKind;
+pub use baselines::{BaselineKind, LdpIds, LdpIdsConfig};
+pub use config::{Division, RetraSynConfig};
+pub use engine::{RetraSyn, StepTimings, TimingReport};
+pub use model::GlobalMobilityModel;
+pub use population::{UserRegistry, UserStatus};
+pub use synthesis::SyntheticDb;

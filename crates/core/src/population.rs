@@ -1,0 +1,167 @@
+//! The dynamic active-user set of Algorithm 1 (§III-E/F).
+//!
+//! Users (stream entities) move through three states:
+//!
+//! - **Active** — eligible for sampling;
+//! - **Inactive** — reported within the current window; recycled (set back
+//!   to Active) exactly `w` timestamps after reporting (Alg. 1 line 9),
+//!   which is what makes population division satisfy w-event LDP;
+//! - **Quitted** — delivered the final `Quit` report (or silently left);
+//!   never reports again.
+
+use std::collections::HashMap;
+
+/// Lifecycle state of a reporting unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserStatus {
+    /// Eligible for sampling.
+    Active,
+    /// Reported recently; waiting to be recycled.
+    Inactive,
+    /// Left the stream; permanently retired.
+    Quitted,
+}
+
+/// Registry tracking every observed user's status.
+#[derive(Debug, Clone, Default)]
+pub struct UserRegistry {
+    status: HashMap<u64, UserStatus>,
+    /// users who reported at time t (for recycling at t + w).
+    by_report_time: HashMap<u64, Vec<u64>>,
+}
+
+impl UserRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a newly arrived user as Active (no effect if known).
+    pub fn register(&mut self, user: u64) {
+        self.status.entry(user).or_insert(UserStatus::Active);
+    }
+
+    /// Current status, if the user has been seen.
+    pub fn status(&self, user: u64) -> Option<UserStatus> {
+        self.status.get(&user).copied()
+    }
+
+    /// Mark a user as having reported at `t` (Active → Inactive).
+    pub fn mark_reported(&mut self, user: u64, t: u64) {
+        debug_assert_eq!(self.status.get(&user), Some(&UserStatus::Active), "user {user}");
+        self.status.insert(user, UserStatus::Inactive);
+        self.by_report_time.entry(t).or_default().push(user);
+    }
+
+    /// Permanently retire a user.
+    pub fn mark_quitted(&mut self, user: u64) {
+        self.status.insert(user, UserStatus::Quitted);
+    }
+
+    /// Recycle users that reported at `t − w` (Alg. 1 line 9): Inactive →
+    /// Active. Quitted users stay quitted.
+    pub fn recycle(&mut self, t: u64, w: usize) {
+        let Some(report_t) = t.checked_sub(w as u64) else {
+            return;
+        };
+        if let Some(users) = self.by_report_time.remove(&report_t) {
+            for u in users {
+                if self.status.get(&u) == Some(&UserStatus::Inactive) {
+                    self.status.insert(u, UserStatus::Active);
+                }
+            }
+        }
+    }
+
+    /// All Active users, sorted for determinism.
+    pub fn active_users(&self) -> Vec<u64> {
+        let mut users: Vec<u64> = self
+            .status
+            .iter()
+            .filter(|(_, &s)| s == UserStatus::Active)
+            .map(|(&u, _)| u)
+            .collect();
+        users.sort_unstable();
+        users
+    }
+
+    /// Number of Active users.
+    pub fn active_count(&self) -> usize {
+        self.status.values().filter(|&&s| s == UserStatus::Active).count()
+    }
+
+    /// Number of users ever observed.
+    pub fn total_seen(&self) -> usize {
+        self.status.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut r = UserRegistry::new();
+        r.register(1);
+        assert_eq!(r.status(1), Some(UserStatus::Active));
+        assert_eq!(r.status(2), None);
+        r.mark_reported(1, 5);
+        assert_eq!(r.status(1), Some(UserStatus::Inactive));
+        // Recycled exactly w steps later.
+        r.recycle(9, 5); // t - w = 4: nothing
+        assert_eq!(r.status(1), Some(UserStatus::Inactive));
+        r.recycle(10, 5); // t - w = 5: user 1
+        assert_eq!(r.status(1), Some(UserStatus::Active));
+    }
+
+    #[test]
+    fn register_does_not_reset_status() {
+        let mut r = UserRegistry::new();
+        r.register(1);
+        r.mark_reported(1, 0);
+        r.register(1);
+        assert_eq!(r.status(1), Some(UserStatus::Inactive));
+    }
+
+    #[test]
+    fn quitted_users_are_not_recycled() {
+        let mut r = UserRegistry::new();
+        r.register(1);
+        r.mark_reported(1, 3);
+        r.mark_quitted(1);
+        r.recycle(8, 5);
+        assert_eq!(r.status(1), Some(UserStatus::Quitted));
+    }
+
+    #[test]
+    fn active_listing_is_sorted_and_counted() {
+        let mut r = UserRegistry::new();
+        for u in [5, 1, 9, 3] {
+            r.register(u);
+        }
+        r.mark_reported(3, 0);
+        assert_eq!(r.active_users(), vec![1, 5, 9]);
+        assert_eq!(r.active_count(), 3);
+        assert_eq!(r.total_seen(), 4);
+    }
+
+    #[test]
+    fn recycle_underflow_is_safe() {
+        let mut r = UserRegistry::new();
+        r.register(1);
+        r.recycle(3, 10); // t < w: no-op
+        assert_eq!(r.status(1), Some(UserStatus::Active));
+    }
+
+    #[test]
+    fn multiple_users_same_report_time() {
+        let mut r = UserRegistry::new();
+        for u in 0..4 {
+            r.register(u);
+            r.mark_reported(u, 2);
+        }
+        r.recycle(7, 5);
+        assert_eq!(r.active_count(), 4);
+    }
+}

@@ -1,0 +1,576 @@
+//! Real-time trajectory synthesis (§III-D).
+//!
+//! The synthetic database is advanced once per timestamp in two phases:
+//!
+//! 1. **New point generation** — every live synthetic stream first draws a
+//!    termination decision with the length-reweighted quit probability
+//!    (Eq. 8); survivors extend by one cell sampled from the Markov
+//!    movement distribution (Eq. 6, conditioned on not quitting).
+//! 2. **Size adjustment** — the live count is matched to the real active
+//!    population: missing streams enter at cells drawn from the entering
+//!    distribution `E`; excess streams are terminated with probability
+//!    proportional to the quitting distribution `Q` at their last location.
+//!
+//! The *NoEQ* mode ([`SyntheticDb::step_no_eq`]) reproduces the baselines
+//! and the Table-IV ablation: a fixed-size database initialized at random
+//! whose streams never terminate.
+
+use crate::model::GlobalMobilityModel;
+use rand::Rng;
+use retrasyn_geo::{CellId, Grid, GriddedDataset, GriddedStream, TransitionTable};
+
+/// A live synthetic stream.
+#[derive(Debug, Clone)]
+struct OpenStream {
+    id: u64,
+    start: u64,
+    cells: Vec<CellId>,
+}
+
+/// The evolving synthetic trajectory database `T_syn`.
+#[derive(Debug, Clone, Default)]
+pub struct SyntheticDb {
+    alive: Vec<OpenStream>,
+    finished: Vec<GriddedStream>,
+    next_id: u64,
+    initialized: bool,
+}
+
+/// Sample an index from non-negative weights; uniform fallback when the
+/// total mass is zero. Assumes `weights` is non-empty.
+fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return rng.random_range(0..weights.len());
+    }
+    let mut pick = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+impl SyntheticDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live synthetic streams.
+    pub fn active_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of completed synthetic streams so far.
+    pub fn finished_count(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Per-cell occupancy of the live synthetic population (the real-time
+    /// view a streaming consumer monitors; post-processing, no privacy
+    /// cost).
+    pub fn occupancy(&self, num_cells: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; num_cells];
+        for s in &self.alive {
+            counts[s.cells.last().expect("streams are non-empty").index()] += 1;
+        }
+        counts
+    }
+
+    /// Advance one timestamp with full enter/quit modelling (§III-D).
+    /// `target` is the real active-stream count at `t` (known to the
+    /// curator from participation metadata, not from reports).
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        t: u64,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        target: usize,
+        lambda: f64,
+        rng: &mut R,
+    ) {
+        if !self.initialized {
+            // Initialization of T_syn (Alg. 1 line 5): spawn `target`
+            // streams from the entering distribution.
+            self.spawn(t, model, table, target, rng);
+            self.initialized = true;
+            return;
+        }
+        // Phase 1a: natural termination via Eq. 8.
+        let mut survivors = Vec::with_capacity(self.alive.len());
+        for stream in self.alive.drain(..) {
+            let from = *stream.cells.last().unwrap();
+            let q = model.quit_prob(table, from, stream.cells.len() as u64, lambda);
+            if rng.random::<f64>() < q {
+                Self::retire(&mut self.finished, stream);
+            } else {
+                survivors.push(stream);
+            }
+        }
+        self.alive = survivors;
+        // Phase 2a: size adjustment downward *before* extension, so the
+        // terminated streams end at their `t−1` location (Pr(quit | c_last)
+        // = Pr(q_j), §III-D). Weighted sampling without replacement in one
+        // pass (Efraimidis–Spirakis keys: u^{1/w}, keep the `excess`
+        // largest).
+        if self.alive.len() > target {
+            let quit_dist = model.quit_distribution(table);
+            let excess = self.alive.len() - target;
+            let mut keyed: Vec<(f64, usize)> = self
+                .alive
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let w = quit_dist[s.cells.last().unwrap().index()].max(1e-12);
+                    let u: f64 = rng.random::<f64>();
+                    (u.powf(1.0 / w), i)
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let mut victims: Vec<usize> = keyed[..excess].iter().map(|&(_, i)| i).collect();
+            // Remove from the back so indices stay valid.
+            victims.sort_unstable_by(|a, b| b.cmp(a));
+            for v in victims {
+                let stream = self.alive.swap_remove(v);
+                Self::retire(&mut self.finished, stream);
+            }
+        }
+        // Phase 1b: extension — survivors move to a neighbor drawn from the
+        // movement distribution conditioned on not quitting.
+        for stream in &mut self.alive {
+            let from = *stream.cells.last().unwrap();
+            let probs = model.move_probs(table, from);
+            let pos = sample_weighted(&probs, rng);
+            stream.cells.push(table.move_targets(from)[pos]);
+        }
+        // Phase 2b: size adjustment upward via the entering distribution.
+        if self.alive.len() < target {
+            let missing = target - self.alive.len();
+            self.spawn(t, model, table, missing, rng);
+        }
+    }
+
+    /// Advance one timestamp in NoEQ / baseline mode: fixed size
+    /// (`init_size` at the first call), random initialization, no
+    /// termination, no size adjustment.
+    pub fn step_no_eq<R: Rng + ?Sized>(
+        &mut self,
+        t: u64,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        grid: &Grid,
+        init_size: usize,
+        rng: &mut R,
+    ) {
+        if !self.initialized {
+            let cells = grid.num_cells() as u16;
+            for _ in 0..init_size {
+                self.alive.push(OpenStream {
+                    id: self.next_id,
+                    start: t,
+                    cells: vec![CellId(rng.random_range(0..cells))],
+                });
+                self.next_id += 1;
+            }
+            self.initialized = true;
+            return;
+        }
+        for stream in &mut self.alive {
+            let from = *stream.cells.last().unwrap();
+            let probs = model.move_probs(table, from);
+            let pos = sample_weighted(&probs, rng);
+            stream.cells.push(table.move_targets(from)[pos]);
+        }
+    }
+
+    /// Parallel variant of [`Self::step`] — the acceleration the paper
+    /// names as future work (§VII: "study acceleration techniques (e.g.,
+    /// parallel computing)"). Semantically identical invariants (exact
+    /// size tracking, adjacency); the random stream differs from the
+    /// sequential path but is deterministic for a fixed `(seed, threads)`.
+    /// Falls back to the sequential step for small databases where thread
+    /// startup dominates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_parallel<R: Rng + ?Sized>(
+        &mut self,
+        t: u64,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        target: usize,
+        lambda: f64,
+        rng: &mut R,
+        threads: usize,
+    ) {
+        const MIN_PARALLEL: usize = 2048;
+        if threads <= 1 || self.alive.len() < MIN_PARALLEL {
+            return self.step(t, model, table, target, lambda, rng);
+        }
+        if !self.initialized {
+            self.spawn(t, model, table, target, rng);
+            self.initialized = true;
+            return;
+        }
+        use rand::SeedableRng;
+        let chunk_len = self.alive.len().div_ceil(threads);
+
+        // Phase 1a (parallel): quit decisions.
+        let quit_flags: Vec<bool> = {
+            let chunks: Vec<&[OpenStream]> = self.alive.chunks(chunk_len).collect();
+            let seeds: Vec<u64> = chunks.iter().map(|_| rng.random()).collect();
+            let mut flags: Vec<Vec<bool>> = Vec::with_capacity(chunks.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .zip(&seeds)
+                    .map(|(chunk, &seed)| {
+                        scope.spawn(move || {
+                            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                            chunk
+                                .iter()
+                                .map(|s| {
+                                    let from = *s.cells.last().unwrap();
+                                    let q = model.quit_prob(
+                                        table,
+                                        from,
+                                        s.cells.len() as u64,
+                                        lambda,
+                                    );
+                                    rng.random::<f64>() < q
+                                })
+                                .collect::<Vec<bool>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    flags.push(h.join().expect("synthesis worker panicked"));
+                }
+            });
+            flags.concat()
+        };
+        let mut survivors = Vec::with_capacity(self.alive.len());
+        for (stream, quit) in self.alive.drain(..).zip(quit_flags) {
+            if quit {
+                Self::retire(&mut self.finished, stream);
+            } else {
+                survivors.push(stream);
+            }
+        }
+        self.alive = survivors;
+
+        // Phase 2a (sequential; rarely large): downward size adjustment.
+        if self.alive.len() > target {
+            let quit_dist = model.quit_distribution(table);
+            let excess = self.alive.len() - target;
+            let mut keyed: Vec<(f64, usize)> = self
+                .alive
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let w = quit_dist[s.cells.last().unwrap().index()].max(1e-12);
+                    let u: f64 = rng.random::<f64>();
+                    (u.powf(1.0 / w), i)
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let mut victims: Vec<usize> = keyed[..excess].iter().map(|&(_, i)| i).collect();
+            victims.sort_unstable_by(|a, b| b.cmp(a));
+            for v in victims {
+                let stream = self.alive.swap_remove(v);
+                Self::retire(&mut self.finished, stream);
+            }
+        }
+
+        // Phase 1b (parallel): extension.
+        {
+            let chunk_len = self.alive.len().div_ceil(threads).max(1);
+            let seeds: Vec<u64> =
+                (0..self.alive.len().div_ceil(chunk_len)).map(|_| rng.random()).collect();
+            std::thread::scope(|scope| {
+                for (chunk, &seed) in self.alive.chunks_mut(chunk_len).zip(&seeds) {
+                    scope.spawn(move || {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                        for stream in chunk {
+                            let from = *stream.cells.last().unwrap();
+                            let probs = model.move_probs(table, from);
+                            let pos = sample_weighted(&probs, &mut rng);
+                            stream.cells.push(table.move_targets(from)[pos]);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Phase 2b: upward size adjustment.
+        if self.alive.len() < target {
+            let missing = target - self.alive.len();
+            self.spawn(t, model, table, missing, rng);
+        }
+    }
+
+    fn spawn<R: Rng + ?Sized>(
+        &mut self,
+        t: u64,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        count: usize,
+        rng: &mut R,
+    ) {
+        let enter_dist = model.enter_distribution(table);
+        for _ in 0..count {
+            let cell = CellId(sample_weighted(&enter_dist, rng) as u16);
+            self.alive.push(OpenStream { id: self.next_id, start: t, cells: vec![cell] });
+            self.next_id += 1;
+        }
+    }
+
+    fn retire(finished: &mut Vec<GriddedStream>, stream: OpenStream) {
+        finished.push(GriddedStream { id: stream.id, start: stream.start, cells: stream.cells });
+    }
+
+    /// Close all live streams and assemble the released synthetic database.
+    pub fn finish(mut self, grid: &Grid, horizon: u64) -> GriddedDataset {
+        for stream in self.alive.drain(..) {
+            Self::retire(&mut self.finished, stream);
+        }
+        self.finished.sort_by_key(|s| s.id);
+        GriddedDataset::from_streams(grid.clone(), self.finished, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use retrasyn_geo::{Grid, TransitionState};
+
+    fn setup() -> (Grid, TransitionTable, GlobalMobilityModel) {
+        let grid = Grid::unit(4);
+        let table = TransitionTable::new(&grid);
+        let model = GlobalMobilityModel::new(table.len());
+        (grid, table, model)
+    }
+
+    /// Model where everyone enters at (0,0), marches right, and quits at
+    /// the east edge.
+    fn eastward_model(grid: &Grid, table: &TransitionTable) -> GlobalMobilityModel {
+        let mut est = vec![0.0; table.len()];
+        est[table.enter_index(grid.cell_at(0, 0))] = 1.0;
+        for y in 0..4 {
+            for x in 0..4 {
+                let from = grid.cell_at(x, y);
+                if x + 1 < 4 {
+                    let to = grid.cell_at(x + 1, y);
+                    let idx = table.index_of(TransitionState::Move { from, to }).unwrap();
+                    est[idx] = 0.5;
+                } else {
+                    est[table.quit_index(from)] = 0.5;
+                }
+            }
+        }
+        let mut model = GlobalMobilityModel::new(table.len());
+        model.replace_all(&est);
+        model
+    }
+
+    #[test]
+    fn initialization_spawns_target_from_enter_dist() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        db.step(0, &model, &table, 50, 10.0, &mut rng);
+        assert_eq!(db.active_count(), 50);
+        let released = db.finish(&grid, 1);
+        for s in released.streams() {
+            assert_eq!(s.first_cell(), grid.cell_at(0, 0));
+            assert_eq!(s.start, 0);
+        }
+    }
+
+    #[test]
+    fn size_adjustment_matches_target_exactly() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        db.step(0, &model, &table, 30, 100.0, &mut rng);
+        for (t, target) in [(1u64, 45usize), (2, 10), (3, 10), (4, 60), (5, 0), (6, 5)] {
+            db.step(t, &model, &table, target, 100.0, &mut rng);
+            assert_eq!(db.active_count(), target, "t={t}");
+        }
+    }
+
+    #[test]
+    fn streams_follow_movement_distribution() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in 0..4 {
+            db.step(t, &model, &table, 40, 1000.0, &mut rng);
+        }
+        let released = db.finish(&grid, 4);
+        // Every move in every stream is rightward (the only nonzero moves).
+        for s in released.streams() {
+            for w in s.cells.windows(2) {
+                let (ax, ay) = grid.cell_xy(w[0]);
+                let (bx, by) = grid.cell_xy(w[1]);
+                assert_eq!(by, ay);
+                assert_eq!(bx, ax + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn eq8_no_quitting_when_lambda_huge() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        db.step(0, &model, &table, 20, 1e12, &mut rng);
+        db.step(1, &model, &table, 20, 1e12, &mut rng);
+        // With lambda -> inf nothing quits naturally, and target is stable,
+        // so no stream finished.
+        assert_eq!(db.finished_count(), 0);
+    }
+
+    #[test]
+    fn eq8_short_lambda_terminates_streams() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for t in 0..10 {
+            db.step(t, &model, &table, 50, 1.0, &mut rng);
+        }
+        // lambda = 1 makes quitting aggressive once streams hit the east
+        // edge; finished streams accumulate while size stays on target.
+        assert!(db.finished_count() > 0);
+        assert_eq!(db.active_count(), 50);
+    }
+
+    #[test]
+    fn no_eq_mode_never_terminates_and_keeps_size() {
+        let (grid, table, model) = setup();
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        for t in 0..20 {
+            db.step_no_eq(t, &model, &table, &grid, 25, &mut rng);
+        }
+        assert_eq!(db.active_count(), 25);
+        assert_eq!(db.finished_count(), 0);
+        let released = db.finish(&grid, 20);
+        for s in released.streams() {
+            assert_eq!(s.len(), 20);
+            assert_eq!(s.start, 0);
+        }
+    }
+
+    #[test]
+    fn uninformed_model_still_synthesizes_adjacent_moves() {
+        let (grid, table, model) = setup();
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for t in 0..6 {
+            db.step(t, &model, &table, 15, 10.0, &mut rng);
+        }
+        let released = db.finish(&grid, 6);
+        for s in released.streams() {
+            for w in s.cells.windows(2) {
+                assert!(grid.are_adjacent(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn finish_produces_sorted_complete_dataset() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        for t in 0..5 {
+            db.step(t, &model, &table, 10, 2.0, &mut rng);
+        }
+        let total_streams = db.finished_count() + db.active_count();
+        let released = db.finish(&grid, 5);
+        assert_eq!(released.streams().len(), total_streams);
+        assert_eq!(released.horizon(), 5);
+        for w in released.streams().windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn parallel_step_keeps_invariants() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        // Large enough to cross the parallel threshold.
+        db.step_parallel(0, &model, &table, 4000, 50.0, &mut rng, 2);
+        for (t, target) in [(1u64, 4000usize), (2, 3500), (3, 4200), (4, 100)] {
+            db.step_parallel(t, &model, &table, target, 50.0, &mut rng, 2);
+            assert_eq!(db.active_count(), target, "t={t}");
+        }
+        let released = db.finish(&grid, 5);
+        for s in released.streams() {
+            for w in s.cells.windows(2) {
+                assert!(grid.are_adjacent(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_step_single_thread_matches_sequential() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let run = |parallel: bool| {
+            let mut db = SyntheticDb::new();
+            let mut rng = StdRng::seed_from_u64(13);
+            for t in 0..6 {
+                if parallel {
+                    db.step_parallel(t, &model, &table, 50, 10.0, &mut rng, 1);
+                } else {
+                    db.step(t, &model, &table, 50, 10.0, &mut rng);
+                }
+            }
+            db.finish(&grid, 6)
+        };
+        // threads = 1 delegates to the sequential path: identical output.
+        assert_eq!(run(true).streams(), run(false).streams());
+    }
+
+    #[test]
+    fn parallel_step_deterministic_per_seed() {
+        let (grid, table, _) = setup();
+        let model = eastward_model(&grid, &table);
+        let run = || {
+            let mut db = SyntheticDb::new();
+            let mut rng = StdRng::seed_from_u64(14);
+            for t in 0..4 {
+                db.step_parallel(t, &model, &table, 3000, 50.0, &mut rng, 3);
+            }
+            db.finish(&grid, 4)
+        };
+        assert_eq!(run().streams(), run().streams());
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let weights = [0.0, 0.0, 1.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(sample_weighted(&weights, &mut rng), 2);
+        }
+        // Zero mass falls back to uniform but stays in range.
+        let zeros = [0.0; 5];
+        for _ in 0..100 {
+            assert!(sample_weighted(&zeros, &mut rng) < 5);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Trajectory stream generators — the evaluation substrates.
+//!
+//! The paper evaluates on one real dataset (T-Drive) and two datasets
+//! produced by Brinkhoff's network-based generator for moving objects
+//! (Oldenburg, SanJoaquin). Neither the raw taxi logs nor Brinkhoff's Java
+//! tool are available here, so this crate implements the closest synthetic
+//! equivalents (documented in DESIGN.md §3):
+//!
+//! - [`RoadNetwork`]: a procedural road-network substrate (perturbed-grid
+//!   planar graph with speed classes) with Dijkstra shortest paths.
+//! - [`BrinkhoffConfig`]: network-constrained moving objects — each object
+//!   enters at a node, travels a shortest path to a random destination and
+//!   quits stochastically; new objects enter every timestamp
+//!   ([`BrinkhoffConfig::oldenburg`] and [`BrinkhoffConfig::san_joaquin`]
+//!   reproduce Table I at scale 1.0).
+//! - [`TDriveConfig`]: a hotspot-gravity taxi simulator with morning/evening
+//!   rush-hour flows and GPS dropout that fragments taxis into many short
+//!   streams (matching T-Drive's 13.6-point average stream).
+//! - [`RandomWalkConfig`] / [`RegimeShiftConfig`]: controlled generators for
+//!   unit tests and ablations (the regime shift exercises DMU's
+//!   significant-transition detection).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brinkhoff;
+pub mod roadnet;
+pub mod synthetic;
+pub mod tdrive;
+
+pub use brinkhoff::BrinkhoffConfig;
+pub use roadnet::{NodeId, RoadNetwork, RoadNetworkConfig};
+pub use synthetic::{RandomWalkConfig, RegimeShiftConfig};
+pub use tdrive::TDriveConfig;
+
+/// One standard-normal draw (Box–Muller), shared by the generators.
+pub(crate) fn gaussian<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}

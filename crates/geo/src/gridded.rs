@@ -1,0 +1,278 @@
+//! Discretized trajectory streams — the representation every mechanism and
+//! metric operates on.
+//!
+//! Discretization maps each continuous location to its grid cell and then
+//! *splits* any stream whose consecutive cells are not grid-adjacent. This
+//! mirrors the paper's preprocessing ("For trajectories including
+//! non-adjacent timestamps, we add quitting events and split them into
+//! multiple streams") extended to spatial jumps, which keeps every movement
+//! representable in the reachability-constrained transition domain.
+
+use crate::grid::{CellId, Grid};
+use crate::stream::{DatasetStats, StreamDataset};
+
+/// A discretized stream: one grid cell per timestamp starting at `start`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GriddedStream {
+    /// Stream id, unique within a [`GriddedDataset`].
+    pub id: u64,
+    /// Entering timestamp.
+    pub start: u64,
+    /// One cell per timestamp `start, start+1, …`.
+    pub cells: Vec<CellId>,
+}
+
+impl GriddedStream {
+    /// Number of reported cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Streams are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Last active timestamp (inclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.cells.len() as u64 - 1
+    }
+
+    /// Whether the stream reports at `t`.
+    pub fn active_at(&self, t: u64) -> bool {
+        t >= self.start && t <= self.end()
+    }
+
+    /// Cell at timestamp `t`, if active.
+    pub fn cell_at(&self, t: u64) -> Option<CellId> {
+        if self.active_at(t) {
+            Some(self.cells[(t - self.start) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// First (entering) cell.
+    pub fn first_cell(&self) -> CellId {
+        self.cells[0]
+    }
+
+    /// Last (quitting) cell.
+    pub fn last_cell(&self) -> CellId {
+        *self.cells.last().unwrap()
+    }
+
+    /// Travel distance in grid hops (Chebyshev per step).
+    pub fn hop_distance(&self, grid: &Grid) -> u64 {
+        self.cells.windows(2).map(|w| grid.chebyshev(w[0], w[1]) as u64).sum()
+    }
+}
+
+/// A database of discretized streams sharing a grid, over `0..horizon`.
+#[derive(Debug, Clone)]
+pub struct GriddedDataset {
+    grid: Grid,
+    streams: Vec<GriddedStream>,
+    horizon: u64,
+}
+
+impl GriddedDataset {
+    /// Assemble from pre-gridded streams (used by the synthesizer). Streams
+    /// must already respect grid adjacency; this is checked in debug builds.
+    pub fn from_streams(grid: Grid, streams: Vec<GriddedStream>, horizon: u64) -> Self {
+        debug_assert!(streams.iter().all(|s| {
+            s.cells.windows(2).all(|w| grid.are_adjacent(w[0], w[1]))
+                && s.cells.iter().all(|c| c.index() < grid.num_cells())
+        }));
+        let computed = streams.iter().map(|s| s.end() + 1).max().unwrap_or(0);
+        assert!(horizon >= computed, "horizon {horizon} < last report {computed}");
+        GriddedDataset { grid, streams, horizon }
+    }
+
+    /// Discretize a raw dataset against `grid`, splitting streams at
+    /// non-adjacent cell jumps.
+    pub fn from_dataset(dataset: &StreamDataset, grid: &Grid) -> Self {
+        let mut streams = Vec::with_capacity(dataset.trajectories().len());
+        let mut next_id = 0u64;
+        for traj in dataset.trajectories() {
+            let cells: Vec<CellId> = traj.points.iter().map(|p| grid.cell_of(p)).collect();
+            let mut seg_start_idx = 0usize;
+            for i in 1..=cells.len() {
+                let split = i == cells.len() || !grid.are_adjacent(cells[i - 1], cells[i]);
+                if split {
+                    streams.push(GriddedStream {
+                        id: next_id,
+                        start: traj.start + seg_start_idx as u64,
+                        cells: cells[seg_start_idx..i].to_vec(),
+                    });
+                    next_id += 1;
+                    seg_start_idx = i;
+                }
+            }
+        }
+        GriddedDataset { grid: grid.clone(), streams, horizon: dataset.horizon() }
+    }
+
+    /// The shared grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// All streams.
+    pub fn streams(&self) -> &[GriddedStream] {
+        &self.streams
+    }
+
+    /// Number of timestamps.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Number of streams active at `t`.
+    pub fn active_count(&self, t: u64) -> usize {
+        self.streams.iter().filter(|s| s.active_at(t)).count()
+    }
+
+    /// Per-cell occupancy counts at timestamp `t`.
+    pub fn snapshot_counts(&self, t: u64) -> Vec<u64> {
+        let mut counts = vec![0u64; self.grid.num_cells()];
+        for s in &self.streams {
+            if let Some(c) = s.cell_at(t) {
+                counts[c.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Per-cell visit counts aggregated over all timestamps.
+    pub fn total_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.grid.num_cells()];
+        for s in &self.streams {
+            for c in &s.cells {
+                counts[c.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Table-I statistics of the discretized database.
+    pub fn stats(&self) -> DatasetStats {
+        let points: usize = self.streams.iter().map(GriddedStream::len).sum();
+        let n = self.streams.len();
+        DatasetStats {
+            streams: n,
+            points,
+            avg_length: if n == 0 { 0.0 } else { points as f64 / n as f64 },
+            timestamps: self.horizon,
+        }
+    }
+
+    /// Mean stream length (the paper sets the termination factor λ to this).
+    pub fn avg_length(&self) -> f64 {
+        self.stats().avg_length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::trajectory::Trajectory;
+
+    #[test]
+    fn adjacent_stream_stays_whole() {
+        let grid = Grid::unit(4);
+        // 0.1 -> cell x=0; 0.3 -> x=1; 0.6 -> x=2 : adjacent steps.
+        let ds = StreamDataset::new(vec![Trajectory::new(
+            0,
+            2,
+            vec![Point::new(0.1, 0.1), Point::new(0.3, 0.1), Point::new(0.6, 0.1)],
+        )]);
+        let g = ds.discretize(&grid);
+        assert_eq!(g.streams().len(), 1);
+        let s = &g.streams()[0];
+        assert_eq!(s.start, 2);
+        assert_eq!(s.cells, vec![grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(2, 0)]);
+        assert_eq!(s.end(), 4);
+        assert_eq!(s.first_cell(), grid.cell_at(0, 0));
+        assert_eq!(s.last_cell(), grid.cell_at(2, 0));
+    }
+
+    #[test]
+    fn jump_splits_stream() {
+        let grid = Grid::unit(4);
+        // x jumps from cell 0 to cell 3: Chebyshev 3 -> split.
+        let ds = StreamDataset::new(vec![Trajectory::new(
+            0,
+            0,
+            vec![Point::new(0.1, 0.1), Point::new(0.9, 0.1), Point::new(0.9, 0.3)],
+        )]);
+        let g = ds.discretize(&grid);
+        assert_eq!(g.streams().len(), 2);
+        assert_eq!(g.streams()[0].cells.len(), 1);
+        assert_eq!(g.streams()[1].cells.len(), 2);
+        assert_eq!(g.streams()[1].start, 1);
+        // Ids are unique.
+        assert_ne!(g.streams()[0].id, g.streams()[1].id);
+    }
+
+    #[test]
+    fn snapshot_and_total_counts() {
+        let grid = Grid::unit(2);
+        let ds = StreamDataset::new(vec![
+            Trajectory::new(0, 0, vec![Point::new(0.2, 0.2), Point::new(0.2, 0.2)]),
+            Trajectory::new(1, 1, vec![Point::new(0.8, 0.8)]),
+        ]);
+        let g = ds.discretize(&grid);
+        let snap0 = g.snapshot_counts(0);
+        assert_eq!(snap0[grid.cell_at(0, 0).index()], 1);
+        assert_eq!(snap0.iter().sum::<u64>(), 1);
+        let snap1 = g.snapshot_counts(1);
+        assert_eq!(snap1.iter().sum::<u64>(), 2);
+        let totals = g.total_counts();
+        assert_eq!(totals[grid.cell_at(0, 0).index()], 2);
+        assert_eq!(totals[grid.cell_at(1, 1).index()], 1);
+        assert_eq!(g.active_count(1), 2);
+    }
+
+    #[test]
+    fn hop_distance() {
+        let grid = Grid::unit(5);
+        let s = GriddedStream {
+            id: 0,
+            start: 0,
+            cells: vec![grid.cell_at(0, 0), grid.cell_at(1, 1), grid.cell_at(1, 2)],
+        };
+        assert_eq!(s.hop_distance(&grid), 2);
+    }
+
+    #[test]
+    fn stats_of_discretized() {
+        let grid = Grid::unit(4);
+        let ds = StreamDataset::new(vec![Trajectory::new(
+            0,
+            0,
+            vec![Point::new(0.1, 0.1), Point::new(0.9, 0.1)],
+        )]);
+        let g = ds.discretize(&grid);
+        let s = g.stats();
+        assert_eq!(s.streams, 2); // split by the jump
+        assert_eq!(s.points, 2);
+        assert!((g.avg_length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_streams_roundtrip() {
+        let grid = Grid::unit(3);
+        let streams = vec![GriddedStream {
+            id: 0,
+            start: 1,
+            cells: vec![grid.cell_at(0, 0), grid.cell_at(1, 0)],
+        }];
+        let g = GriddedDataset::from_streams(grid, streams, 5);
+        assert_eq!(g.horizon(), 5);
+        assert_eq!(g.streams().len(), 1);
+        assert_eq!(g.streams()[0].cell_at(2), Some(g.grid().cell_at(1, 0)));
+        assert_eq!(g.streams()[0].cell_at(0), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! Plain-text persistence for gridded databases.
+//!
+//! A deliberately simple, dependency-free line format so released synthetic
+//! databases can be handed to downstream tooling (or reloaded for later
+//! historical analysis):
+//!
+//! ```text
+//! retrasyn-gridded v1 k=<K> horizon=<T>
+//! <id> <start> <cell> <cell> …
+//! …
+//! ```
+//!
+//! Cells are dense indices (`y·K + x`). The grid's bounding box is not
+//! persisted — readers supply it (releases are usually consumed in grid
+//! coordinates; use [`Grid::new`] with the original box to recover
+//! continuous centers).
+
+use crate::grid::{CellId, Grid};
+use crate::gridded::{GriddedDataset, GriddedStream};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Serialize a gridded database to a writer.
+pub fn write_gridded<W: Write>(dataset: &GriddedDataset, writer: &mut W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "retrasyn-gridded v1 k={} horizon={}",
+        dataset.grid().k(),
+        dataset.horizon()
+    )?;
+    for s in dataset.streams() {
+        write!(writer, "{} {}", s.id, s.start)?;
+        for c in &s.cells {
+            write!(writer, " {}", c.0)?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Serialize to a file path.
+pub fn save_gridded<P: AsRef<Path>>(dataset: &GriddedDataset, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_gridded(dataset, &mut w)?;
+    w.flush()
+}
+
+fn parse_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Deserialize a gridded database from a reader (unit-square grid).
+pub fn read_gridded<R: BufRead>(reader: R) -> io::Result<GriddedDataset> {
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))??;
+    let mut k: Option<u16> = None;
+    let mut horizon: Option<u64> = None;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("retrasyn-gridded") || parts.next() != Some("v1") {
+        return Err(parse_err("bad header (expected 'retrasyn-gridded v1 …')"));
+    }
+    for field in parts {
+        if let Some(v) = field.strip_prefix("k=") {
+            k = Some(v.parse().map_err(|_| parse_err("bad k"))?);
+        } else if let Some(v) = field.strip_prefix("horizon=") {
+            horizon = Some(v.parse().map_err(|_| parse_err("bad horizon"))?);
+        }
+    }
+    let k = k.ok_or_else(|| parse_err("missing k"))?;
+    let horizon = horizon.ok_or_else(|| parse_err("missing horizon"))?;
+    let grid = Grid::unit(k);
+    let mut streams = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let id: u64 = fields
+            .next()
+            .ok_or_else(|| parse_err(format!("line {}: missing id", lineno + 2)))?
+            .parse()
+            .map_err(|_| parse_err(format!("line {}: bad id", lineno + 2)))?;
+        let start: u64 = fields
+            .next()
+            .ok_or_else(|| parse_err(format!("line {}: missing start", lineno + 2)))?
+            .parse()
+            .map_err(|_| parse_err(format!("line {}: bad start", lineno + 2)))?;
+        let cells: Result<Vec<CellId>, io::Error> = fields
+            .map(|f| {
+                let raw: u16 =
+                    f.parse().map_err(|_| parse_err(format!("line {}: bad cell", lineno + 2)))?;
+                if raw as usize >= grid.num_cells() {
+                    return Err(parse_err(format!(
+                        "line {}: cell {raw} out of range for k={k}",
+                        lineno + 2
+                    )));
+                }
+                Ok(CellId(raw))
+            })
+            .collect();
+        let cells = cells?;
+        if cells.is_empty() {
+            return Err(parse_err(format!("line {}: stream with no cells", lineno + 2)));
+        }
+        streams.push(GriddedStream { id, start, cells });
+    }
+    // Validate adjacency and horizon before constructing.
+    for s in &streams {
+        if s.end() >= horizon {
+            return Err(parse_err(format!("stream {} exceeds horizon", s.id)));
+        }
+        for w in s.cells.windows(2) {
+            if !grid.are_adjacent(w[0], w[1]) {
+                return Err(parse_err(format!("stream {}: non-adjacent move", s.id)));
+            }
+        }
+    }
+    Ok(GriddedDataset::from_streams(grid, streams, horizon))
+}
+
+/// Deserialize from a file path.
+pub fn load_gridded<P: AsRef<Path>>(path: P) -> io::Result<GriddedDataset> {
+    read_gridded(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GriddedDataset {
+        let grid = Grid::unit(4);
+        GriddedDataset::from_streams(
+            grid.clone(),
+            vec![
+                GriddedStream {
+                    id: 3,
+                    start: 1,
+                    cells: vec![grid.cell_at(0, 0), grid.cell_at(1, 1)],
+                },
+                GriddedStream { id: 9, start: 0, cells: vec![grid.cell_at(3, 3)] },
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_gridded(&ds, &mut buf).unwrap();
+        let loaded = read_gridded(io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(loaded.horizon(), 5);
+        assert_eq!(loaded.grid().k(), 4);
+        assert_eq!(loaded.streams(), ds.streams());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join("retrasyn_geo_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("release.txt");
+        save_gridded(&ds, &path).unwrap();
+        let loaded = load_gridded(&path).unwrap();
+        assert_eq!(loaded.streams(), ds.streams());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let bad = "nonsense v1 k=4 horizon=5\n";
+        assert!(read_gridded(io::BufReader::new(bad.as_bytes())).is_err());
+        let missing_k = "retrasyn-gridded v1 horizon=5\n";
+        assert!(read_gridded(io::BufReader::new(missing_k.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_cell() {
+        let bad = "retrasyn-gridded v1 k=2 horizon=3\n0 0 7\n";
+        let err = read_gridded(io::BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_non_adjacent_stream() {
+        // Cells 0 and 15 in a 4x4 grid are not adjacent.
+        let bad = "retrasyn-gridded v1 k=4 horizon=3\n0 0 0 15\n";
+        let err = read_gridded(io::BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("non-adjacent"));
+    }
+
+    #[test]
+    fn rejects_horizon_overflow() {
+        let bad = "retrasyn-gridded v1 k=4 horizon=1\n0 0 0 1\n";
+        let err = read_gridded(io::BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("horizon"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let ok = "retrasyn-gridded v1 k=2 horizon=2\n\n0 0 0 1\n\n";
+        let ds = read_gridded(io::BufReader::new(ok.as_bytes())).unwrap();
+        assert_eq!(ds.streams().len(), 1);
+    }
+}

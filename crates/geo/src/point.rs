@@ -1,0 +1,101 @@
+//! Continuous 2-D points and bounding boxes.
+
+/// A location in continuous two-dimensional space (`l_t = (x_t, y_t)` in
+/// Definition 4).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// Construct a bounding box; panics if the corners are inverted.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(min.x < max.x && min.y < max.y, "degenerate bounding box {min:?}..{max:?}");
+        BoundingBox { min, max }
+    }
+
+    /// The unit square `[0,1] × [0,1]`.
+    pub fn unit() -> Self {
+        BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    /// Width of the box.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the box.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Whether the point lies within the closed box.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamp a point into the closed box.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn bbox_contains_and_clamp() {
+        let bb = BoundingBox::unit();
+        assert!(bb.contains(&Point::new(0.5, 0.5)));
+        assert!(bb.contains(&Point::new(0.0, 1.0)));
+        assert!(!bb.contains(&Point::new(1.1, 0.5)));
+        let c = bb.clamp(Point::new(-0.5, 2.0));
+        assert_eq!(c, Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn bbox_rejects_inverted() {
+        let _ = BoundingBox::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn bbox_dimensions() {
+        let bb = BoundingBox::new(Point::new(-2.0, 1.0), Point::new(4.0, 3.0));
+        assert!((bb.width() - 6.0).abs() < 1e-12);
+        assert!((bb.height() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Raw (continuous-space) trajectory streams.
+
+use crate::point::Point;
+
+/// One user's trajectory stream `T^o_i = {l_t | t = a_i, a_i+1, …}`
+/// (Definition 4): a run of consecutive timestamps starting at `start`,
+/// with one continuous location per timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Owning user id (several streams may share a user after splitting).
+    pub user: u64,
+    /// Entering timestamp `a_i`.
+    pub start: u64,
+    /// One location per timestamp `start, start+1, …`.
+    pub points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Create a trajectory; must contain at least one point.
+    pub fn new(user: u64, start: u64, points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "trajectory must have at least one point");
+        Trajectory { user, start, points }
+    }
+
+    /// Number of reported locations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Trajectories are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Last timestamp with a location (inclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.points.len() as u64 - 1
+    }
+
+    /// Whether the stream reports at timestamp `t`.
+    pub fn active_at(&self, t: u64) -> bool {
+        t >= self.start && t <= self.end()
+    }
+
+    /// Location at timestamp `t`, if active.
+    pub fn point_at(&self, t: u64) -> Option<&Point> {
+        if self.active_at(t) {
+            Some(&self.points[(t - self.start) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Total Euclidean travel distance.
+    pub fn travel_distance(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].distance(&w[1])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::new(
+            3,
+            10,
+            vec![Point::new(0.0, 0.0), Point::new(0.0, 1.0), Point::new(1.0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn bounds_and_activity() {
+        let t = traj();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.end(), 12);
+        assert!(!t.active_at(9));
+        assert!(t.active_at(10));
+        assert!(t.active_at(12));
+        assert!(!t.active_at(13));
+    }
+
+    #[test]
+    fn point_lookup() {
+        let t = traj();
+        assert_eq!(t.point_at(11), Some(&Point::new(0.0, 1.0)));
+        assert_eq!(t.point_at(13), None);
+        assert_eq!(t.point_at(0), None);
+    }
+
+    #[test]
+    fn travel_distance_sums_segments() {
+        let t = traj();
+        assert!((t.travel_distance() - 2.0).abs() < 1e-12);
+        let single = Trajectory::new(0, 0, vec![Point::new(0.5, 0.5)]);
+        assert_eq!(single.travel_distance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_rejected() {
+        let _ = Trajectory::new(0, 0, vec![]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Binomial sampling for aggregate report simulation.
+//!
+//! Simulating `n` independent OUE reports bit-by-bit costs `O(n·|S|)` random
+//! draws per timestamp. Because the curator only ever consumes the *sum* of
+//! the reported bits at each position, the sum can be sampled directly:
+//! for position `j` with `c_j` users whose true bit is 1,
+//!
+//! ```text
+//! ones_j = Binomial(c_j, p) + Binomial(n − c_j, q)
+//! ```
+//!
+//! which is distributionally identical to summing the individual reports and
+//! costs `O(|S|)` draws. This module provides the sampler.
+//!
+//! The sampler is exact for small regimes (Bernoulli summation for `n ≤ 64`,
+//! CDF inversion while `n·min(p,1−p) ≤ 20`) and switches to a
+//! continuity-corrected normal approximation for large `n·p·(1−p)`. In the
+//! large regime the total-variation distance to the exact binomial is
+//! O(1/sqrt(n·p·(1−p))) ≤ ~2%, which is orders of magnitude below the OUE
+//! perturbation noise it feeds into; the exact per-user path
+//! ([`crate::ReportMode::PerUser`]) is retained for validation.
+
+use rand::Rng;
+
+/// Threshold below which we simply sum Bernoulli draws.
+const BERNOULLI_MAX_N: u64 = 64;
+/// Use CDF inversion while the expected count is at most this.
+const INVERSION_MAX_MEAN: f64 = 20.0;
+
+/// Draw one sample from Binomial(n, p).
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]` or not finite.
+pub fn sample<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p={p} out of range");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work with the smaller tail for numerical stability.
+    if p > 0.5 {
+        return n - sample(n, 1.0 - p, rng);
+    }
+    if n <= BERNOULLI_MAX_N {
+        return bernoulli_sum(n, p, rng);
+    }
+    let mean = n as f64 * p;
+    if mean <= INVERSION_MAX_MEAN {
+        return inversion(n, p, rng);
+    }
+    normal_approx(n, p, rng)
+}
+
+/// Sum of `n` Bernoulli(p) draws. Exact; O(n).
+fn bernoulli_sum<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let mut count = 0;
+    for _ in 0..n {
+        if rng.random::<f64>() < p {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// CDF inversion using the pmf recurrence. Exact up to f64 rounding; O(np).
+fn inversion<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let q = 1.0 - p;
+    // pmf(0) = q^n; np <= 20 here so q^n >= ~e^-20: no underflow concerns.
+    let mut pmf = q.powf(n as f64);
+    let mut cdf = pmf;
+    let mut k: u64 = 0;
+    let u = rng.random::<f64>();
+    let ratio = p / q;
+    while u > cdf && k < n {
+        let kf = k as f64;
+        pmf *= (n as f64 - kf) / (kf + 1.0) * ratio;
+        cdf += pmf;
+        k += 1;
+        // Guard against f64 rounding leaving cdf slightly below 1 forever.
+        if pmf < f64::MIN_POSITIVE {
+            break;
+        }
+    }
+    k
+}
+
+/// Continuity-corrected normal approximation, clamped to [0, n].
+fn normal_approx<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    let z = standard_normal(rng);
+    let x = (mean + sd * z + 0.5).floor();
+    x.clamp(0.0, n as f64) as u64
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[u64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample(0, 0.5, &mut rng), 0);
+        assert_eq!(sample(100, 0.0, &mut rng), 0);
+        assert_eq!(sample(100, 1.0, &mut rng), 100);
+        assert_eq!(sample(1, 0.0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample(10, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn bernoulli_regime_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..20_000).map(|_| sample(40, 0.3, &mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 12.0).abs() < 0.15, "mean={mean}");
+        assert!((var - 8.4).abs() < 0.5, "var={var}");
+    }
+
+    #[test]
+    fn inversion_regime_moments() {
+        // n = 1000, p = 0.01 -> mean 10, inversion path.
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<u64> = (0..20_000).map(|_| sample(1000, 0.01, &mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 10.0).abs() < 0.15, "mean={mean}");
+        assert!((var - 9.9).abs() < 0.6, "var={var}");
+    }
+
+    #[test]
+    fn normal_regime_moments() {
+        // n = 10_000, p = 0.25 -> normal approximation path.
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<u64> = (0..20_000).map(|_| sample(10_000, 0.25, &mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 2500.0).abs() < 2.0, "mean={mean}");
+        let expected_var = 10_000.0 * 0.25 * 0.75;
+        assert!((var - expected_var).abs() / expected_var < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn high_p_mirrors_low_p() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<u64> = (0..20_000).map(|_| sample(1000, 0.99, &mut rng)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 990.0).abs() < 0.2, "mean={mean}");
+        assert!(samples.iter().all(|&x| x <= 1000));
+    }
+
+    #[test]
+    fn samples_never_exceed_n() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for &(n, p) in &[(5u64, 0.9), (100, 0.5), (100_000, 0.001), (100_000, 0.6)] {
+            for _ in 0..200 {
+                assert!(sample(n, p, &mut rng) <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+}

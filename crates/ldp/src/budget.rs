@@ -1,0 +1,283 @@
+//! Privacy budgets and runtime *w-event ε-LDP* accounting.
+//!
+//! Definition 3 of the paper requires that for any sliding window of `w`
+//! consecutive timestamps, the composed privacy loss for every user is at
+//! most `ε`. The two allocation families satisfy this differently:
+//!
+//! - **Budget division** (Theorem 1, sequential composition): every user may
+//!   report at every timestamp, but the per-timestamp budgets `ε_t` must sum
+//!   to at most `ε` over any window of `w` timestamps.
+//! - **Population division**: each report spends the *full* `ε`, so a user
+//!   must report at most once within any window of `w` timestamps (users are
+//!   "recycled" `w` steps after reporting; see Algorithm 1, line 9).
+//!
+//! [`WEventLedger`] records both kinds of events and verifies the invariant,
+//! turning the privacy proof of Theorem 3 into an executable check.
+
+use crate::error::LdpError;
+use std::collections::HashMap;
+
+/// A validated privacy budget ε > 0.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct PrivacyBudget(f64);
+
+impl PrivacyBudget {
+    /// Create a budget; rejects non-positive or non-finite values.
+    pub fn new(eps: f64) -> Result<Self, LdpError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(LdpError::InvalidBudget(eps));
+        }
+        Ok(PrivacyBudget(eps))
+    }
+
+    /// The raw ε value.
+    #[inline]
+    pub fn eps(self) -> f64 {
+        self.0
+    }
+
+    /// Sequential composition (Theorem 1): the combined mechanism consumes
+    /// the sum of the component budgets.
+    pub fn compose(parts: &[PrivacyBudget]) -> f64 {
+        parts.iter().map(|b| b.0).sum()
+    }
+
+    /// Split the budget into a fraction `portion` and the remainder.
+    /// Returns `(portion·ε, (1−portion)·ε)`.
+    pub fn split(self, portion: f64) -> (f64, f64) {
+        assert!((0.0..=1.0).contains(&portion), "portion={portion}");
+        (self.0 * portion, self.0 * (1.0 - portion))
+    }
+}
+
+impl TryFrom<f64> for PrivacyBudget {
+    type Error = LdpError;
+    fn try_from(v: f64) -> Result<Self, Self::Error> {
+        PrivacyBudget::new(v)
+    }
+}
+
+/// Numerical slack for floating-point budget sums.
+const EPS_TOLERANCE: f64 = 1e-9;
+
+/// Records per-timestamp budget spends and per-user report times, and checks
+/// the w-event invariant for both.
+#[derive(Debug, Clone)]
+pub struct WEventLedger {
+    eps_total: f64,
+    w: usize,
+    /// ε spent at each timestamp by the *budget-division* path
+    /// (index = timestamp).
+    per_ts_eps: Vec<f64>,
+    /// For the *population-division* path: timestamps at which each user
+    /// reported (each report spends `eps_total`).
+    user_reports: HashMap<u64, Vec<u64>>,
+}
+
+impl WEventLedger {
+    /// New ledger for total budget `eps` and window size `w ≥ 1`.
+    pub fn new(eps: f64, w: usize) -> Self {
+        assert!(w >= 1, "window size must be >= 1");
+        assert!(eps.is_finite() && eps > 0.0, "eps must be positive");
+        WEventLedger { eps_total: eps, w, per_ts_eps: Vec::new(), user_reports: HashMap::new() }
+    }
+
+    /// Total budget ε.
+    pub fn eps_total(&self) -> f64 {
+        self.eps_total
+    }
+
+    /// Window size w.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Record a budget-division spend of `eps` at timestamp `t` (applied to
+    /// every reporting user).
+    pub fn record_budget(&mut self, t: u64, eps: f64) {
+        assert!(eps >= 0.0 && eps.is_finite(), "eps spend must be >= 0");
+        let t = t as usize;
+        if self.per_ts_eps.len() <= t {
+            self.per_ts_eps.resize(t + 1, 0.0);
+        }
+        self.per_ts_eps[t] += eps;
+    }
+
+    /// Record that `user` reported at timestamp `t` with the full budget
+    /// (population division).
+    pub fn record_user_report(&mut self, user: u64, t: u64) {
+        self.user_reports.entry(user).or_default().push(t);
+    }
+
+    /// Sum of budget-division spends in the window ending at `t`
+    /// (`[t−w+1, t]`, saturating at 0).
+    pub fn window_spend(&self, t: u64) -> f64 {
+        let t = t as usize;
+        let lo = (t + 1).saturating_sub(self.w);
+        self.per_ts_eps
+            .iter()
+            .enumerate()
+            .skip(lo)
+            .take_while(|(i, _)| *i <= t)
+            .map(|(_, e)| *e)
+            .sum()
+    }
+
+    /// Budget still available at timestamp `t` for the window ending at `t`,
+    /// excluding `t` itself: `ε − Σ_{i=t−w+1}^{t−1} ε_i` (paper §III-E).
+    pub fn remaining_budget(&self, t: u64) -> f64 {
+        let t = t as usize;
+        let lo = (t + 1).saturating_sub(self.w);
+        let spent: f64 = self
+            .per_ts_eps
+            .iter()
+            .enumerate()
+            .skip(lo)
+            .take_while(|(i, _)| *i < t)
+            .map(|(_, e)| *e)
+            .sum();
+        (self.eps_total - spent).max(0.0)
+    }
+
+    /// Verify the w-event invariant over everything recorded so far.
+    pub fn verify(&self) -> Result<(), LdpError> {
+        // Budget division: every window sums to <= eps.
+        for t in 0..self.per_ts_eps.len() {
+            let spend = self.window_spend(t as u64);
+            if spend > self.eps_total + EPS_TOLERANCE {
+                return Err(LdpError::WEventViolation(format!(
+                    "window ending at t={t} spends {spend:.6} > eps={:.6}",
+                    self.eps_total
+                )));
+            }
+        }
+        // Population division: each user's reports are >= w apart, so any
+        // w-window contains at most one full-eps report per user.
+        for (user, times) in &self.user_reports {
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            for pair in sorted.windows(2) {
+                if pair[1] - pair[0] < self.w as u64 {
+                    return Err(LdpError::WEventViolation(format!(
+                        "user {user} reported at t={} and t={} (< w={} apart)",
+                        pair[0], pair[1], self.w
+                    )));
+                }
+                if pair[1] == pair[0] {
+                    return Err(LdpError::WEventViolation(format!(
+                        "user {user} reported twice at t={}",
+                        pair[0]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of reports recorded in the population-division path.
+    pub fn total_user_reports(&self) -> usize {
+        self.user_reports.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_validation() {
+        assert!(PrivacyBudget::new(1.0).is_ok());
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(-0.5).is_err());
+        assert!(PrivacyBudget::new(f64::NAN).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn compose_sums() {
+        let parts = [
+            PrivacyBudget::new(0.5).unwrap(),
+            PrivacyBudget::new(0.25).unwrap(),
+            PrivacyBudget::new(0.25).unwrap(),
+        ];
+        assert!((PrivacyBudget::compose(&parts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_fractions() {
+        let b = PrivacyBudget::new(2.0).unwrap();
+        let (a, rest) = b.split(0.25);
+        assert!((a - 0.5).abs() < 1e-12);
+        assert!((rest - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_window_accounting() {
+        let mut ledger = WEventLedger::new(1.0, 3);
+        ledger.record_budget(0, 0.4);
+        ledger.record_budget(1, 0.3);
+        ledger.record_budget(2, 0.3);
+        assert!((ledger.window_spend(2) - 1.0).abs() < 1e-12);
+        assert!(ledger.verify().is_ok());
+        // t=3 window is [1,2,3]: 0.3 + 0.3 spent, 0.4 remains.
+        assert!((ledger.remaining_budget(3) - 0.4).abs() < 1e-12);
+        ledger.record_budget(3, 0.4);
+        assert!(ledger.verify().is_ok());
+        // Overspend in window [2,3,4].
+        ledger.record_budget(4, 0.5);
+        assert!(ledger.verify().is_err());
+    }
+
+    #[test]
+    fn remaining_budget_at_start() {
+        let ledger = WEventLedger::new(1.5, 10);
+        assert!((ledger.remaining_budget(0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_spacing_ok() {
+        let mut ledger = WEventLedger::new(1.0, 4);
+        ledger.record_user_report(7, 0);
+        ledger.record_user_report(7, 4);
+        ledger.record_user_report(7, 9);
+        ledger.record_user_report(8, 2);
+        assert!(ledger.verify().is_ok());
+        assert_eq!(ledger.total_user_reports(), 4);
+    }
+
+    #[test]
+    fn population_spacing_violation() {
+        let mut ledger = WEventLedger::new(1.0, 4);
+        ledger.record_user_report(7, 0);
+        ledger.record_user_report(7, 3); // gap 3 < w = 4
+        let err = ledger.verify().unwrap_err();
+        assert!(err.to_string().contains("user 7"));
+    }
+
+    #[test]
+    fn population_duplicate_report_violation() {
+        let mut ledger = WEventLedger::new(1.0, 1);
+        // w = 1: duplicates at the same timestamp are still violations.
+        ledger.record_user_report(3, 5);
+        ledger.record_user_report(3, 5);
+        assert!(ledger.verify().is_err());
+    }
+
+    #[test]
+    fn out_of_order_reports_are_sorted() {
+        let mut ledger = WEventLedger::new(1.0, 2);
+        ledger.record_user_report(1, 10);
+        ledger.record_user_report(1, 2);
+        ledger.record_user_report(1, 6);
+        assert!(ledger.verify().is_ok());
+    }
+
+    #[test]
+    fn window_spend_partial_window() {
+        let mut ledger = WEventLedger::new(1.0, 5);
+        ledger.record_budget(0, 0.2);
+        ledger.record_budget(1, 0.2);
+        // Window ending at 1 only covers t=0,1.
+        assert!((ledger.window_spend(1) - 0.4).abs() < 1e-12);
+    }
+}

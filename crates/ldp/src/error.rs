@@ -1,0 +1,57 @@
+//! Error type for the LDP crate.
+
+use std::fmt;
+
+/// Errors produced by LDP mechanisms and accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LdpError {
+    /// The privacy budget is not a positive finite number.
+    InvalidBudget(f64),
+    /// The value domain is empty or too small for the mechanism.
+    InvalidDomain(usize),
+    /// An input value lies outside the mechanism's domain.
+    ValueOutOfDomain {
+        /// The offending value.
+        value: usize,
+        /// The domain size.
+        domain: usize,
+    },
+    /// The w-event accounting invariant was violated.
+    WEventViolation(String),
+    /// A report has the wrong shape for the aggregation step.
+    MalformedReport(String),
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpError::InvalidBudget(eps) => {
+                write!(f, "privacy budget must be positive and finite, got {eps}")
+            }
+            LdpError::InvalidDomain(d) => write!(f, "domain size {d} is invalid (must be >= 2)"),
+            LdpError::ValueOutOfDomain { value, domain } => {
+                write!(f, "value {value} outside domain of size {domain}")
+            }
+            LdpError::WEventViolation(msg) => write!(f, "w-event LDP violation: {msg}"),
+            LdpError::MalformedReport(msg) => write!(f, "malformed report: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LdpError::InvalidBudget(-1.0);
+        assert!(e.to_string().contains("-1"));
+        let e = LdpError::ValueOutOfDomain { value: 9, domain: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let e = LdpError::WEventViolation("window 3..5 exceeds eps".into());
+        assert!(e.to_string().contains("window"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Generalized randomized response (k-RR).
+//!
+//! GRR reports the true value with probability `p = e^ε/(e^ε + d − 1)` and
+//! any other single value uniformly otherwise. Its variance grows linearly
+//! in the domain size, which is why the paper adopts OUE for the large
+//! transition-state domain; GRR is provided here for the frequency-oracle
+//! ablation and for small-domain use cases.
+
+use crate::error::LdpError;
+use rand::Rng;
+
+/// The GRR mechanism for a fixed domain size and privacy budget.
+#[derive(Debug, Clone)]
+pub struct Grr {
+    eps: f64,
+    domain: usize,
+    p: f64,
+    q: f64,
+}
+
+impl Grr {
+    /// Create a GRR mechanism with budget `eps` over `domain` values.
+    pub fn new(eps: f64, domain: usize) -> Result<Self, LdpError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(LdpError::InvalidBudget(eps));
+        }
+        if domain < 2 {
+            return Err(LdpError::InvalidDomain(domain));
+        }
+        let e = eps.exp();
+        let p = e / (e + domain as f64 - 1.0);
+        let q = 1.0 / (e + domain as f64 - 1.0);
+        Ok(Grr { eps, domain, p, q })
+    }
+
+    /// Privacy budget ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Probability of reporting the true value.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability of reporting any specific false value.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Perturb one user's value (user side, O(1)).
+    pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> Result<usize, LdpError> {
+        if value >= self.domain {
+            return Err(LdpError::ValueOutOfDomain { value, domain: self.domain });
+        }
+        if rng.random::<f64>() < self.p {
+            Ok(value)
+        } else {
+            // Uniform over the other d-1 values.
+            let mut other = rng.random_range(0..self.domain - 1);
+            if other >= value {
+                other += 1;
+            }
+            Ok(other)
+        }
+    }
+
+    /// Tally reported values into counts.
+    pub fn tally(&self, reports: &[usize]) -> Result<Vec<u64>, LdpError> {
+        let mut counts = vec![0u64; self.domain];
+        for &r in reports {
+            if r >= self.domain {
+                return Err(LdpError::MalformedReport(format!(
+                    "reported value {r} outside domain {}",
+                    self.domain
+                )));
+            }
+            counts[r] += 1;
+        }
+        Ok(counts)
+    }
+
+    /// Debias counts into unbiased frequency estimates
+    /// `f̂(x) = (count_x/n − q)/(p − q)`.
+    pub fn debias(&self, counts: &[u64], n: u64) -> Vec<f64> {
+        assert_eq!(counts.len(), self.domain, "count length mismatch");
+        if n == 0 {
+            return vec![0.0; self.domain];
+        }
+        let nf = n as f64;
+        let denom = self.p - self.q;
+        counts.iter().map(|&c| (c as f64 / nf - self.q) / denom).collect()
+    }
+
+    /// Approximate estimator variance `q(1−q)/(n(p−q)²)` (the dominant,
+    /// frequency-independent term).
+    pub fn variance(&self, n: u64) -> f64 {
+        if n == 0 {
+            return f64::INFINITY;
+        }
+        self.q * (1.0 - self.q) / (n as f64 * (self.p - self.q).powi(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Grr::new(1.0, 2).is_ok());
+        assert!(Grr::new(0.0, 2).is_err());
+        assert!(Grr::new(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let grr = Grr::new(1.3, 7).unwrap();
+        let total = grr.p() + 6.0 * grr.q();
+        assert!((total - 1.0).abs() < 1e-12);
+        // LDP constraint: p/q = e^eps exactly.
+        assert!((grr.p() / grr.q() - 1.3f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturb_within_domain() {
+        let grr = Grr::new(0.5, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in 0..5 {
+            for _ in 0..100 {
+                let out = grr.perturb(v, &mut rng).unwrap();
+                assert!(out < 5);
+            }
+        }
+        assert!(grr.perturb(5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn estimates_are_unbiased() {
+        let grr = Grr::new(2.0, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000u64;
+        let mut reports = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let v = if i % 4 == 0 { 1 } else { 3 }; // 25% value 1, 75% value 3
+            reports.push(grr.perturb(v, &mut rng).unwrap());
+        }
+        let counts = grr.tally(&reports).unwrap();
+        let est = grr.debias(&counts, n);
+        let sd = grr.variance(n).sqrt();
+        assert!((est[1] - 0.25).abs() < 4.0 * sd, "est[1]={}", est[1]);
+        assert!((est[3] - 0.75).abs() < 4.0 * sd, "est[3]={}", est[3]);
+        assert!(est[0].abs() < 4.0 * sd);
+        assert!(est[2].abs() < 4.0 * sd);
+    }
+
+    #[test]
+    fn variance_grows_with_domain() {
+        // The reason OUE wins for large domains.
+        let small = Grr::new(1.0, 4).unwrap().variance(1000);
+        let large = Grr::new(1.0, 400).unwrap().variance(1000);
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn tally_rejects_out_of_domain() {
+        let grr = Grr::new(1.0, 3).unwrap();
+        assert!(grr.tally(&[0, 1, 3]).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Optimized Unary Encoding (OUE) frequency oracle.
+//!
+//! OUE (Wang et al., USENIX Security 2017) encodes a categorical value from a
+//! domain of size `d` as a one-hot bit vector and perturbs each bit
+//! independently (paper Eq. 2):
+//!
+//! ```text
+//! Pr[report bit = 1 | true bit = 1] = p = 1/2
+//! Pr[report bit = 1 | true bit = 0] = q = 1/(e^ε + 1)
+//! ```
+//!
+//! The curator debiases position counts into unbiased frequency estimates
+//! `f̂(x) = (ones_x/n − q)/(p − q)` with variance `4·e^ε/(n·(e^ε − 1)²)`
+//! (paper Eq. 3). Each user's whole vector satisfies ε-LDP because flipping
+//! the input moves exactly two bits, and `(p/q)·((1−q)/(1−p)) = e^ε`.
+
+use crate::error::LdpError;
+use rand::Rng;
+
+/// A perturbed unary-encoded report: a packed bit vector of domain length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitReport {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitReport {
+    /// An all-zero report of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitReport { words: vec![0u64; len.div_ceil(64)], len }
+    }
+
+    /// Number of bit positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the report has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Communication cost of this report in bits (paper §IV-B: the overhead
+    /// per report is the encoding-vector length).
+    pub fn communication_bits(&self) -> usize {
+        self.len
+    }
+}
+
+/// The OUE mechanism for a fixed domain size and privacy budget.
+#[derive(Debug, Clone)]
+pub struct Oue {
+    eps: f64,
+    domain: usize,
+    q: f64,
+}
+
+/// The probability a true 1-bit is reported as 1.
+pub const OUE_P: f64 = 0.5;
+
+impl Oue {
+    /// Create an OUE mechanism with budget `eps` over `domain` values.
+    pub fn new(eps: f64, domain: usize) -> Result<Self, LdpError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(LdpError::InvalidBudget(eps));
+        }
+        if domain < 2 {
+            return Err(LdpError::InvalidDomain(domain));
+        }
+        Ok(Oue { eps, domain, q: 1.0 / (eps.exp() + 1.0) })
+    }
+
+    /// Privacy budget ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Domain size `d`.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// The 0→1 flip probability `q = 1/(e^ε + 1)`.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Perturb a single user's value into a bit-vector report (user side,
+    /// O(d); paper §IV-B user-side computation).
+    pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> Result<BitReport, LdpError> {
+        if value >= self.domain {
+            return Err(LdpError::ValueOutOfDomain { value, domain: self.domain });
+        }
+        let mut report = BitReport::zeros(self.domain);
+        for i in 0..self.domain {
+            let p1 = if i == value { OUE_P } else { self.q };
+            if rng.random::<f64>() < p1 {
+                report.set(i, true);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Aggregate per-user reports into raw ones-counts per position.
+    pub fn tally(&self, reports: &[BitReport]) -> Result<Vec<u64>, LdpError> {
+        let mut ones = vec![0u64; self.domain];
+        for r in reports {
+            if r.len() != self.domain {
+                return Err(LdpError::MalformedReport(format!(
+                    "report length {} != domain {}",
+                    r.len(),
+                    self.domain
+                )));
+            }
+            for (i, one) in ones.iter_mut().enumerate() {
+                if r.get(i) {
+                    *one += 1;
+                }
+            }
+        }
+        Ok(ones)
+    }
+
+    /// Debias raw ones-counts into unbiased frequency estimates
+    /// (`f̂(x) = (ones_x/n − q)/(p − q)`, paper §II-A). Estimates may be
+    /// negative; see [`crate::postprocess`].
+    pub fn debias(&self, ones: &[u64], n: u64) -> Vec<f64> {
+        assert_eq!(ones.len(), self.domain, "ones-count length mismatch");
+        if n == 0 {
+            return vec![0.0; self.domain];
+        }
+        let nf = n as f64;
+        let denom = OUE_P - self.q;
+        ones.iter().map(|&c| (c as f64 / nf - self.q) / denom).collect()
+    }
+
+    /// The estimator variance `Var(ε, n) = 4e^ε / (n (e^ε − 1)²)` (Eq. 3).
+    /// Returns `+∞` when `n == 0`.
+    pub fn variance(&self, n: u64) -> f64 {
+        variance(self.eps, n)
+    }
+}
+
+/// Free-standing OUE variance (Eq. 3), used by DMU and allocation without an
+/// oracle instance.
+pub fn variance(eps: f64, n: u64) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let e = eps.exp();
+    4.0 * e / (n as f64 * (e - 1.0).powi(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Oue::new(1.0, 10).is_ok());
+        assert!(Oue::new(0.0, 10).is_err());
+        assert!(Oue::new(-1.0, 10).is_err());
+        assert!(Oue::new(f64::NAN, 10).is_err());
+        assert!(Oue::new(1.0, 1).is_err());
+        assert!(Oue::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn q_matches_formula() {
+        let oue = Oue::new(1.0, 4).unwrap();
+        assert!((oue.q() - 1.0 / (1.0f64.exp() + 1.0)).abs() < 1e-12);
+        // Larger eps -> smaller q (less noise).
+        let oue2 = Oue::new(2.0, 4).unwrap();
+        assert!(oue2.q() < oue.q());
+    }
+
+    #[test]
+    fn perturb_rejects_out_of_domain() {
+        let oue = Oue::new(1.0, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            oue.perturb(4, &mut rng),
+            Err(LdpError::ValueOutOfDomain { value: 4, domain: 4 })
+        ));
+    }
+
+    #[test]
+    fn bit_report_roundtrip() {
+        let mut r = BitReport::zeros(130);
+        assert_eq!(r.len(), 130);
+        assert!(!r.is_empty());
+        r.set(0, true);
+        r.set(64, true);
+        r.set(129, true);
+        assert!(r.get(0) && r.get(64) && r.get(129));
+        assert!(!r.get(1) && !r.get(63) && !r.get(128));
+        assert_eq!(r.count_ones(), 3);
+        r.set(64, false);
+        assert_eq!(r.count_ones(), 2);
+        assert_eq!(r.communication_bits(), 130);
+    }
+
+    #[test]
+    fn estimates_are_unbiased() {
+        // 5000 users, 60% hold value 2, 40% hold value 0, domain 5.
+        let oue = Oue::new(1.0, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 5000u64;
+        let mut reports = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let v = if i % 5 < 3 { 2 } else { 0 };
+            reports.push(oue.perturb(v, &mut rng).unwrap());
+        }
+        let ones = oue.tally(&reports).unwrap();
+        let est = oue.debias(&ones, n);
+        // 3 sigma of Eq. 3 with n = 5000, eps = 1: sd ~ 0.019.
+        let sd = oue.variance(n).sqrt();
+        assert!((est[2] - 0.6).abs() < 3.5 * sd, "est[2]={}", est[2]);
+        assert!((est[0] - 0.4).abs() < 3.5 * sd, "est[0]={}", est[0]);
+        assert!(est[1].abs() < 3.5 * sd);
+        assert!(est[3].abs() < 3.5 * sd);
+    }
+
+    #[test]
+    fn variance_formula() {
+        // eps = 1, n = 100: 4e / (100 (e-1)^2).
+        let e = 1.0f64.exp();
+        let expected = 4.0 * e / (100.0 * (e - 1.0).powi(2));
+        assert!((variance(1.0, 100) - expected).abs() < 1e-12);
+        assert_eq!(variance(1.0, 0), f64::INFINITY);
+        // Variance decreases in n and in eps.
+        assert!(variance(1.0, 200) < variance(1.0, 100));
+        assert!(variance(2.0, 100) < variance(1.0, 100));
+    }
+
+    #[test]
+    fn tally_rejects_mismatched_reports() {
+        let oue = Oue::new(1.0, 4).unwrap();
+        let bad = BitReport::zeros(5);
+        assert!(oue.tally(&[bad]).is_err());
+    }
+
+    #[test]
+    fn debias_zero_users() {
+        let oue = Oue::new(1.0, 3).unwrap();
+        assert_eq!(oue.debias(&[0, 0, 0], 0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn ldp_ratio_bound_holds_per_vector() {
+        // For any two inputs x1 != x2 and any output y, the likelihood ratio
+        // is exactly (p/q) * ((1-q)/(1-p)) when y "matches" x1 on both
+        // differing bits, which must be <= e^eps. Check analytically.
+        for eps in [0.3, 1.0, 2.5] {
+            let oue = Oue::new(eps, 8).unwrap();
+            let p = OUE_P;
+            let q = oue.q();
+            let worst = (p / q) * ((1.0 - q) / (1.0 - p));
+            assert!(
+                worst <= eps.exp() * (1.0 + 1e-12),
+                "eps={eps}: worst-case ratio {worst} > e^eps {}",
+                eps.exp()
+            );
+            // And the bound is tight for OUE (equality).
+            assert!((worst - eps.exp()).abs() < 1e-9);
+        }
+    }
+}

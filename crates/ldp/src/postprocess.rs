@@ -1,0 +1,155 @@
+//! Post-processing of debiased LDP estimates.
+//!
+//! By Theorem 2 (post-processing) these transformations are free of privacy
+//! cost. The unbiased OUE estimator routinely produces small negative
+//! frequencies for rare values; downstream consumers that need a probability
+//! vector apply one of:
+//!
+//! - [`clamp_nonnegative`] — the simple projection used by RetraSyn's model
+//!   update (frequencies feed Eq. 6 ratios, so only non-negativity matters);
+//! - [`norm_sub`] — "Norm-Sub" (Wang et al., VLDB 2020): clamp at zero and
+//!   shift the positive entries so the total matches a target sum — the
+//!   standard consistency step for full-histogram release;
+//! - [`normalize`] — rescale a non-negative vector into a probability
+//!   distribution (uniform fallback when the mass is zero).
+
+/// Clamp every entry to be ≥ 0 (in place).
+pub fn clamp_nonnegative(freqs: &mut [f64]) {
+    for f in freqs.iter_mut() {
+        if *f < 0.0 {
+            *f = 0.0;
+        }
+    }
+}
+
+/// Norm-Sub: find `delta` such that clamping `f_i − delta` at zero makes the
+/// vector sum to `target`, and apply it. Runs in O(d log d).
+///
+/// If every entry would be clamped (target unreachable), returns the uniform
+/// vector summing to `target`.
+pub fn norm_sub(freqs: &mut [f64], target: f64) {
+    assert!(target >= 0.0 && target.is_finite(), "target must be >= 0");
+    let d = freqs.len();
+    if d == 0 {
+        return;
+    }
+    if target == 0.0 {
+        freqs.iter_mut().for_each(|f| *f = 0.0);
+        return;
+    }
+    // Sort a copy descending; walk the prefix that stays positive.
+    let mut sorted: Vec<f64> = freqs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut prefix = 0.0;
+    let mut best: Option<f64> = None;
+    for (k, &v) in sorted.iter().enumerate() {
+        prefix += v;
+        let delta = (prefix - target) / (k as f64 + 1.0);
+        // Valid if all kept entries stay >= 0 after subtracting delta and
+        // the next entry (if any) would be clamped.
+        let kept_ok = v - delta >= -1e-12;
+        let next_clamped = sorted.get(k + 1).is_none_or(|&nv| nv - delta <= 1e-12);
+        if kept_ok && next_clamped {
+            best = Some(delta);
+            break;
+        }
+    }
+    match best {
+        Some(delta) => {
+            for f in freqs.iter_mut() {
+                *f = (*f - delta).max(0.0);
+            }
+        }
+        None => {
+            let u = target / d as f64;
+            freqs.iter_mut().for_each(|f| *f = u);
+        }
+    }
+}
+
+/// Normalize a non-negative vector into a probability distribution. Falls
+/// back to uniform when the total mass is zero (or not finite).
+pub fn normalize(freqs: &mut [f64]) {
+    let d = freqs.len();
+    if d == 0 {
+        return;
+    }
+    let sum: f64 = freqs.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        freqs.iter_mut().for_each(|f| *f /= sum);
+    } else {
+        let u = 1.0 / d as f64;
+        freqs.iter_mut().for_each(|f| *f = u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_only_touches_negatives() {
+        let mut v = vec![0.5, -0.1, 0.0, 0.3, -2.0];
+        clamp_nonnegative(&mut v);
+        assert_eq!(v, vec![0.5, 0.0, 0.0, 0.3, 0.0]);
+    }
+
+    #[test]
+    fn norm_sub_reaches_target() {
+        let mut v = vec![0.5, 0.4, -0.1, 0.3];
+        norm_sub(&mut v, 1.0);
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+        assert!(v.iter().all(|&x| x >= 0.0));
+        // Order is preserved among survivors.
+        assert!(v[0] >= v[1] && v[1] >= v[3] && v[2] == 0.0);
+    }
+
+    #[test]
+    fn norm_sub_already_consistent_is_identity() {
+        let mut v = vec![0.25, 0.25, 0.25, 0.25];
+        norm_sub(&mut v, 1.0);
+        for x in &v {
+            assert!((x - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn norm_sub_zero_target() {
+        let mut v = vec![0.3, 0.7];
+        norm_sub(&mut v, 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_sub_all_negative_falls_back_to_uniform() {
+        let mut v = vec![-0.5, -0.3, -0.2, -0.1];
+        norm_sub(&mut v, 1.0);
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_sub_empty_is_noop() {
+        let mut v: Vec<f64> = vec![];
+        norm_sub(&mut v, 1.0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn normalize_basic() {
+        let mut v = vec![1.0, 3.0];
+        normalize(&mut v);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_mass_uniform() {
+        let mut v = vec![0.0, 0.0, 0.0, 0.0];
+        normalize(&mut v);
+        for x in &v {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+}

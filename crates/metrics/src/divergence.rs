@@ -1,0 +1,135 @@
+//! Distribution divergences (natural-log Jensen–Shannon divergence).
+
+/// Normalize non-negative counts/weights into a probability vector; returns
+/// `None` if the total mass is zero.
+pub fn normalize(weights: &[f64]) -> Option<Vec<f64>> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        return None;
+    }
+    Some(weights.iter().map(|w| w / sum).collect())
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. Assumes `p` and `q` are
+/// probability vectors; terms with `p_i = 0` contribute zero.
+pub fn kl(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    p.iter()
+        .zip(q)
+        .filter(|(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| {
+            if qi <= 0.0 {
+                f64::INFINITY
+            } else {
+                pi * (pi / qi).ln()
+            }
+        })
+        .sum()
+}
+
+/// Jensen–Shannon divergence between two *weight* vectors (they are
+/// normalized internally), in nats; bounded by `ln 2 ≈ 0.6931`.
+///
+/// Edge cases follow the paper's usage: if both vectors are empty/zero the
+/// distributions agree trivially (`0`); if exactly one is zero they are
+/// maximally different (`ln 2`).
+pub fn jsd(p_weights: &[f64], q_weights: &[f64]) -> f64 {
+    assert_eq!(p_weights.len(), q_weights.len(), "distribution length mismatch");
+    match (normalize(p_weights), normalize(q_weights)) {
+        (None, None) => 0.0,
+        (None, Some(_)) | (Some(_), None) => std::f64::consts::LN_2,
+        (Some(p), Some(q)) => {
+            let m: Vec<f64> = p.iter().zip(&q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+            0.5 * kl(&p, &m) + 0.5 * kl(&q, &m)
+        }
+    }
+}
+
+/// JSD over `u32` count vectors (convenience for the snapshot metrics).
+pub fn jsd_counts(p: &[u32], q: &[u32]) -> f64 {
+    let pf: Vec<f64> = p.iter().map(|&x| x as f64).collect();
+    let qf: Vec<f64> = q.iter().map(|&x| x as f64).collect();
+    jsd(&pf, &qf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::LN_2;
+
+    #[test]
+    fn identical_distributions_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(jsd(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_support_is_ln2() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((jsd(&p, &q) - LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.3, 0.6];
+        assert!((jsd(&p, &q) - jsd(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizes_weights() {
+        // Same shape at different scales -> zero divergence.
+        let p = [2.0, 6.0];
+        let q = [1.0, 3.0];
+        assert!(jsd(&p, &q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_edge_cases() {
+        assert_eq!(jsd(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert!((jsd(&[0.0, 0.0], &[0.5, 0.5]) - LN_2).abs() < 1e-12);
+        assert!((jsd(&[1.0, 1.0], &[0.0, 0.0]) - LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // KL([1,0] || [0.5,0.5]) = ln 2.
+        assert!((kl(&[1.0, 0.0], &[0.5, 0.5]) - LN_2).abs() < 1e-12);
+        // KL of identical distributions is 0.
+        assert_eq!(kl(&[0.3, 0.7], &[0.3, 0.7]), 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_when_q_lacks_support() {
+        assert!(kl(&[0.5, 0.5], &[1.0, 0.0]).is_infinite());
+    }
+
+    #[test]
+    fn jsd_bounded() {
+        // A batch of arbitrary distributions stays within [0, ln 2].
+        let cases = [
+            (vec![0.1, 0.9], vec![0.9, 0.1]),
+            (vec![0.2, 0.3, 0.5], vec![0.5, 0.3, 0.2]),
+            (vec![1.0, 0.0, 0.0], vec![0.0, 0.5, 0.5]),
+        ];
+        for (p, q) in cases {
+            let d = jsd(&p, &q);
+            assert!((0.0..=LN_2 + 1e-12).contains(&d), "jsd={d}");
+        }
+    }
+
+    #[test]
+    fn jsd_counts_matches_float_path() {
+        let p = [3u32, 1, 0];
+        let q = [1u32, 1, 2];
+        let expected = jsd(&[3.0, 1.0, 0.0], &[1.0, 1.0, 2.0]);
+        assert!((jsd_counts(&p, &q) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = jsd(&[1.0], &[0.5, 0.5]);
+    }
+}

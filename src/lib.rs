@@ -1,0 +1,59 @@
+//! # RetraSyn — real-time trajectory synthesis with local differential privacy
+//!
+//! This crate is the facade over the full reproduction of *"Real-Time
+//! Trajectory Synthesis with Local Differential Privacy"* (ICDE 2024). It
+//! re-exports the workspace crates so downstream users can depend on a single
+//! crate:
+//!
+//! - [`ldp`] — LDP mechanisms (OUE, GRR), aggregation, w-event accounting.
+//! - [`geo`] — grids, trajectories, streams, and the transition-state domain.
+//! - [`datagen`] — road-network and taxi stream generators (the evaluation
+//!   substrates: Brinkhoff-style Oldenburg/SanJoaquin, T-Drive-like).
+//! - [`core`] — the RetraSyn engine (global mobility model, DMU, real-time
+//!   synthesis, adaptive allocation) plus the LDP-IDS baselines.
+//! - [`metrics`] — every utility metric from the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use retrasyn::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 1. Generate a small trajectory stream (the substrate).
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let dataset = RandomWalkConfig { users: 200, timestamps: 40, ..Default::default() }
+//!     .generate(&mut rng);
+//!
+//! // 2. Configure RetraSyn: 6x6 grid, eps = 1.0, window w = 10.
+//! let grid = Grid::unit(6);
+//! let config = RetraSynConfig::new(1.0, 10).with_lambda(dataset.stats(&grid).avg_length);
+//!
+//! // 3. Run the private streaming synthesis.
+//! let mut engine = RetraSyn::population_division(config, grid.clone(), 7);
+//! let synthetic = engine.run(&dataset);
+//!
+//! // 4. The synthetic stream is a drop-in substitute for the raw one.
+//! assert_eq!(synthetic.horizon(), dataset.horizon());
+//! engine.ledger().verify().expect("w-event LDP accounting holds");
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use retrasyn_core as core;
+pub use retrasyn_datagen as datagen;
+pub use retrasyn_geo as geo;
+pub use retrasyn_ldp as ldp;
+pub use retrasyn_metrics as metrics;
+
+/// Convenience re-exports of the most common types.
+pub mod prelude {
+    pub use retrasyn_core::{
+        AllocationKind, BaselineKind, Division, LdpIds, LdpIdsConfig, RetraSyn, RetraSynConfig,
+    };
+    pub use retrasyn_datagen::{
+        BrinkhoffConfig, RandomWalkConfig, RegimeShiftConfig, RoadNetwork, TDriveConfig,
+    };
+    pub use retrasyn_geo::{CellId, Grid, Point, StreamDataset, Trajectory, TransitionTable};
+    pub use retrasyn_ldp::{Oue, PrivacyBudget, WEventLedger};
+    pub use retrasyn_metrics::{MetricSuite, SuiteConfig};
+}
