@@ -17,11 +17,7 @@ fn bench_select(c: &mut Criterion) {
         let fresh: Vec<f64> = (0..domain).map(|_| rng.random::<f64>() * 0.01).collect();
         group.bench_with_input(BenchmarkId::from_parameter(domain), &domain, |b, _| {
             b.iter(|| {
-                black_box(dmu::select_significant(
-                    black_box(&current),
-                    black_box(&fresh),
-                    1e-5,
-                ))
+                black_box(dmu::select_significant(black_box(&current), black_box(&fresh), 1e-5))
             })
         });
     }

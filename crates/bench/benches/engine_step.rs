@@ -25,10 +25,8 @@ fn bench_engine_step(c: &mut Criterion) {
                 &division,
                 |b, &division| {
                     b.iter(|| {
-                        let config =
-                            RetraSynConfig::new(1.0, 10).with_lambda(orig.avg_length());
-                        let mut engine =
-                            RetraSyn::new(config, grid.clone(), division, 5);
+                        let config = RetraSynConfig::new(1.0, 10).with_lambda(orig.avg_length());
+                        let mut engine = RetraSyn::new(config, grid.clone(), division, 5);
                         for t in 0..orig.horizon() {
                             engine.step(t, timeline.at(t));
                         }

@@ -46,9 +46,7 @@ fn bench_components(c: &mut Criterion) {
         b.iter(|| black_box(retrasyn_metrics::density::density_error(&orig, &syn)))
     });
     group.bench_function("transition_error", |b| {
-        b.iter(|| {
-            black_box(retrasyn_metrics::transition::transition_error(&orig, &syn, &table))
-        })
+        b.iter(|| black_box(retrasyn_metrics::transition::transition_error(&orig, &syn, &table)))
     });
     group.bench_function("kendall_tau", |b| {
         b.iter(|| black_box(retrasyn_metrics::kendall::kendall_tau(&orig, &syn)))

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use retrasyn_ldp::{FrequencyOracle, Oue, ReportMode};
+use rand::{Rng, SeedableRng};
+use retrasyn_ldp::{BitReport, FrequencyOracle, Oue, ReportMode};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -38,6 +38,77 @@ fn bench_collect(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-bit reference tally the seed implementation used (`get(i)` per
+/// position), for the before/after comparison.
+fn tally_per_bit(domain: usize, reports: &[BitReport]) -> Vec<u64> {
+    let mut ones = vec![0u64; domain];
+    for r in reports {
+        for (i, one) in ones.iter_mut().enumerate() {
+            if r.get(i) {
+                *one += 1;
+            }
+        }
+    }
+    ones
+}
+
+fn bench_tally_10k_4096(c: &mut Criterion) {
+    // The tentpole acceptance config: n = 10k reports over d = 4096, at a
+    // realistic eps = 1 bit density (q ~ 0.27). Word-parallel
+    // trailing_zeros iteration vs the per-bit path.
+    let mut group = c.benchmark_group("oue_tally_n10k_d4096");
+    group.sample_size(10).measurement_time(Duration::from_millis(2500));
+    let domain = 4096usize;
+    let n = 10_000usize;
+    let oue = Oue::new(1.0, domain).unwrap();
+    let q = oue.q();
+    let mut rng = StdRng::seed_from_u64(5);
+    let reports: Vec<BitReport> = (0..n)
+        .map(|u| {
+            let mut r = BitReport::zeros(domain);
+            for i in 0..domain {
+                let p1 = if i == u % domain { 0.5 } else { q };
+                if rng.random::<f64>() < p1 {
+                    r.set(i, true);
+                }
+            }
+            r
+        })
+        .collect();
+    group.bench_function("word_parallel", |b| {
+        b.iter(|| black_box(oue.tally(black_box(&reports)).unwrap()))
+    });
+    group.bench_function("per_bit", |b| {
+        b.iter(|| black_box(tally_per_bit(domain, black_box(&reports))))
+    });
+    group.finish();
+}
+
+fn bench_perturb_into(c: &mut Criterion) {
+    // Zero-allocation geometric-skipping perturbation vs the allocating
+    // wrapper, at the acceptance domain size.
+    let mut group = c.benchmark_group("oue_perturb_d4096");
+    group.sample_size(15).measurement_time(Duration::from_millis(900));
+    let oue = Oue::new(1.0, 4096).unwrap();
+    {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut scratch = BitReport::zeros(4096);
+        group.bench_function("perturb_into_reused", |b| {
+            b.iter(|| {
+                oue.perturb_into(black_box(7), &mut scratch, &mut rng).unwrap();
+                black_box(scratch.count_ones())
+            })
+        });
+    }
+    {
+        let mut rng = StdRng::seed_from_u64(6);
+        group.bench_function("perturb_alloc", |b| {
+            b.iter(|| black_box(oue.perturb(black_box(7), &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_debias(c: &mut Criterion) {
     let mut group = c.benchmark_group("oue_debias");
     group.sample_size(30).measurement_time(Duration::from_millis(600));
@@ -50,5 +121,12 @@ fn bench_debias(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_perturb, bench_collect, bench_debias);
+criterion_group!(
+    benches,
+    bench_perturb,
+    bench_collect,
+    bench_tally_10k_4096,
+    bench_perturb_into,
+    bench_debias
+);
 criterion_main!(benches);

@@ -11,10 +11,7 @@ fn main() {
     let args = Args::from_env();
     let params = Params::from_args(&args);
     let workers = runner::default_workers(&args);
-    println!(
-        "# Figure 4 — window size sweep (eps={}, scale={})",
-        params.eps, params.scale
-    );
+    println!("# Figure 4 — window size sweep (eps={}, scale={})", params.eps, params.scale);
     let methods = MethodSpec::table3();
     let series: Vec<String> = methods.iter().map(|m| m.name()).collect();
     let points: Vec<String> = Params::W_RANGE.iter().map(|w| w.to_string()).collect();

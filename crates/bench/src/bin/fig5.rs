@@ -45,8 +45,7 @@ fn main() {
                 .iter()
                 .map(|(label, syn)| runner::CellResult {
                     label: label.clone(),
-                    report: retrasyn_metrics::MetricSuite::new(suite.clone())
-                        .evaluate(&orig, syn),
+                    report: retrasyn_metrics::MetricSuite::new(suite.clone()).evaluate(&orig, syn),
                     timings: None,
                     run_seconds: 0.0,
                 })

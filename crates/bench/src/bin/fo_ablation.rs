@@ -24,12 +24,7 @@ fn mean_abs_error<O: FrequencyOracle>(
     let mut total = 0.0;
     for _ in 0..rounds {
         let est = oracle.collect(values, ReportMode::Aggregate, rng).unwrap();
-        total += est
-            .freqs
-            .iter()
-            .zip(truth)
-            .map(|(e, t)| (e - t).abs())
-            .sum::<f64>()
+        total += est.freqs.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum::<f64>()
             / truth.len() as f64;
     }
     total / rounds as f64

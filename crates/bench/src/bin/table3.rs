@@ -7,9 +7,7 @@
 //! By default sweeps ε ∈ {0.5, 1.0, 1.5, 2.0} on all three datasets; a
 //! single dataset can be selected with `--dataset`.
 
-use retrasyn_bench::{
-    output, runner, Args, Cell, DatasetKind, MethodSpec, Params,
-};
+use retrasyn_bench::{output, runner, Args, Cell, DatasetKind, MethodSpec, Params};
 use retrasyn_geo::Grid;
 use retrasyn_metrics::SuiteConfig;
 
@@ -44,24 +42,11 @@ fn main() {
         for &eps in &eps_values {
             let cells: Vec<Cell> = MethodSpec::table3()
                 .into_iter()
-                .map(|spec| Cell {
-                    label: spec.name(),
-                    spec,
-                    eps,
-                    w: params.w,
-                    seed: params.seed,
-                })
+                .map(|spec| Cell { label: spec.name(), spec, eps, w: params.w, seed: params.seed })
                 .collect();
             let results = runner::run_cells(&cells, &orig, &suite, workers);
-            print!(
-                "{}",
-                output::metric_table(&format!("{} — eps = {eps}", kind.name()), &results)
-            );
-            output::maybe_write_csv(
-                &args,
-                &format!("table3_{}_eps{eps}", kind.name()),
-                &results,
-            );
+            print!("{}", output::metric_table(&format!("{} — eps = {eps}", kind.name()), &results));
+            output::maybe_write_csv(&args, &format!("table3_{}_eps{eps}", kind.name()), &results);
         }
     }
 }

@@ -42,7 +42,5 @@ fn main() {
         println!("| {} | {:.4} | {:.4} | {:.4} |", name, row[0], row[1], row[2]);
     }
     println!();
-    println!(
-        "Paper (full scale): totals 0.1851 / 1.6523 / 2.9558 s with synthesis dominating."
-    );
+    println!("Paper (full scale): totals 0.1851 / 1.6523 / 2.9558 s with synthesis dominating.");
 }

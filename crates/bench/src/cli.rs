@@ -40,12 +40,16 @@ impl Args {
 
     /// f64 flag with default.
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
-        self.get(name).map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be a number"))).unwrap_or(default)
+        self.get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be a number")))
+            .unwrap_or(default)
     }
 
     /// u64 flag with default.
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
-        self.get(name).map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be an integer"))).unwrap_or(default)
+        self.get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be an integer")))
+            .unwrap_or(default)
     }
 
     /// usize flag with default.

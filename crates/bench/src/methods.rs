@@ -149,10 +149,7 @@ mod tests {
         assert_eq!(names, ["LBD", "LBA", "LPD", "LPA", "RetraSynb", "RetraSynp"]);
         let t4 = MethodSpec::table4();
         let names: Vec<String> = t4.iter().map(|m| m.name()).collect();
-        assert_eq!(
-            names,
-            ["AllUpdateb", "AllUpdatep", "NoEQb", "NoEQp", "RetraSynb", "RetraSynp"]
-        );
+        assert_eq!(names, ["AllUpdateb", "AllUpdatep", "NoEQb", "NoEQp", "RetraSynb", "RetraSynp"]);
     }
 
     #[test]

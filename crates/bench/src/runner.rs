@@ -72,28 +72,18 @@ pub fn run_cells(
                 let cell = &cells[i];
                 let (report, timings, run_seconds) =
                     evaluate_method(cell.spec, orig, cell.eps, cell.w, cell.seed, suite);
-                *results[i].lock().unwrap() = Some(CellResult {
-                    label: cell.label.clone(),
-                    report,
-                    timings,
-                    run_seconds,
-                });
+                *results[i].lock().unwrap() =
+                    Some(CellResult { label: cell.label.clone(), report, timings, run_seconds });
             });
         }
     });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("cell executed"))
-        .collect()
+    results.into_iter().map(|m| m.into_inner().unwrap().expect("cell executed")).collect()
 }
 
 /// Number of worker threads to use (`--workers` flag, default: available
 /// parallelism).
 pub fn default_workers(args: &crate::cli::Args) -> usize {
-    args.get_usize(
-        "workers",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
-    )
+    args.get_usize("workers", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2))
 }
 
 #[cfg(test)]
@@ -118,14 +108,8 @@ mod tests {
     #[test]
     fn evaluate_method_produces_sane_metrics() {
         let orig = tiny();
-        let (report, timings, secs) = evaluate_method(
-            MethodSpec::retrasyn(Division::Population),
-            &orig,
-            1.0,
-            4,
-            1,
-            &suite(),
-        );
+        let (report, timings, secs) =
+            evaluate_method(MethodSpec::retrasyn(Division::Population), &orig, 1.0, 4, 1, &suite());
         assert!(secs > 0.0);
         assert!(timings.is_some());
         assert!(report.density_error.is_finite());
@@ -138,13 +122,7 @@ mod tests {
         let orig = tiny();
         let cells: Vec<Cell> = MethodSpec::table3()
             .into_iter()
-            .map(|spec| Cell {
-                label: spec.name(),
-                spec,
-                eps: 1.0,
-                w: 4,
-                seed: 1,
-            })
+            .map(|spec| Cell { label: spec.name(), spec, eps: 1.0, w: 4, seed: 1 })
             .collect();
         let results = run_cells(&cells, &orig, &suite(), 2);
         assert_eq!(results.len(), 6);

@@ -1,0 +1,354 @@
+//! Offline micro-benchmark harness exposing the subset of criterion's API
+//! this workspace uses: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`] and [`BatchSize`].
+//!
+//! Extras over a plain stub:
+//!
+//! - real measurement: warm-up, then `sample_size` samples sized to fill
+//!   `measurement_time`, reporting median / mean / min ns per iteration;
+//! - `--json <path>`: write all results of the run as a machine-readable
+//!   JSON array (used to produce the `BENCH_*.json` perf baselines);
+//! - positional CLI args filter benchmarks by substring, as with criterion;
+//! - `--test` (passed by `cargo test --benches`) runs every benchmark once.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times each batch of
+/// one routine call individually, so the variants are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<S: AsRef<str>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.as_ref()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/bench` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of measurement samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Measurement configuration and result sink.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    json_path: Option<String>,
+    test_mode: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut json_path = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => match args.peek() {
+                    // A following flag (e.g. cargo's own trailing --bench)
+                    // is not a path: require an explicit value.
+                    Some(v) if !v.starts_with("--") => json_path = args.next(),
+                    _ => eprintln!("criterion shim: --json requires a path argument"),
+                },
+                "--test" => test_mode = true,
+                // Flags cargo or users may pass that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {
+                    // Unknown option: also swallow its value, if any, so it
+                    // is not mistaken for a benchmark filter. (Keeps
+                    // `cargo bench -- --warm-up-time 1` harmless.)
+                    if matches!(args.peek(), Some(v) if !v.starts_with("--")) {
+                        args.next();
+                    }
+                }
+                s => filter = Some(s.to_string()),
+            }
+        }
+        if json_path.is_none() {
+            json_path = std::env::var("CRITERION_JSON").ok();
+        }
+        Criterion { filter, json_path, test_mode, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(700),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("base", |b| f(b));
+        group.finish();
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Calibrate: how many iterations fit one sample budget?
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let budget = measurement_time.max(Duration::from_millis(10)) / sample_size.max(1) as u32;
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min_ns = samples_ns[0];
+        println!(
+            "{id:<56} median {:>12} mean {:>12} min {:>12} ({} samples x {} iters)",
+            fmt_ns(median_ns),
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns),
+            samples_ns.len(),
+            iters,
+        );
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            mean_ns,
+            min_ns,
+            samples: samples_ns.len(),
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Write collected results as JSON if `--json` (or `CRITERION_JSON`)
+    /// was given. Called by `criterion_main!` at exit.
+    pub fn finalize(&self) {
+        let Some(path) = &self.json_path else { return };
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"id\": {:?}, \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \"min_ns\": {:.3}, \"samples\": {}, \"iters_per_sample\": {}}}{comma}\n",
+                r.id, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("criterion shim: failed to write {path}: {e}");
+        } else {
+            println!("criterion shim: wrote {} results to {path}", self.results.len());
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark (default 700 ms).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget — accepted for API parity; the shim's calibration
+    /// pass serves as warm-up.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation — accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(full, self.sample_size, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (results are recorded incrementally; kept for API
+    /// parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Declare a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}

@@ -1,0 +1,338 @@
+//! Offline property-testing shim exposing the subset of `proptest` this
+//! workspace uses: the [`proptest!`] macro, range / tuple /
+//! `prop::collection::vec` strategies, and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! Each generated test runs `PROPTEST_CASES` cases (default 48, override
+//! with the `PROPTEST_CASES` env var) with inputs drawn from a
+//! deterministic per-test seed, so failures are reproducible. Rejected
+//! cases (`prop_assume!`) are skipped without counting as failures.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Error produced inside a property body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Case rejected by `prop_assume!`; try another input.
+    Reject(String),
+    /// Property violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rand::Rng::random_range(rng, self.clone())
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        a + rand::Rng::random::<f64>(rng) * (b - a)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// The `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+
+        /// Strategy producing `Vec`s of values from an element strategy.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rand::Rng::random_range(rng, self.size.lo..=self.size.hi);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Number of cases per property (env-overridable).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(48)
+}
+
+/// Deterministic per-test seed derived from the test name (FNV-1a).
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Define property tests. Supports the
+/// `#[test] fn name(pat in strategy, ...) { body }` form.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let total = $crate::cases();
+            let mut rejected = 0u32;
+            let mut case = 0u32;
+            let mut run = 0u32;
+            // Allow a bounded number of rejections beyond the case budget.
+            while run < total && case < total * 16 {
+                let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name), case),
+                );
+                case += 1;
+                $(
+                    let $pat = $crate::Strategy::generate(&($strategy), &mut rng);
+                )*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => run += 1,
+                    Err($crate::TestCaseError::Reject(_)) => rejected += 1,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed at case {}: {}",
+                            stringify!($name),
+                            case - 1,
+                            msg
+                        );
+                    }
+                }
+            }
+            // A property that never executed is a broken test, not a pass
+            // (e.g. a prop_assume! that rejects every input).
+            assert!(
+                run > 0,
+                "property {} rejected all {} generated cases — \
+                 prop_assume! is unsatisfiable",
+                stringify!($name),
+                rejected,
+            );
+        }
+    )*};
+}
+
+/// Assert a condition inside a property; failure reports the case inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($a), stringify!($b), left, right, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+}
+
+/// Reject the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u64..10, y in 1usize..=4, z in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn vecs_respect_sizes(
+            v in prop::collection::vec(0u32..5, 2..6),
+            w in prop::collection::vec(0.0f64..1.0, 3),
+            nested in prop::collection::vec(prop::collection::vec(0u8..2, 1..3), 0..4),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+            prop_assert!(nested.len() < 4);
+            for inner in &nested {
+                prop_assert!(!inner.is_empty() && inner.len() < 3);
+            }
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u16..8, 0.0f64..1.0), mut v in prop::collection::vec(0u64..3, 0..5)) {
+            prop_assume!(pair.0 != 7);
+            v.push(pair.0 as u64);
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u64..4) {
+                prop_assert!(x < 2, "x={}", x);
+            }
+        }
+        inner();
+    }
+}

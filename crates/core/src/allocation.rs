@@ -85,12 +85,7 @@ impl Allocator {
         let dims = last.len();
         let mut dev = 0.0;
         for s in 0..dims {
-            let mean: f64 = self
-                .freq_history
-                .iter()
-                .take(prev_count)
-                .map(|f| f[s])
-                .sum::<f64>()
+            let mean: f64 = self.freq_history.iter().take(prev_count).map(|f| f[s]).sum::<f64>()
                 / prev_count as f64;
             dev += (last[s] - mean).abs();
         }

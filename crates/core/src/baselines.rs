@@ -37,8 +37,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use retrasyn_geo::{
-    EventTimeline, Grid, GriddedDataset, StreamDataset, TransitionState, TransitionTable,
-    UserEvent,
+    EventTimeline, Grid, GriddedDataset, StreamDataset, TransitionState, TransitionTable, UserEvent,
 };
 use retrasyn_ldp::{oue, FrequencyOracle, Oue, ReportMode, WEventLedger};
 use std::collections::VecDeque;
@@ -175,12 +174,8 @@ impl LdpIds {
     /// dissimilarity `dis` of the two-phase mechanism.
     fn dissimilarity(&self, estimate: &[f64], variance: f64) -> f64 {
         let d = estimate.len() as f64;
-        let raw: f64 = estimate
-            .iter()
-            .zip(&self.released)
-            .map(|(&e, &r)| (e - r).powi(2))
-            .sum::<f64>()
-            / d;
+        let raw: f64 =
+            estimate.iter().zip(&self.released).map(|(&e, &r)| (e - r).powi(2)).sum::<f64>() / d;
         (raw - variance).max(0.0)
     }
 
@@ -260,11 +255,7 @@ impl LdpIds {
             _ => unreachable!(),
         };
 
-        let err = if n == 0 || eps2 <= 1e-12 {
-            f64::INFINITY
-        } else {
-            oue::variance(eps2, n)
-        };
+        let err = if n == 0 || eps2 <= 1e-12 { f64::INFINITY } else { oue::variance(eps2, n) };
         if dis > err {
             let oracle = Oue::new(eps2, domain).expect("positive eps2");
             let est = oracle
@@ -362,11 +353,7 @@ impl LdpIds {
             _ => unreachable!(),
         };
 
-        let err = if m2 == 0 {
-            f64::INFINITY
-        } else {
-            oue::variance(self.config.eps, m2 as u64)
-        };
+        let err = if m2 == 0 { f64::INFINITY } else { oue::variance(self.config.eps, m2 as u64) };
         if dis > err {
             let m2_actual = m2.min(eligible.len());
             if m2_actual > 0 {
@@ -440,10 +427,7 @@ mod tests {
             let syn = engine.run(&ds);
             assert_eq!(syn.horizon(), 25, "{}", kind.name());
             assert!(!syn.streams().is_empty(), "{}", kind.name());
-            engine
-                .ledger()
-                .verify()
-                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            engine.ledger().verify().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         }
     }
 

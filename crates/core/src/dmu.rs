@@ -21,12 +21,23 @@
 /// estimate `f̂`, and `err_upd` the per-state update error (OUE variance for
 /// this round's `ε_t`, `n_t`).
 pub fn select_significant(current: &[f64], fresh: &[f64], err_upd: f64) -> Vec<bool> {
+    let mut selected = Vec::new();
+    select_significant_into(current, fresh, err_upd, &mut selected);
+    selected
+}
+
+/// Allocation-free variant of [`select_significant`]: writes the selection
+/// into `selected` (cleared first). The engine calls this every timestamp
+/// with a reused buffer.
+pub fn select_significant_into(
+    current: &[f64],
+    fresh: &[f64],
+    err_upd: f64,
+    selected: &mut Vec<bool>,
+) {
     assert_eq!(current.len(), fresh.len(), "model / estimate length mismatch");
-    current
-        .iter()
-        .zip(fresh)
-        .map(|(&cur, &new)| (cur - new).powi(2) > err_upd)
-        .collect()
+    selected.clear();
+    selected.extend(current.iter().zip(fresh).map(|(&cur, &new)| (cur - new).powi(2) > err_upd));
 }
 
 /// The total introduced error of a selection (Eq. 7) — used by tests to
@@ -94,10 +105,7 @@ mod tests {
         for mask in 0..32u32 {
             let candidate: Vec<bool> = (0..5).map(|i| mask >> i & 1 == 1).collect();
             let err = total_error(&current, &fresh, err_upd, &candidate);
-            assert!(
-                best_err <= err + 1e-12,
-                "mask {mask:05b} beats DMU: {err} < {best_err}"
-            );
+            assert!(best_err <= err + 1e-12, "mask {mask:05b} beats DMU: {err} < {best_err}");
         }
     }
 

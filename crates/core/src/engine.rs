@@ -27,8 +27,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use retrasyn_geo::{
-    EventTimeline, Grid, GriddedDataset, StreamDataset, TransitionState, TransitionTable,
-    UserEvent,
+    EventTimeline, Grid, GriddedDataset, StreamDataset, TransitionState, TransitionTable, UserEvent,
 };
 use retrasyn_ldp::{Estimate, FrequencyOracle, Oue, WEventLedger};
 use std::collections::HashMap;
@@ -95,6 +94,12 @@ pub struct RetraSyn {
     report_slots: HashMap<u64, u64>,
     timings: StepTimings,
     steps: u64,
+    /// Reused table-sized scratch: full-domain estimate vector.
+    scratch_full: Vec<f64>,
+    /// Reused table-sized scratch: full-domain selection mask.
+    scratch_sel: Vec<bool>,
+    /// Reused table-sized scratch: DMU selection over the collected domain.
+    scratch_dmu: Vec<bool>,
 }
 
 impl RetraSyn {
@@ -102,13 +107,8 @@ impl RetraSyn {
     pub fn new(config: RetraSynConfig, grid: Grid, division: Division, seed: u64) -> Self {
         let table = TransitionTable::new(&grid);
         let model = GlobalMobilityModel::new(table.len());
-        let allocator = Allocator::new(
-            config.allocation,
-            config.w,
-            config.alpha,
-            config.kappa,
-            config.p_max,
-        );
+        let allocator =
+            Allocator::new(config.allocation, config.w, config.alpha, config.kappa, config.p_max);
         let ledger = WEventLedger::new(config.eps, config.w);
         if division == Division::Budget {
             assert!(
@@ -116,6 +116,7 @@ impl RetraSyn {
                 "RandomReport is a population-division strategy"
             );
         }
+        let domain = table.len();
         RetraSyn {
             config,
             division,
@@ -132,6 +133,9 @@ impl RetraSyn {
             report_slots: HashMap::new(),
             timings: StepTimings::default(),
             steps: 0,
+            scratch_full: vec![0.0; domain],
+            scratch_sel: vec![false; domain],
+            scratch_dmu: Vec::new(),
         }
     }
 
@@ -223,10 +227,8 @@ impl RetraSyn {
             if !self.config.enter_quit && !matches!(e.state, TransitionState::Move { .. }) {
                 continue;
             }
-            let idx = self
-                .table
-                .index_of(e.state)
-                .expect("timeline events are reachability-constrained");
+            let idx =
+                self.table.index_of(e.state).expect("timeline events are reachability-constrained");
             debug_assert!(idx < domain);
             states.push((e.user, idx));
         }
@@ -304,8 +306,7 @@ impl RetraSyn {
         // Lines 13–14: report with the full budget; mark inactive.
         let timer = Instant::now();
         let values: Vec<usize> = group.iter().map(|&(_, s)| s).collect();
-        let oracle = Oue::new(self.config.eps, self.domain_len().max(2))
-            .expect("validated config");
+        let oracle = Oue::new(self.config.eps, self.domain_len().max(2)).expect("validated config");
         let estimate = oracle
             .collect(&values, self.config.report_mode, &mut self.rng)
             .expect("states are in domain");
@@ -350,6 +351,11 @@ impl RetraSyn {
     }
 
     /// DMU + model refresh (§III-C) and allocator feedback.
+    ///
+    /// All table-sized working vectors are reusable scratch buffers on the
+    /// engine — this path runs every timestamp and must not allocate. The
+    /// scratch tails beyond the collected domain stay at their zero/false
+    /// initialization (NoEQ never collects the enter/quit suffix).
     fn update_model(&mut self, t: u64, estimate: &Estimate) {
         let domain = self.domain_len();
         let mut sig_ratio = 0.0;
@@ -358,32 +364,35 @@ impl RetraSyn {
                 // Initialization (Alg. 1 line 5) and the AllUpdate ablation
                 // replace the whole (collected) domain.
                 let timer = Instant::now();
-                let mut full = vec![0.0; self.table.len()];
-                full[..domain].copy_from_slice(&estimate.freqs);
+                self.scratch_full[..domain].copy_from_slice(&estimate.freqs);
                 // Preserve uncollected tail (NoEQ never touches it: zeros).
-                self.model.replace_all(&full);
+                self.model.replace_all(&self.scratch_full);
                 self.timings.model_construction += timer.elapsed().as_secs_f64();
                 sig_ratio = 1.0;
             } else {
                 let timer = Instant::now();
-                let selected = dmu::select_significant(
+                dmu::select_significant_into(
                     &self.model.freqs()[..domain],
                     &estimate.freqs,
                     estimate.variance,
+                    &mut self.scratch_dmu,
                 );
-                let count = dmu::count_selected(&selected);
+                let count = dmu::count_selected(&self.scratch_dmu);
                 self.timings.dmu += timer.elapsed().as_secs_f64();
 
                 let timer = Instant::now();
-                let mut full_sel = vec![false; self.table.len()];
-                full_sel[..domain].copy_from_slice(&selected);
-                let mut full_est = vec![0.0; self.table.len()];
-                full_est[..domain].copy_from_slice(&estimate.freqs);
-                self.model.update_selected(&full_sel, &full_est);
+                self.scratch_sel[..domain].copy_from_slice(&self.scratch_dmu);
+                self.scratch_full[..domain].copy_from_slice(&estimate.freqs);
+                self.model.update_selected(&self.scratch_sel, &self.scratch_full);
                 self.timings.model_construction += timer.elapsed().as_secs_f64();
                 sig_ratio = count as f64 / domain as f64;
             }
         }
+        // Keep the O(1) alias samplers in sync with the refreshed model;
+        // only the rows DMU touched are rebuilt.
+        let timer = Instant::now();
+        self.model.rebuild_samplers(&self.table);
+        self.timings.model_construction += timer.elapsed().as_secs_f64();
         self.allocator.observe(&self.model.freqs()[..domain], sig_ratio);
     }
 
@@ -442,20 +451,12 @@ mod tests {
     #[test]
     fn all_allocations_satisfy_ledger() {
         let ds = walk_dataset(3);
-        for kind in [
-            AllocationKind::Adaptive,
-            AllocationKind::Uniform,
-            AllocationKind::Sample,
-        ] {
+        for kind in [AllocationKind::Adaptive, AllocationKind::Uniform, AllocationKind::Sample] {
             for division in [Division::Budget, Division::Population] {
-                let config =
-                    RetraSynConfig::new(1.5, 4).with_lambda(10.0).with_allocation(kind);
+                let config = RetraSynConfig::new(1.5, 4).with_lambda(10.0).with_allocation(kind);
                 let mut engine = RetraSyn::new(config, Grid::unit(4), division, 11);
                 let _ = engine.run(&ds);
-                engine
-                    .ledger()
-                    .verify()
-                    .unwrap_or_else(|e| panic!("{kind:?}/{division:?}: {e}"));
+                engine.ledger().verify().unwrap_or_else(|e| panic!("{kind:?}/{division:?}: {e}"));
             }
         }
         // RandomReport is population-only.
@@ -470,8 +471,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "population-division strategy")]
     fn random_report_rejected_for_budget_division() {
-        let config =
-            RetraSynConfig::new(1.0, 4).with_allocation(AllocationKind::RandomReport);
+        let config = RetraSynConfig::new(1.0, 4).with_allocation(AllocationKind::RandomReport);
         let _ = RetraSyn::budget_division(config, Grid::unit(4), 0);
     }
 

@@ -20,6 +20,11 @@
 //!   adapted to transition-state collection exactly as the paper describes
 //!   (§V-A), sharing the Markov synthesizer but without enter/quit
 //!   modelling.
+//! - [`sampler`]: the alias-table sampler subsystem behind the real-time
+//!   budget (§IV-B) — O(1) movement/enter draws through a [`SamplerCache`]
+//!   owned by the model and rebuilt incrementally after each DMU step.
+//! - [`pool`]: the persistent synthesis worker pool (§VII acceleration)
+//!   with deterministic per-chunk seeding.
 //!
 //! Ablation variants are configuration flags: `dmu: false` reproduces
 //! *AllUpdate*, `enter_quit: false` reproduces *NoEQ* (Table IV).
@@ -32,7 +37,9 @@ pub mod config;
 pub mod dmu;
 pub mod engine;
 pub mod model;
+pub mod pool;
 pub mod population;
+pub mod sampler;
 pub mod synthesis;
 
 pub use allocation::AllocationKind;
@@ -40,5 +47,7 @@ pub use baselines::{BaselineKind, LdpIds, LdpIdsConfig};
 pub use config::{Division, RetraSynConfig};
 pub use engine::{RetraSyn, StepTimings, TimingReport};
 pub use model::GlobalMobilityModel;
+pub use pool::SynthesisPool;
 pub use population::{UserRegistry, UserStatus};
+pub use sampler::{AliasTable, SamplerCache};
 pub use synthesis::SyntheticDb;

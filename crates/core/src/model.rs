@@ -14,7 +14,13 @@
 //! probability `f_iQ / (Σ f_ix + f_iQ)` — reweighted by stream length in
 //! Eq. 8 (see [`GlobalMobilityModel::quit_prob`]).
 
+use crate::sampler::SamplerCache;
 use retrasyn_geo::{CellId, TransitionTable};
+use std::sync::Arc;
+
+/// Past this fraction of dirty states an incremental sampler rebuild stops
+/// paying for itself and the model schedules a full rebuild instead.
+const DIRTY_FULL_REBUILD_FRACTION: usize = 4;
 
 /// Curator-side mobility model over a transition domain.
 ///
@@ -23,16 +29,41 @@ use retrasyn_geo::{CellId, TransitionTable};
 /// cancels inside the Eq. 6 sums instead of accumulating as a positive
 /// bias floor. Clamping to `[0, ∞)` (free post-processing, Theorem 2)
 /// happens only when probabilities are derived.
+///
+/// The model additionally owns a [`SamplerCache`] of per-cell alias tables
+/// for O(1) synthesis draws. Mutations ([`Self::replace_all`],
+/// [`Self::update_selected`]) record which states changed;
+/// [`Self::rebuild_samplers`] then reconstructs only the affected rows —
+/// a DMU step that refreshes 3% of transitions rebuilds ~3% of rows.
 #[derive(Debug, Clone)]
 pub struct GlobalMobilityModel {
     /// Estimated (signed) frequency per dense transition index.
     freqs: Vec<f64>,
+    /// Alias-table sampler snapshot, shared with synthesis workers.
+    cache: Option<Arc<SamplerCache>>,
+    /// Every state changed since the last rebuild (initialization,
+    /// `replace_all`, or dirty overflow).
+    dirty_all: bool,
+    /// Dense indices changed since the last rebuild (unsorted, may repeat).
+    dirty: Vec<u32>,
+    /// Reusable alias-build worklist (the per-timestamp refresh path must
+    /// not allocate).
+    scratch_small: Vec<(u32, f64)>,
+    /// Reusable alias-build worklist.
+    scratch_large: Vec<(u32, f64)>,
 }
 
 impl GlobalMobilityModel {
     /// An all-zero model over a domain of `len` states.
     pub fn new(len: usize) -> Self {
-        GlobalMobilityModel { freqs: vec![0.0; len] }
+        GlobalMobilityModel {
+            freqs: vec![0.0; len],
+            cache: None,
+            dirty_all: true,
+            dirty: Vec::new(),
+            scratch_small: Vec::new(),
+            scratch_large: Vec::new(),
+        }
     }
 
     /// Domain size.
@@ -61,6 +92,8 @@ impl GlobalMobilityModel {
     pub fn replace_all(&mut self, estimates: &[f64]) {
         assert_eq!(estimates.len(), self.freqs.len(), "estimate length mismatch");
         self.freqs.copy_from_slice(estimates);
+        self.dirty_all = true;
+        self.dirty.clear();
     }
 
     /// Update only the selected states with fresh estimates (§III-C: "use
@@ -72,8 +105,80 @@ impl GlobalMobilityModel {
         for i in 0..self.freqs.len() {
             if selected[i] {
                 self.freqs[i] = estimates[i];
+                if !self.dirty_all {
+                    self.dirty.push(i as u32);
+                }
             }
         }
+        if self.dirty.len() > self.freqs.len() / DIRTY_FULL_REBUILD_FRACTION {
+            self.dirty_all = true;
+            self.dirty.clear();
+        }
+    }
+
+    /// The current sampler snapshot, if it reflects the latest frequencies.
+    /// `None` until [`Self::rebuild_samplers`] has run after the last
+    /// mutation — callers then fall back to the O(k) scan paths.
+    #[inline]
+    pub fn sampler(&self) -> Option<&Arc<SamplerCache>> {
+        if self.dirty_all || !self.dirty.is_empty() {
+            return None;
+        }
+        self.cache.as_ref()
+    }
+
+    /// Bring the alias-table sampler cache in sync with the current
+    /// frequencies, rebuilding only the rows whose states changed since the
+    /// last call. Returns the number of move rows reconstructed (the whole
+    /// grid counts as `num_cells`).
+    pub fn rebuild_samplers(&mut self, table: &TransitionTable) -> usize {
+        assert_eq!(table.len(), self.freqs.len(), "model / table domain mismatch");
+        let cells = table.num_cells();
+        let needs_full = self.dirty_all || self.cache.is_none();
+        if needs_full {
+            self.cache = Some(Arc::new(SamplerCache::build(&self.freqs, table)));
+            self.dirty_all = false;
+            self.dirty.clear();
+            return cells;
+        }
+        if self.dirty.is_empty() {
+            return 0;
+        }
+        // Translate dirty dense indices into move rows + the enter flag,
+        // then dedup at ROW granularity (a cell's move and quit indices
+        // both map to the same row — the cached base quit probability
+        // depends on the quit state too).
+        let moves = table.num_moves();
+        let mut dirty = std::mem::take(&mut self.dirty);
+        let mut enter_dirty = false;
+        dirty.retain_mut(|idx| {
+            let i = *idx as usize;
+            if i < moves {
+                *idx = table.move_source_of(i).index() as u32;
+                true
+            } else if i < moves + cells {
+                enter_dirty = true;
+                false
+            } else {
+                *idx = (i - moves - cells) as u32;
+                true
+            }
+        });
+        dirty.sort_unstable();
+        dirty.dedup();
+        let cache = Arc::make_mut(self.cache.as_mut().expect("cache exists on this path"));
+        let small = &mut self.scratch_small;
+        let large = &mut self.scratch_large;
+        for &row in &dirty {
+            cache.rebuild_row(&self.freqs, table, row as usize, small, large);
+        }
+        if enter_dirty {
+            cache.rebuild_enter(&self.freqs, table, small, large);
+        }
+        let rebuilt = dirty.len();
+        dirty.clear();
+        self.dirty = dirty;
+        rebuilt
     }
 
     /// Movement denominator of Eq. 6 for source cell `from`:
@@ -87,13 +192,23 @@ impl GlobalMobilityModel {
     /// to [`TransitionTable::move_targets`]. Falls back to uniform over the
     /// neighbors when the denominator is zero (no information yet).
     pub fn move_probs(&self, table: &TransitionTable, from: CellId) -> Vec<f64> {
+        let mut buf = Vec::new();
+        self.move_probs_into(table, from, &mut buf);
+        buf
+    }
+
+    /// Allocation-free variant of [`Self::move_probs`]: writes the
+    /// probabilities into `buf` (cleared first). Used by the synthesis scan
+    /// fallback so repeated calls reuse one buffer.
+    pub fn move_probs_into(&self, table: &TransitionTable, from: CellId, buf: &mut Vec<f64>) {
         let block = table.move_block(from);
         let denom = self.move_denominator(table, from);
+        buf.clear();
         if denom <= 0.0 {
-            let n = block.len();
-            return vec![1.0 / n as f64; n];
+            buf.extend(std::iter::repeat_n(1.0 / block.len() as f64, block.len()));
+            return;
         }
-        self.freqs[block].iter().map(|&f| f.max(0.0) / denom).collect()
+        buf.extend(self.freqs[block].iter().map(|&f| f.max(0.0) / denom));
     }
 
     /// Base (length-independent) termination probability at `from`:
@@ -240,9 +355,7 @@ mod tests {
         let from = grid.cell_at(1, 1);
         let mut est = vec![0.0; table.len()];
         let stay = table.index_of(TransitionState::Move { from, to: from }).unwrap();
-        let right = table
-            .index_of(TransitionState::Move { from, to: grid.cell_at(2, 1) })
-            .unwrap();
+        let right = table.index_of(TransitionState::Move { from, to: grid.cell_at(2, 1) }).unwrap();
         est[stay] = 0.4;
         est[right] = -0.3; // noise artifact: must not contribute mass
         model.replace_all(&est);
@@ -256,6 +369,45 @@ mod tests {
         assert_eq!(probs[right_pos], 0.0);
         let stay_pos = targets.iter().position(|&c| c == from).unwrap();
         assert!((probs[stay_pos] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_lifecycle_and_incremental_rebuild() {
+        let (grid, table, mut model) = setup();
+        // No cache until the first rebuild.
+        assert!(model.sampler().is_none());
+        let est: Vec<f64> = (0..table.len()).map(|i| (i % 5) as f64 * 0.01).collect();
+        model.replace_all(&est);
+        assert!(model.sampler().is_none());
+        let rebuilt = model.rebuild_samplers(&table);
+        assert_eq!(rebuilt, table.num_cells());
+        assert!(model.sampler().is_some());
+
+        // A selective update invalidates the cache until the next rebuild,
+        // which only reconstructs the touched rows.
+        let mut selected = vec![false; table.len()];
+        let from = grid.cell_at(1, 1);
+        let block = table.move_block(from);
+        selected[block.start] = true;
+        selected[table.quit_index(grid.cell_at(0, 0))] = true;
+        let mut fresh = est.clone();
+        fresh[block.start] = 0.9;
+        model.update_selected(&selected, &fresh);
+        assert!(model.sampler().is_none());
+        let rebuilt = model.rebuild_samplers(&table);
+        assert_eq!(rebuilt, 2, "one move row + one quit-dirtied row");
+        assert!(model.sampler().is_some());
+        // A clean model rebuilds nothing.
+        assert_eq!(model.rebuild_samplers(&table), 0);
+
+        // The cached sampler agrees with the scan distributions.
+        let cache = model.sampler().unwrap().clone();
+        for c in grid.cells() {
+            assert!(
+                (cache.base_quit_prob(c) - model.base_quit_prob(&table, c)).abs() < 1e-12,
+                "quit prob mismatch at {c:?}"
+            );
+        }
     }
 
     #[test]

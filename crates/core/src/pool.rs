@@ -1,0 +1,161 @@
+//! Persistent worker pool for parallel synthesis (§VII acceleration).
+//!
+//! The seed implementation spawned fresh scoped threads on every timestamp,
+//! paying thread startup on the critical per-step path. This pool keeps the
+//! workers alive for the lifetime of the [`SyntheticDb`] and hands each one
+//! an owned shard of streams plus an `Arc` snapshot of the model's
+//! [`SamplerCache`] per step — no locks, no shared mutable state, and no
+//! `unsafe` lifetime erasure (the crate forbids `unsafe`).
+//!
+//! Determinism: each shard is seeded from the caller's RNG in shard order,
+//! shards are fixed-size prefixes of the stream list, and replies are
+//! re-assembled by shard index, so a fixed `(seed, threads)` pair yields an
+//! identical database regardless of worker scheduling.
+//!
+//! [`SyntheticDb`]: crate::synthesis::SyntheticDb
+
+use crate::sampler::SamplerCache;
+use crate::synthesis::OpenStream;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One unit of work for a pool worker: extend every stream in `shard` by
+/// one alias-sampled movement. Workers exit when their job channel
+/// disconnects, so shutdown is simply dropping the senders.
+struct Job {
+    idx: usize,
+    shard: Vec<OpenStream>,
+    cache: Arc<SamplerCache>,
+    seed: u64,
+}
+
+/// A completed shard, tagged with its position.
+struct Reply {
+    idx: usize,
+    shard: Vec<OpenStream>,
+}
+
+/// A fixed-size pool of synthesis workers.
+pub struct SynthesisPool {
+    senders: Vec<Sender<Job>>,
+    replies: Receiver<Reply>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SynthesisPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthesisPool").field("threads", &self.senders.len()).finish()
+    }
+}
+
+impl SynthesisPool {
+    /// Spawn `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (reply_tx, replies) = channel::<Reply>();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let (tx, rx) = channel::<Job>();
+            let reply_tx = reply_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("retrasyn-synth-{worker}"))
+                .spawn(move || worker_loop(rx, reply_tx))
+                .expect("failed to spawn synthesis worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        SynthesisPool { senders, replies, handles }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Extend every stream in every shard by one movement, in parallel.
+    ///
+    /// `shards[i]` is processed by worker `i % threads` with
+    /// `StdRng::seed_from_u64(seeds[i])`; shards come back in place,
+    /// preserving both order and capacity.
+    pub(crate) fn extend_shards(
+        &self,
+        shards: &mut [Vec<OpenStream>],
+        seeds: &[u64],
+        cache: &Arc<SamplerCache>,
+    ) {
+        debug_assert_eq!(shards.len(), seeds.len());
+        let mut outstanding = 0usize;
+        for (idx, shard) in shards.iter_mut().enumerate() {
+            if shard.is_empty() {
+                continue;
+            }
+            let job = Job {
+                idx,
+                shard: std::mem::take(shard),
+                cache: Arc::clone(cache),
+                seed: seeds[idx],
+            };
+            self.senders[idx % self.senders.len()]
+                .send(job)
+                .expect("synthesis worker exited unexpectedly");
+            outstanding += 1;
+        }
+        for _ in 0..outstanding {
+            let Reply { idx, shard } =
+                self.replies.recv().expect("synthesis worker dropped its reply channel");
+            shards[idx] = shard;
+        }
+    }
+}
+
+impl Drop for SynthesisPool {
+    fn drop(&mut self) {
+        // Disconnecting the job channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, reply_tx: Sender<Reply>) {
+    while let Ok(Job { idx, mut shard, cache, seed }) = rx.recv() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for stream in &mut shard {
+            let from = *stream.cells.last().expect("streams are non-empty");
+            stream.cells.push(cache.sample_move(from, &mut rng));
+        }
+        if reply_tx.send(Reply { idx, shard }).is_err() {
+            return;
+        }
+    }
+}
+
+/// Draw one seed per shard from the caller's RNG, in shard order, into the
+/// reusable `seeds` buffer.
+pub(crate) fn draw_seeds<R: Rng + ?Sized>(seeds: &mut Vec<u64>, count: usize, rng: &mut R) {
+    seeds.clear();
+    seeds.extend((0..count).map(|_| rng.random::<u64>()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_spawns_and_shuts_down() {
+        let pool = SynthesisPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = SynthesisPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

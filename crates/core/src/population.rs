@@ -75,12 +75,8 @@ impl UserRegistry {
 
     /// All Active users, sorted for determinism.
     pub fn active_users(&self) -> Vec<u64> {
-        let mut users: Vec<u64> = self
-            .status
-            .iter()
-            .filter(|(_, &s)| s == UserStatus::Active)
-            .map(|(&u, _)| u)
-            .collect();
+        let mut users: Vec<u64> =
+            self.status.iter().filter(|(_, &s)| s == UserStatus::Active).map(|(&u, _)| u).collect();
         users.sort_unstable();
         users
     }

@@ -1,0 +1,486 @@
+//! Precomputed O(1) categorical sampling for the synthesis hot path.
+//!
+//! The paper's real-time constraint (§IV-B, Table V) makes per-timestamp
+//! synthesis cost the binding budget: every live synthetic stream draws one
+//! movement per step. The seed implementation paid O(|N(c)|) per draw — a
+//! linear scan over a freshly allocated probability vector. This module
+//! provides:
+//!
+//! - [`AliasTable`]: Walker's alias method — O(n) build, O(1) draw, one
+//!   uniform variate per sample;
+//! - [`SamplerCache`]: the full per-model sampler state — one alias row per
+//!   source cell over its movement block, the cached base quit probability
+//!   per cell (Eq. 6 denominator folded in), and one alias table for the
+//!   entering distribution. Rows are rebuilt *incrementally*: only the
+//!   cells whose transitions DMU actually refreshed are reconstructed
+//!   (§III-C selects a few percent of the domain per step, so rebuilds are
+//!   proportionally cheap);
+//! - [`sample_weighted`]: the reference O(n) scan sampler, kept for the
+//!   cold paths, the cache-miss fallback, and distributional tests.
+//!
+//! The cache is shared with the persistent synthesis worker pool through an
+//! `Arc`, so a step hands workers an immutable snapshot without copying.
+
+use rand::Rng;
+use retrasyn_geo::{CellId, TransitionTable};
+
+/// Sample an index from non-negative weights with an O(n) scan; uniform
+/// fallback when the total mass is zero. Assumes `weights` is non-empty.
+pub fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return rng.random_range(0..weights.len());
+    }
+    let mut pick = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+/// Build an alias row in place over `weights` (clamped at zero). Writes
+/// `thresh`/`alias` (same length as `weights`); `small`/`large` are
+/// reusable scratch stacks holding `(slot, residual-probability)` pairs.
+/// Falls back to the uniform row when the total mass is zero or
+/// non-finite.
+///
+/// Acceptance probabilities are stored as fixed-point `u32` thresholds
+/// (`thresh[i] / 2^32`), so a draw is pure integer arithmetic: one `u64`
+/// variate supplies 32 high bits for Lemire slot selection and 32 low bits
+/// for the accept/alias test. The ≤ 2⁻³² fixed-point rounding is orders of
+/// magnitude below anything the distributional tests (or the OUE noise
+/// floor) can resolve.
+fn build_alias_row(
+    weights: &[f64],
+    thresh: &mut [u32],
+    alias: &mut [u32],
+    small: &mut Vec<(u32, f64)>,
+    large: &mut Vec<(u32, f64)>,
+) {
+    let n = weights.len();
+    debug_assert!(n > 0 && thresh.len() == n && alias.len() == n);
+    debug_assert!(n <= u32::MAX as usize);
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 || !total.is_finite() {
+        // Uniform fallback: every slot accepts itself.
+        for (i, (t, a)) in thresh.iter_mut().zip(alias.iter_mut()).enumerate() {
+            *t = u32::MAX;
+            *a = i as u32;
+        }
+        return;
+    }
+    small.clear();
+    large.clear();
+    let scale = n as f64 / total;
+    for (i, &w) in weights.iter().enumerate() {
+        let p = w.max(0.0) * scale;
+        alias[i] = i as u32;
+        if p < 1.0 {
+            small.push((i as u32, p));
+        } else {
+            large.push((i as u32, p));
+        }
+    }
+    while let (Some(&(s, ps)), Some(&mut (l, ref mut pl))) = (small.last(), large.last_mut()) {
+        small.pop();
+        alias[s as usize] = l;
+        thresh[s as usize] = prob_to_thresh(ps);
+        // Donate mass from the large slot to fill the small one.
+        *pl = (*pl + ps) - 1.0;
+        if *pl < 1.0 {
+            let (l, pl) = large.pop().expect("just inspected");
+            small.push((l, pl));
+        }
+    }
+    // Numerical leftovers: slots still on a stack are within rounding of 1
+    // and alias to themselves, so the threshold value is immaterial — use
+    // the always-accept encoding.
+    for &(i, _) in small.iter().chain(large.iter()) {
+        thresh[i as usize] = u32::MAX;
+        alias[i as usize] = i;
+    }
+}
+
+/// Fixed-point encoding of an acceptance probability in [0, 1].
+#[inline]
+fn prob_to_thresh(p: f64) -> u32 {
+    (p.clamp(0.0, 1.0) * 4_294_967_296.0) as u32 // saturating cast
+}
+
+/// Draw from an alias row given its `thresh`/`alias` slices: one `u64`
+/// variate, no floating-point operations.
+#[inline]
+fn sample_alias_row<R: Rng + ?Sized>(thresh: &[u32], alias: &[u32], rng: &mut R) -> usize {
+    let n = thresh.len();
+    debug_assert!(n > 0);
+    let x = rng.random::<u64>();
+    // Lemire map of the high 32 bits onto [0, n): bias O(n / 2^32).
+    let slot = (((x >> 32) * n as u64) >> 32) as usize;
+    if (x as u32) < thresh[slot] {
+        slot
+    } else {
+        alias[slot] as usize
+    }
+}
+
+/// A standalone Walker alias table over a categorical distribution.
+///
+/// O(n) to build, O(1) per draw. Negative weights are clamped to zero; an
+/// all-zero distribution degrades to uniform (matching
+/// [`sample_weighted`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    thresh: Vec<u32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from (possibly signed) weights. `weights` must be non-empty.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one category");
+        let mut thresh = vec![0u32; weights.len()];
+        let mut alias = vec![0u32; weights.len()];
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        build_alias_row(weights, &mut thresh, &mut alias, &mut small, &mut large);
+        AliasTable { thresh, alias }
+    }
+
+    /// Rebuild in place from new weights of the same length.
+    pub fn rebuild(
+        &mut self,
+        weights: &[f64],
+        small: &mut Vec<(u32, f64)>,
+        large: &mut Vec<(u32, f64)>,
+    ) {
+        assert_eq!(weights.len(), self.thresh.len(), "alias table length change");
+        build_alias_row(weights, &mut self.thresh, &mut self.alias, small, large);
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.thresh.len()
+    }
+
+    /// Whether the table has no categories (never true for a built table).
+    pub fn is_empty(&self) -> bool {
+        self.thresh.is_empty()
+    }
+
+    /// Draw one category index. O(1), one uniform variate.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        sample_alias_row(&self.thresh, &self.alias, rng)
+    }
+}
+
+/// Precomputed sampler state for a [`GlobalMobilityModel`] snapshot over a
+/// fixed [`TransitionTable`].
+///
+/// Flat layout mirrors the table's dense move space for cache locality,
+/// and every move slot packs its *entire* draw outcome into one `u64` —
+/// fixed-point acceptance threshold (low 32 bits), the slot's own
+/// destination cell (bits 32..48) and its alias's destination cell (bits
+/// 48..64) — so one draw costs one RNG variate, one 8-byte load and a few
+/// ALU ops, with no secondary target lookup. Workers on the synthesis pool
+/// sample through a shared `Arc<SamplerCache>` without touching the model
+/// or the table.
+///
+/// [`GlobalMobilityModel`]: crate::model::GlobalMobilityModel
+#[derive(Debug, Clone)]
+pub struct SamplerCache {
+    /// Per-cell row offsets into `packed` (copy of the table's move
+    /// offsets; `offsets[cells]` = number of move states).
+    offsets: Vec<u32>,
+    /// Packed move slots: `thresh | accept_cell << 32 | alias_cell << 48`.
+    packed: Vec<u64>,
+    /// Per-cell base termination probability `f_iQ / (Σ f_ix + f_iQ)`.
+    quit_base: Vec<f64>,
+    /// Alias table over the entering distribution `Pr(e_i)`.
+    enter: AliasTable,
+    /// Domain length this cache was built for (consistency check).
+    domain_len: usize,
+    /// Reusable row scratch for rebuilds (always cleared after use).
+    row_thresh: Vec<u32>,
+    /// Reusable row scratch for rebuilds (always cleared after use).
+    row_alias: Vec<u32>,
+}
+
+impl PartialEq for SamplerCache {
+    fn eq(&self, other: &Self) -> bool {
+        // Scratch buffers are not part of the cache's semantic state.
+        self.offsets == other.offsets
+            && self.packed == other.packed
+            && self.quit_base == other.quit_base
+            && self.enter == other.enter
+            && self.domain_len == other.domain_len
+    }
+}
+
+impl SamplerCache {
+    /// Build the full cache from model frequencies.
+    pub fn build(freqs: &[f64], table: &TransitionTable) -> Self {
+        assert_eq!(freqs.len(), table.len(), "model / table domain mismatch");
+        let cells = table.num_cells();
+        let moves = table.num_moves();
+        let offsets = table.move_offsets().to_vec();
+        let mut cache = SamplerCache {
+            offsets,
+            packed: vec![0u64; moves],
+            quit_base: vec![0.0; cells],
+            // Built directly from the enter block (AliasTable clamps
+            // negatives internally).
+            enter: AliasTable::new(&freqs[moves..moves + cells]),
+            domain_len: freqs.len(),
+            row_thresh: Vec::new(),
+            row_alias: Vec::new(),
+        };
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        for cell in 0..cells {
+            cache.rebuild_row(freqs, table, cell, &mut small, &mut large);
+        }
+        cache
+    }
+
+    /// Rebuild the move row and quit probability of one source cell.
+    pub fn rebuild_row(
+        &mut self,
+        freqs: &[f64],
+        table: &TransitionTable,
+        cell: usize,
+        small: &mut Vec<(u32, f64)>,
+        large: &mut Vec<(u32, f64)>,
+    ) {
+        debug_assert_eq!(freqs.len(), self.domain_len);
+        let start = self.offsets[cell] as usize;
+        let end = self.offsets[cell + 1] as usize;
+        let weights = &freqs[start..end];
+        let n = end - start;
+        self.row_thresh.resize(n, 0);
+        self.row_alias.resize(n, 0);
+        build_alias_row(weights, &mut self.row_thresh, &mut self.row_alias, small, large);
+        let targets = &table.neighbor_cells()[start..end];
+        for i in 0..n {
+            let accept = targets[i].0 as u64;
+            let alias = targets[self.row_alias[i] as usize].0 as u64;
+            self.packed[start + i] = self.row_thresh[i] as u64 | (accept << 32) | (alias << 48);
+        }
+        self.row_thresh.clear();
+        self.row_alias.clear();
+        let move_mass: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        let quit_mass = freqs[table.quit_index(CellId(cell as u16))].max(0.0);
+        let denom = move_mass + quit_mass;
+        self.quit_base[cell] = if denom > 0.0 { quit_mass / denom } else { 0.0 };
+    }
+
+    /// Rebuild the entering-distribution alias table. `small`/`large` are
+    /// reusable scratch stacks, as in [`Self::rebuild_row`] — this runs on
+    /// the per-timestamp model-refresh path, which must not allocate.
+    pub fn rebuild_enter(
+        &mut self,
+        freqs: &[f64],
+        table: &TransitionTable,
+        small: &mut Vec<(u32, f64)>,
+        large: &mut Vec<(u32, f64)>,
+    ) {
+        debug_assert_eq!(freqs.len(), self.domain_len);
+        let start = table.num_moves();
+        let cells = table.num_cells();
+        self.enter.rebuild(&freqs[start..start + cells], small, large);
+    }
+
+    /// Domain length the cache was built for.
+    pub fn domain_len(&self) -> usize {
+        self.domain_len
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.quit_base.len()
+    }
+
+    /// O(1) draw of the next cell from `from`'s movement distribution
+    /// (Eq. 6 conditioned on not quitting; uniform over neighbors when the
+    /// row is uninformed).
+    #[inline]
+    pub fn sample_move<R: Rng + ?Sized>(&self, from: CellId, rng: &mut R) -> CellId {
+        let start = self.offsets[from.index()] as usize;
+        let end = self.offsets[from.index() + 1] as usize;
+        let row = &self.packed[start..end];
+        let x = rng.random::<u64>();
+        // Lemire map of the high 32 bits onto the row: bias O(n / 2^32).
+        let slot = (((x >> 32) * row.len() as u64) >> 32) as usize;
+        let packed = row[slot];
+        let cell =
+            if (x as u32) < packed as u32 { (packed >> 32) as u16 } else { (packed >> 48) as u16 };
+        CellId(cell)
+    }
+
+    /// O(1) length-reweighted termination probability (Eq. 8).
+    #[inline]
+    pub fn quit_prob(&self, from: CellId, len: u64, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0);
+        ((len as f64 / lambda) * self.quit_base[from.index()]).clamp(0.0, 1.0)
+    }
+
+    /// Cached base termination probability at `from`.
+    #[inline]
+    pub fn base_quit_prob(&self, from: CellId) -> f64 {
+        self.quit_base[from.index()]
+    }
+
+    /// O(1) draw from the entering distribution.
+    #[inline]
+    pub fn sample_enter<R: Rng + ?Sized>(&self, rng: &mut R) -> CellId {
+        CellId(self.enter.sample(rng) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use retrasyn_geo::Grid;
+
+    /// Pearson chi-square statistic of `counts` against `probs`.
+    fn chi_square(counts: &[u64], probs: &[f64], n: u64) -> f64 {
+        counts
+            .iter()
+            .zip(probs)
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(&c, &p)| {
+                let e = p * n as f64;
+                (c as f64 - e).powi(2) / e
+            })
+            .sum()
+    }
+
+    #[test]
+    fn alias_matches_expected_distribution() {
+        let weights = [0.5, 0.0, 2.0, 1.0, 0.25, 3.25];
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000u64;
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        // Never draws a zero-weight category.
+        assert_eq!(counts[1], 0);
+        // 99.9th percentile of chi2 with 4 dof is 18.47.
+        let chi = chi_square(&counts, &probs, n);
+        assert!(chi < 18.47, "chi-square {chi} (counts {counts:?})");
+    }
+
+    #[test]
+    fn alias_negative_and_zero_mass() {
+        // Negative weights clamp to zero.
+        let table = AliasTable::new(&[1.0, -5.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+        // All-zero mass degrades to uniform (stays in range).
+        let table = AliasTable::new(&[0.0, 0.0, -1.0]);
+        let mut counts = [0u64; 3];
+        for _ in 0..30_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform fallback skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let table = AliasTable::new(&[0.7]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn cache_rows_match_move_distributions() {
+        let grid = Grid::unit(4);
+        let table = TransitionTable::new(&grid);
+        // Deterministic pseudo-random, partly negative frequencies.
+        let freqs: Vec<f64> =
+            (0..table.len()).map(|i| ((i * 37 % 11) as f64 - 2.0) * 0.01).collect();
+        let cache = SamplerCache::build(&freqs, &table);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 120_000u64;
+        for cell in [grid.cell_at(0, 0), grid.cell_at(1, 2), grid.cell_at(3, 3)] {
+            let block = table.move_block(cell);
+            let weights: Vec<f64> = freqs[block.clone()].iter().map(|f| f.max(0.0)).collect();
+            let total: f64 = weights.iter().sum();
+            let probs: Vec<f64> = if total > 0.0 {
+                weights.iter().map(|w| w / total).collect()
+            } else {
+                vec![1.0 / weights.len() as f64; weights.len()]
+            };
+            let targets = table.move_targets(cell);
+            let mut counts = vec![0u64; targets.len()];
+            for _ in 0..n {
+                let to = cache.sample_move(cell, &mut rng);
+                counts[targets.iter().position(|&c| c == to).unwrap()] += 1;
+            }
+            // 99.9th percentile of chi2 with 8 dof is 26.12; rows here have
+            // at most 9 categories.
+            let chi = chi_square(&counts, &probs, n);
+            assert!(chi < 26.12, "cell {cell:?}: chi-square {chi}");
+        }
+    }
+
+    #[test]
+    fn cache_quit_probs_match_model_formula() {
+        let grid = Grid::unit(3);
+        let table = TransitionTable::new(&grid);
+        let mut freqs = vec![0.0; table.len()];
+        let c = grid.cell_at(1, 1);
+        let block = table.move_block(c);
+        freqs[block.start] = 0.3;
+        freqs[table.quit_index(c)] = 0.1;
+        let cache = SamplerCache::build(&freqs, &table);
+        assert!((cache.base_quit_prob(c) - 0.25).abs() < 1e-12);
+        assert!((cache.quit_prob(c, 5, 10.0) - 0.125).abs() < 1e-12);
+        assert_eq!(cache.quit_prob(c, 1000, 1.0), 1.0);
+        // Uninformed cell: quit probability zero.
+        assert_eq!(cache.base_quit_prob(grid.cell_at(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn incremental_row_rebuild_matches_full_build() {
+        let grid = Grid::unit(5);
+        let table = TransitionTable::new(&grid);
+        let mut freqs: Vec<f64> = (0..table.len()).map(|i| (i % 7) as f64 * 0.01).collect();
+        let mut cache = SamplerCache::build(&freqs, &table);
+        // Mutate a few cells' rows and the enter block.
+        for idx in [0usize, 17, 40] {
+            freqs[idx] += 0.5;
+        }
+        freqs[table.enter_index(grid.cell_at(2, 2))] = 2.0;
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        for cell in [0usize, 1, 3] {
+            cache.rebuild_row(&freqs, &table, cell, &mut small, &mut large);
+        }
+        cache.rebuild_enter(&freqs, &table, &mut small, &mut large);
+        // Rebuilding only the three touched rows yields the same cache as a
+        // full rebuild *for those rows*; untouched rows keep stale values by
+        // design, so rebuild them too before comparing whole structs.
+        for cell in 0..table.num_cells() {
+            cache.rebuild_row(&freqs, &table, cell, &mut small, &mut large);
+        }
+        let full = SamplerCache::build(&freqs, &table);
+        assert_eq!(cache, full);
+    }
+}

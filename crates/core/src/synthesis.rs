@@ -11,47 +11,70 @@
 //!    distribution `E`; excess streams are terminated with probability
 //!    proportional to the quitting distribution `Q` at their last location.
 //!
+//! **Hot-path cost.** When the model's [`SamplerCache`] is fresh (the
+//! engine rebuilds it after every model update), each per-user decision is
+//! O(1): a cached quit probability and one alias draw, with no heap
+//! allocation. Without a fresh cache the code falls back to the O(k) scan
+//! over a reused scratch buffer, so standalone callers that never call
+//! [`GlobalMobilityModel::rebuild_samplers`] still get correct output.
+//!
+//! **Parallelism.** [`SyntheticDb::step_parallel`] runs the extension phase
+//! on a persistent [`SynthesisPool`] owned by the database: streams are
+//! moved into per-worker shards (reused across steps), each shard is seeded
+//! deterministically from the caller's RNG, and results are re-assembled in
+//! shard order — fixed `(seed, threads)` gives identical output.
+//!
 //! The *NoEQ* mode ([`SyntheticDb::step_no_eq`]) reproduces the baselines
 //! and the Table-IV ablation: a fixed-size database initialized at random
 //! whose streams never terminate.
 
 use crate::model::GlobalMobilityModel;
+use crate::pool::{draw_seeds, SynthesisPool};
+use crate::sampler::{sample_weighted, SamplerCache};
 use rand::Rng;
 use retrasyn_geo::{CellId, Grid, GriddedDataset, GriddedStream, TransitionTable};
+use std::sync::Arc;
 
 /// A live synthetic stream.
 #[derive(Debug, Clone)]
-struct OpenStream {
-    id: u64,
-    start: u64,
-    cells: Vec<CellId>,
+pub(crate) struct OpenStream {
+    pub(crate) id: u64,
+    pub(crate) start: u64,
+    pub(crate) cells: Vec<CellId>,
 }
 
 /// The evolving synthetic trajectory database `T_syn`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SyntheticDb {
     alive: Vec<OpenStream>,
     finished: Vec<GriddedStream>,
     next_id: u64,
     initialized: bool,
+    /// Persistent worker pool, created lazily on the first parallel step.
+    pool: Option<SynthesisPool>,
+    /// Reused per-worker shard buffers (capacity survives across steps).
+    shards: Vec<Vec<OpenStream>>,
+    /// Reused per-shard seed buffer.
+    seeds: Vec<u64>,
+    /// Reused O(k) probability buffer for the scan fallback.
+    scan_buf: Vec<f64>,
 }
 
-/// Sample an index from non-negative weights; uniform fallback when the
-/// total mass is zero. Assumes `weights` is non-empty.
-fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
-    debug_assert!(!weights.is_empty());
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        return rng.random_range(0..weights.len());
-    }
-    let mut pick = rng.random::<f64>() * total;
-    for (i, &w) in weights.iter().enumerate() {
-        if pick < w {
-            return i;
+impl Clone for SyntheticDb {
+    fn clone(&self) -> Self {
+        // Worker pools are not cloneable state: the clone re-creates its
+        // own lazily on the first parallel step.
+        SyntheticDb {
+            alive: self.alive.clone(),
+            finished: self.finished.clone(),
+            next_id: self.next_id,
+            initialized: self.initialized,
+            pool: None,
+            shards: Vec::new(),
+            seeds: Vec::new(),
+            scan_buf: Vec::new(),
         }
-        pick -= w;
     }
-    weights.len() - 1
 }
 
 impl SyntheticDb {
@@ -93,64 +116,186 @@ impl SyntheticDb {
         lambda: f64,
         rng: &mut R,
     ) {
+        let cache = model.sampler().cloned();
         if !self.initialized {
             // Initialization of T_syn (Alg. 1 line 5): spawn `target`
             // streams from the entering distribution.
-            self.spawn(t, model, table, target, rng);
+            self.spawn(t, model, table, cache.as_deref(), target, rng);
             self.initialized = true;
             return;
         }
-        // Phase 1a: natural termination via Eq. 8.
-        let mut survivors = Vec::with_capacity(self.alive.len());
-        for stream in self.alive.drain(..) {
-            let from = *stream.cells.last().unwrap();
-            let q = model.quit_prob(table, from, stream.cells.len() as u64, lambda);
-            if rng.random::<f64>() < q {
-                Self::retire(&mut self.finished, stream);
-            } else {
-                survivors.push(stream);
-            }
-        }
-        self.alive = survivors;
-        // Phase 2a: size adjustment downward *before* extension, so the
-        // terminated streams end at their `t−1` location (Pr(quit | c_last)
-        // = Pr(q_j), §III-D). Weighted sampling without replacement in one
-        // pass (Efraimidis–Spirakis keys: u^{1/w}, keep the `excess`
-        // largest).
-        if self.alive.len() > target {
-            let quit_dist = model.quit_distribution(table);
-            let excess = self.alive.len() - target;
-            let mut keyed: Vec<(f64, usize)> = self
-                .alive
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    let w = quit_dist[s.cells.last().unwrap().index()].max(1e-12);
-                    let u: f64 = rng.random::<f64>();
-                    (u.powf(1.0 / w), i)
-                })
-                .collect();
-            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-            let mut victims: Vec<usize> = keyed[..excess].iter().map(|&(_, i)| i).collect();
-            // Remove from the back so indices stay valid.
-            victims.sort_unstable_by(|a, b| b.cmp(a));
-            for v in victims {
-                let stream = self.alive.swap_remove(v);
-                Self::retire(&mut self.finished, stream);
-            }
-        }
-        // Phase 1b: extension — survivors move to a neighbor drawn from the
-        // movement distribution conditioned on not quitting.
-        for stream in &mut self.alive {
-            let from = *stream.cells.last().unwrap();
-            let probs = model.move_probs(table, from);
-            let pos = sample_weighted(&probs, rng);
-            stream.cells.push(table.move_targets(from)[pos]);
+        if self.alive.len() <= target {
+            // Fast path (the steady state: the population is not
+            // shrinking, so downward adjustment is impossible no matter
+            // how the quit draws fall): termination and extension fuse
+            // into ONE compacting pass — per stream, one cached quit
+            // probability, one alias draw, zero allocations.
+            self.quit_and_extend_fused(model, table, cache.as_deref(), lambda, rng);
+        } else {
+            // Phase 1a: natural termination via Eq. 8.
+            self.quit_phase(model, table, cache.as_deref(), lambda, rng);
+            // Phase 2a: size adjustment downward *before* extension, so
+            // the terminated streams end at their `t−1` location.
+            self.shrink_to_target(model, table, target, rng);
+            // Phase 1b: extension — survivors move to a neighbor drawn
+            // from the movement distribution conditioned on not quitting.
+            self.extend_all(model, table, cache.as_deref(), rng);
         }
         // Phase 2b: size adjustment upward via the entering distribution.
         if self.alive.len() < target {
             let missing = target - self.alive.len();
-            self.spawn(t, model, table, missing, rng);
+            self.spawn(t, model, table, cache.as_deref(), missing, rng);
+        }
+    }
+
+    /// Fused phases 1a + 1b for steps that cannot shrink: decide
+    /// termination and extend survivors in a single in-place pass. Only
+    /// valid when no downward size adjustment can occur
+    /// (`alive.len() <= target` before the quit draws).
+    ///
+    /// Survivors stay in place; a quitter is `swap_remove`d and the stream
+    /// swapped into its slot is decided next, so the pass moves O(quits)
+    /// elements instead of compacting all n. The draw order is a
+    /// deterministic function of the quit pattern — identical for a fixed
+    /// seed.
+    fn quit_and_extend_fused<R: Rng + ?Sized>(
+        &mut self,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        cache: Option<&SamplerCache>,
+        lambda: f64,
+        rng: &mut R,
+    ) {
+        match cache {
+            Some(cache) => {
+                let inv_lambda = 1.0 / lambda;
+                let mut i = 0;
+                while i < self.alive.len() {
+                    let stream = &mut self.alive[i];
+                    let from = *stream.cells.last().unwrap();
+                    let q = stream.cells.len() as f64 * inv_lambda * cache.base_quit_prob(from);
+                    if rng.random::<f64>() >= q {
+                        stream.cells.push(cache.sample_move(from, rng));
+                        i += 1;
+                    } else {
+                        let quitter = self.alive.swap_remove(i);
+                        Self::retire(&mut self.finished, quitter);
+                    }
+                }
+            }
+            None => {
+                let mut buf = std::mem::take(&mut self.scan_buf);
+                let mut i = 0;
+                while i < self.alive.len() {
+                    let from = *self.alive[i].cells.last().unwrap();
+                    let len = self.alive[i].cells.len() as u64;
+                    let q = model.quit_prob(table, from, len, lambda);
+                    if rng.random::<f64>() >= q {
+                        model.move_probs_into(table, from, &mut buf);
+                        let pos = sample_weighted(&buf, rng);
+                        self.alive[i].cells.push(table.move_targets(from)[pos]);
+                        i += 1;
+                    } else {
+                        let quitter = self.alive.swap_remove(i);
+                        Self::retire(&mut self.finished, quitter);
+                    }
+                }
+                self.scan_buf = buf;
+            }
+        }
+    }
+
+    /// Phase 1b: extend every live stream by one movement draw.
+    fn extend_all<R: Rng + ?Sized>(
+        &mut self,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        cache: Option<&SamplerCache>,
+        rng: &mut R,
+    ) {
+        match cache {
+            Some(cache) => {
+                for stream in &mut self.alive {
+                    let from = *stream.cells.last().unwrap();
+                    stream.cells.push(cache.sample_move(from, rng));
+                }
+            }
+            None => {
+                let mut buf = std::mem::take(&mut self.scan_buf);
+                for stream in &mut self.alive {
+                    let from = *stream.cells.last().unwrap();
+                    model.move_probs_into(table, from, &mut buf);
+                    let pos = sample_weighted(&buf, rng);
+                    stream.cells.push(table.move_targets(from)[pos]);
+                }
+                self.scan_buf = buf;
+            }
+        }
+    }
+
+    /// Phase 1a: draw per-stream termination decisions and retire quitters.
+    ///
+    /// One in-place pass moving O(quits) elements: survivors stay put, a
+    /// quitter is `swap_remove`d and the swapped-in stream decided next —
+    /// deterministic for a fixed seed, no per-step allocation.
+    fn quit_phase<R: Rng + ?Sized>(
+        &mut self,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        cache: Option<&SamplerCache>,
+        lambda: f64,
+        rng: &mut R,
+    ) {
+        let mut i = 0;
+        while i < self.alive.len() {
+            let from = *self.alive[i].cells.last().unwrap();
+            let len = self.alive[i].cells.len() as u64;
+            let q = match cache {
+                Some(c) => c.quit_prob(from, len, lambda),
+                None => model.quit_prob(table, from, len, lambda),
+            };
+            if rng.random::<f64>() >= q {
+                i += 1;
+            } else {
+                let quitter = self.alive.swap_remove(i);
+                Self::retire(&mut self.finished, quitter);
+            }
+        }
+    }
+
+    /// Phase 2a: weighted sampling without replacement of `excess` victims
+    /// (Efraimidis–Spirakis keys `u^{1/w}`, keep the largest), retiring
+    /// them at their `t−1` location with probability proportional to the
+    /// quitting distribution.
+    fn shrink_to_target<R: Rng + ?Sized>(
+        &mut self,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        target: usize,
+        rng: &mut R,
+    ) {
+        if self.alive.len() <= target {
+            return;
+        }
+        let quit_dist = model.quit_distribution(table);
+        let excess = self.alive.len() - target;
+        let mut keyed: Vec<(f64, usize)> = self
+            .alive
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let w = quit_dist[s.cells.last().unwrap().index()].max(1e-12);
+                let u: f64 = rng.random::<f64>();
+                (u.powf(1.0 / w), i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let mut victims: Vec<usize> = keyed[..excess].iter().map(|&(_, i)| i).collect();
+        // Remove from the back so indices stay valid.
+        victims.sort_unstable_by(|a, b| b.cmp(a));
+        for v in victims {
+            let stream = self.alive.swap_remove(v);
+            Self::retire(&mut self.finished, stream);
         }
     }
 
@@ -179,21 +324,38 @@ impl SyntheticDb {
             self.initialized = true;
             return;
         }
-        for stream in &mut self.alive {
-            let from = *stream.cells.last().unwrap();
-            let probs = model.move_probs(table, from);
-            let pos = sample_weighted(&probs, rng);
-            stream.cells.push(table.move_targets(from)[pos]);
+        match model.sampler() {
+            Some(cache) => {
+                for stream in &mut self.alive {
+                    let from = *stream.cells.last().unwrap();
+                    stream.cells.push(cache.sample_move(from, rng));
+                }
+            }
+            None => {
+                let mut buf = std::mem::take(&mut self.scan_buf);
+                for stream in &mut self.alive {
+                    let from = *stream.cells.last().unwrap();
+                    model.move_probs_into(table, from, &mut buf);
+                    let pos = sample_weighted(&buf, rng);
+                    stream.cells.push(table.move_targets(from)[pos]);
+                }
+                self.scan_buf = buf;
+            }
         }
     }
 
     /// Parallel variant of [`Self::step`] — the acceleration the paper
     /// names as future work (§VII: "study acceleration techniques (e.g.,
-    /// parallel computing)"). Semantically identical invariants (exact
-    /// size tracking, adjacency); the random stream differs from the
-    /// sequential path but is deterministic for a fixed `(seed, threads)`.
-    /// Falls back to the sequential step for small databases where thread
-    /// startup dominates.
+    /// parallel computing)").
+    ///
+    /// The extension phase runs on a persistent worker pool owned by this
+    /// database (created on first use, re-created if `threads` changes).
+    /// Semantically identical invariants to [`Self::step`] (exact size
+    /// tracking, adjacency); the random stream differs from the sequential
+    /// path but is deterministic for a fixed `(seed, threads)`. Falls back
+    /// to the sequential step for small databases where dispatch overhead
+    /// dominates, and whenever the model has no fresh [`SamplerCache`]
+    /// (workers sample exclusively through the cache snapshot).
     #[allow(clippy::too_many_arguments)]
     pub fn step_parallel<R: Rng + ?Sized>(
         &mut self,
@@ -206,108 +368,50 @@ impl SyntheticDb {
         threads: usize,
     ) {
         const MIN_PARALLEL: usize = 2048;
-        if threads <= 1 || self.alive.len() < MIN_PARALLEL {
+        let cache = model.sampler().cloned();
+        let parallel_ok = threads > 1 && self.alive.len() >= MIN_PARALLEL && cache.is_some();
+        if !parallel_ok {
             return self.step(t, model, table, target, lambda, rng);
         }
+        let cache: Arc<SamplerCache> = cache.unwrap();
         if !self.initialized {
-            self.spawn(t, model, table, target, rng);
+            self.spawn(t, model, table, Some(&cache), target, rng);
             self.initialized = true;
             return;
         }
-        use rand::SeedableRng;
-        let chunk_len = self.alive.len().div_ceil(threads);
 
-        // Phase 1a (parallel): quit decisions.
-        let quit_flags: Vec<bool> = {
-            let chunks: Vec<&[OpenStream]> = self.alive.chunks(chunk_len).collect();
-            let seeds: Vec<u64> = chunks.iter().map(|_| rng.random()).collect();
-            let mut flags: Vec<Vec<bool>> = Vec::with_capacity(chunks.len());
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .zip(&seeds)
-                    .map(|(chunk, &seed)| {
-                        scope.spawn(move || {
-                            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                            chunk
-                                .iter()
-                                .map(|s| {
-                                    let from = *s.cells.last().unwrap();
-                                    let q = model.quit_prob(
-                                        table,
-                                        from,
-                                        s.cells.len() as u64,
-                                        lambda,
-                                    );
-                                    rng.random::<f64>() < q
-                                })
-                                .collect::<Vec<bool>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    flags.push(h.join().expect("synthesis worker panicked"));
-                }
-            });
-            flags.concat()
-        };
-        let mut survivors = Vec::with_capacity(self.alive.len());
-        for (stream, quit) in self.alive.drain(..).zip(quit_flags) {
-            if quit {
-                Self::retire(&mut self.finished, stream);
-            } else {
-                survivors.push(stream);
+        // Phases 1a + 2a on the caller thread: with cached quit
+        // probabilities both are cheap O(n) passes, and keeping them on the
+        // main RNG preserves a single decision order.
+        self.quit_phase(model, table, Some(&cache), lambda, rng);
+        self.shrink_to_target(model, table, target, rng);
+
+        // Phase 1b on the pool: shard, seed deterministically, dispatch.
+        if !self.alive.is_empty() {
+            match &self.pool {
+                Some(pool) if pool.threads() == threads => {}
+                _ => self.pool = Some(SynthesisPool::new(threads)),
             }
-        }
-        self.alive = survivors;
-
-        // Phase 2a (sequential; rarely large): downward size adjustment.
-        if self.alive.len() > target {
-            let quit_dist = model.quit_distribution(table);
-            let excess = self.alive.len() - target;
-            let mut keyed: Vec<(f64, usize)> = self
-                .alive
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    let w = quit_dist[s.cells.last().unwrap().index()].max(1e-12);
-                    let u: f64 = rng.random::<f64>();
-                    (u.powf(1.0 / w), i)
-                })
-                .collect();
-            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-            let mut victims: Vec<usize> = keyed[..excess].iter().map(|&(_, i)| i).collect();
-            victims.sort_unstable_by(|a, b| b.cmp(a));
-            for v in victims {
-                let stream = self.alive.swap_remove(v);
-                Self::retire(&mut self.finished, stream);
-            }
-        }
-
-        // Phase 1b (parallel): extension.
-        {
             let chunk_len = self.alive.len().div_ceil(threads).max(1);
-            let seeds: Vec<u64> =
-                (0..self.alive.len().div_ceil(chunk_len)).map(|_| rng.random()).collect();
-            std::thread::scope(|scope| {
-                for (chunk, &seed) in self.alive.chunks_mut(chunk_len).zip(&seeds) {
-                    scope.spawn(move || {
-                        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                        for stream in chunk {
-                            let from = *stream.cells.last().unwrap();
-                            let probs = model.move_probs(table, from);
-                            let pos = sample_weighted(&probs, &mut rng);
-                            stream.cells.push(table.move_targets(from)[pos]);
-                        }
-                    });
-                }
-            });
+            let num_shards = self.alive.len().div_ceil(chunk_len);
+            self.shards.resize_with(num_shards, Vec::new);
+            for (i, stream) in self.alive.drain(..).enumerate() {
+                self.shards[i / chunk_len].push(stream);
+            }
+            draw_seeds(&mut self.seeds, num_shards, rng);
+            let pool = self.pool.as_ref().expect("pool created above");
+            pool.extend_shards(&mut self.shards, &self.seeds, &cache);
+            for shard in &mut self.shards {
+                // `append` moves the streams back and leaves the shard's
+                // capacity in place for the next step.
+                self.alive.append(shard);
+            }
         }
 
         // Phase 2b: upward size adjustment.
         if self.alive.len() < target {
             let missing = target - self.alive.len();
-            self.spawn(t, model, table, missing, rng);
+            self.spawn(t, model, table, Some(&cache), missing, rng);
         }
     }
 
@@ -316,14 +420,26 @@ impl SyntheticDb {
         t: u64,
         model: &GlobalMobilityModel,
         table: &TransitionTable,
+        cache: Option<&SamplerCache>,
         count: usize,
         rng: &mut R,
     ) {
-        let enter_dist = model.enter_distribution(table);
-        for _ in 0..count {
-            let cell = CellId(sample_weighted(&enter_dist, rng) as u16);
-            self.alive.push(OpenStream { id: self.next_id, start: t, cells: vec![cell] });
-            self.next_id += 1;
+        match cache {
+            Some(cache) => {
+                for _ in 0..count {
+                    let cell = cache.sample_enter(rng);
+                    self.alive.push(OpenStream { id: self.next_id, start: t, cells: vec![cell] });
+                    self.next_id += 1;
+                }
+            }
+            None => {
+                let enter_dist = model.enter_distribution(table);
+                for _ in 0..count {
+                    let cell = CellId(sample_weighted(&enter_dist, rng) as u16);
+                    self.alive.push(OpenStream { id: self.next_id, start: t, cells: vec![cell] });
+                    self.next_id += 1;
+                }
+            }
         }
     }
 
@@ -377,6 +493,13 @@ mod tests {
         model
     }
 
+    /// Same model with the alias sampler cache built.
+    fn eastward_model_cached(grid: &Grid, table: &TransitionTable) -> GlobalMobilityModel {
+        let mut model = eastward_model(grid, table);
+        model.rebuild_samplers(table);
+        model
+    }
+
     #[test]
     fn initialization_spawns_target_from_enter_dist() {
         let (grid, table, _) = setup();
@@ -393,35 +516,62 @@ mod tests {
     }
 
     #[test]
+    fn initialization_spawns_from_cached_enter_dist() {
+        let (grid, table, _) = setup();
+        let model = eastward_model_cached(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        db.step(0, &model, &table, 50, 10.0, &mut rng);
+        assert_eq!(db.active_count(), 50);
+        let released = db.finish(&grid, 1);
+        for s in released.streams() {
+            assert_eq!(s.first_cell(), grid.cell_at(0, 0));
+        }
+    }
+
+    #[test]
     fn size_adjustment_matches_target_exactly() {
         let (grid, table, _) = setup();
-        let model = eastward_model(&grid, &table);
-        let mut db = SyntheticDb::new();
-        let mut rng = StdRng::seed_from_u64(2);
-        db.step(0, &model, &table, 30, 100.0, &mut rng);
-        for (t, target) in [(1u64, 45usize), (2, 10), (3, 10), (4, 60), (5, 0), (6, 5)] {
-            db.step(t, &model, &table, target, 100.0, &mut rng);
-            assert_eq!(db.active_count(), target, "t={t}");
+        for cached in [false, true] {
+            let model = if cached {
+                eastward_model_cached(&grid, &table)
+            } else {
+                eastward_model(&grid, &table)
+            };
+            let mut db = SyntheticDb::new();
+            let mut rng = StdRng::seed_from_u64(2);
+            db.step(0, &model, &table, 30, 100.0, &mut rng);
+            for (t, target) in [(1u64, 45usize), (2, 10), (3, 10), (4, 60), (5, 0), (6, 5)] {
+                db.step(t, &model, &table, target, 100.0, &mut rng);
+                assert_eq!(db.active_count(), target, "cached={cached} t={t}");
+            }
         }
     }
 
     #[test]
     fn streams_follow_movement_distribution() {
         let (grid, table, _) = setup();
-        let model = eastward_model(&grid, &table);
-        let mut db = SyntheticDb::new();
-        let mut rng = StdRng::seed_from_u64(3);
-        for t in 0..4 {
-            db.step(t, &model, &table, 40, 1000.0, &mut rng);
-        }
-        let released = db.finish(&grid, 4);
-        // Every move in every stream is rightward (the only nonzero moves).
-        for s in released.streams() {
-            for w in s.cells.windows(2) {
-                let (ax, ay) = grid.cell_xy(w[0]);
-                let (bx, by) = grid.cell_xy(w[1]);
-                assert_eq!(by, ay);
-                assert_eq!(bx, ax + 1);
+        for cached in [false, true] {
+            let model = if cached {
+                eastward_model_cached(&grid, &table)
+            } else {
+                eastward_model(&grid, &table)
+            };
+            let mut db = SyntheticDb::new();
+            let mut rng = StdRng::seed_from_u64(3);
+            for t in 0..4 {
+                db.step(t, &model, &table, 40, 1000.0, &mut rng);
+            }
+            let released = db.finish(&grid, 4);
+            // Every move in every stream is rightward (the only nonzero
+            // moves).
+            for s in released.streams() {
+                for w in s.cells.windows(2) {
+                    let (ax, ay) = grid.cell_xy(w[0]);
+                    let (bx, by) = grid.cell_xy(w[1]);
+                    assert_eq!(by, ay, "cached={cached}");
+                    assert_eq!(bx, ax + 1, "cached={cached}");
+                }
             }
         }
     }
@@ -442,7 +592,7 @@ mod tests {
     #[test]
     fn eq8_short_lambda_terminates_streams() {
         let (grid, table, _) = setup();
-        let model = eastward_model(&grid, &table);
+        let model = eastward_model_cached(&grid, &table);
         let mut db = SyntheticDb::new();
         let mut rng = StdRng::seed_from_u64(5);
         for t in 0..10 {
@@ -473,7 +623,9 @@ mod tests {
 
     #[test]
     fn uninformed_model_still_synthesizes_adjacent_moves() {
-        let (grid, table, model) = setup();
+        let (grid, table, mut model) = setup();
+        // Build the cache for the all-zero model: uniform fallbacks.
+        model.rebuild_samplers(&table);
         let mut db = SyntheticDb::new();
         let mut rng = StdRng::seed_from_u64(7);
         for t in 0..6 {
@@ -508,7 +660,7 @@ mod tests {
     #[test]
     fn parallel_step_keeps_invariants() {
         let (grid, table, _) = setup();
-        let model = eastward_model(&grid, &table);
+        let model = eastward_model_cached(&grid, &table);
         let mut db = SyntheticDb::new();
         let mut rng = StdRng::seed_from_u64(12);
         // Large enough to cross the parallel threshold.
@@ -528,7 +680,7 @@ mod tests {
     #[test]
     fn parallel_step_single_thread_matches_sequential() {
         let (grid, table, _) = setup();
-        let model = eastward_model(&grid, &table);
+        let model = eastward_model_cached(&grid, &table);
         let run = |parallel: bool| {
             let mut db = SyntheticDb::new();
             let mut rng = StdRng::seed_from_u64(13);
@@ -548,7 +700,7 @@ mod tests {
     #[test]
     fn parallel_step_deterministic_per_seed() {
         let (grid, table, _) = setup();
-        let model = eastward_model(&grid, &table);
+        let model = eastward_model_cached(&grid, &table);
         let run = || {
             let mut db = SyntheticDb::new();
             let mut rng = StdRng::seed_from_u64(14);
@@ -558,6 +710,28 @@ mod tests {
             db.finish(&grid, 4)
         };
         assert_eq!(run().streams(), run().streams());
+    }
+
+    #[test]
+    fn pooled_step_reuses_one_pool_across_steps() {
+        let (grid, table, _) = setup();
+        let model = eastward_model_cached(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(15);
+        for t in 0..5 {
+            db.step_parallel(t, &model, &table, 5000, 50.0, &mut rng, 2);
+        }
+        let pool = db.pool.as_ref().expect("pool created by parallel steps");
+        assert_eq!(pool.threads(), 2);
+        // Changing the thread count re-creates the pool at the new size.
+        db.step_parallel(5, &model, &table, 5000, 50.0, &mut rng, 4);
+        assert_eq!(db.pool.as_ref().unwrap().threads(), 4);
+        let released = db.finish(&grid, 6);
+        for s in released.streams() {
+            for w in s.cells.windows(2) {
+                assert!(grid.are_adjacent(w[0], w[1]));
+            }
+        }
     }
 
     #[test]

@@ -163,10 +163,7 @@ impl MovingObject {
         }
         let a = network.node(self.path[self.leg]);
         let b = network.node(self.path[self.leg + 1]);
-        Point::new(
-            a.x + (b.x - a.x) * self.progress,
-            a.y + (b.y - a.y) * self.progress,
-        )
+        Point::new(a.x + (b.x - a.x) * self.progress, a.y + (b.y - a.y) * self.progress)
     }
 
     fn record_position(&mut self, network: &RoadNetwork) {

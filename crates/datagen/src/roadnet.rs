@@ -96,8 +96,7 @@ impl RoadNetwork {
         // power-law tail × Gaussian district field, giving the strong
         // cell-level popularity contrast the trajectory-level metrics key
         // on.
-        let districts: [(f64, f64, f64); 3] =
-            [(0.5, 0.5, 5.0), (0.2, 0.75, 3.0), (0.8, 0.2, 2.0)];
+        let districts: [(f64, f64, f64); 3] = [(0.5, 0.5, 5.0), (0.2, 0.75, 3.0), (0.8, 0.2, 2.0)];
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for node in &nodes {

@@ -66,9 +66,8 @@ impl TDriveConfig {
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StreamDataset {
         let city = City::beijing_like();
         let mut trajectories = Vec::new();
-        let mut taxis: Vec<Taxi> = (0..self.taxis)
-            .map(|i| Taxi::spawn(i as u64, &city, self, rng))
-            .collect();
+        let mut taxis: Vec<Taxi> =
+            (0..self.taxis).map(|i| Taxi::spawn(i as u64, &city, self, rng)).collect();
         for t in 0..self.timestamps {
             let phase = DayPhase::of(t, self.day_length);
             for taxi in &mut taxis {
@@ -196,12 +195,7 @@ struct Taxi {
 }
 
 impl Taxi {
-    fn spawn<R: Rng + ?Sized>(
-        user: u64,
-        city: &City,
-        _config: &TDriveConfig,
-        rng: &mut R,
-    ) -> Self {
+    fn spawn<R: Rng + ?Sized>(user: u64, city: &City, _config: &TDriveConfig, rng: &mut R) -> Self {
         let pos = city.sample_destination(DayPhase::OffPeak, rng);
         let dest = city.sample_destination(DayPhase::OffPeak, rng);
         Taxi { user, pos, dest, reporting: rng.random::<f64>() < 0.35, open: None }
@@ -224,10 +218,12 @@ impl Taxi {
         } else {
             let step = config.speed / d;
             self.pos = Point::new(
-                (self.pos.x + (self.dest.x - self.pos.x) * step
+                (self.pos.x
+                    + (self.dest.x - self.pos.x) * step
                     + crate::gaussian(rng) * config.jitter)
                     .clamp(0.0, 1.0),
-                (self.pos.y + (self.dest.y - self.pos.y) * step
+                (self.pos.y
+                    + (self.dest.y - self.pos.y) * step
                     + crate::gaussian(rng) * config.jitter)
                     .clamp(0.0, 1.0),
             );

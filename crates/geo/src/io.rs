@@ -22,12 +22,7 @@ use std::path::Path;
 
 /// Serialize a gridded database to a writer.
 pub fn write_gridded<W: Write>(dataset: &GriddedDataset, writer: &mut W) -> io::Result<()> {
-    writeln!(
-        writer,
-        "retrasyn-gridded v1 k={} horizon={}",
-        dataset.grid().k(),
-        dataset.horizon()
-    )?;
+    writeln!(writer, "retrasyn-gridded v1 k={} horizon={}", dataset.grid().k(), dataset.horizon())?;
     for s in dataset.streams() {
         write!(writer, "{} {}", s.id, s.start)?;
         for c in &s.cells {

@@ -127,14 +127,12 @@ mod tests {
         // t=4: stream 0's farewell quit + stream 1's enter.
         let at4 = tl.at(4);
         assert_eq!(at4.len(), 2);
-        assert!(at4.contains(&UserEvent {
-            user: 0,
-            state: TransitionState::Quit(grid.cell_at(1, 1))
-        }));
-        assert!(at4.contains(&UserEvent {
-            user: 1,
-            state: TransitionState::Enter(grid.cell_at(2, 2))
-        }));
+        assert!(
+            at4.contains(&UserEvent { user: 0, state: TransitionState::Quit(grid.cell_at(1, 1)) })
+        );
+        assert!(
+            at4.contains(&UserEvent { user: 1, state: TransitionState::Enter(grid.cell_at(2, 2)) })
+        );
     }
 
     #[test]

@@ -96,6 +96,34 @@ impl TransitionTable {
         self.move_offsets[i] as usize..self.move_offsets[i + 1] as usize
     }
 
+    /// Row offsets of every move block: `move_offsets()[i]` is the first
+    /// dense index of cell `i`'s block and `move_offsets()[num_cells()]`
+    /// equals [`Self::num_moves`]. Lets samplers mirror the dense move
+    /// layout without per-cell calls.
+    #[inline]
+    pub fn move_offsets(&self) -> &[u32] {
+        &self.move_offsets
+    }
+
+    /// The concatenated destination cells of all move blocks (parallel to
+    /// the dense move index space).
+    #[inline]
+    pub fn neighbor_cells(&self) -> &[CellId] {
+        &self.neighbor_list
+    }
+
+    /// Source cell owning the movement state at dense `index`
+    /// (`index < num_moves()`); O(log |C|).
+    #[inline]
+    pub fn move_source_of(&self, index: usize) -> CellId {
+        debug_assert!(index < self.num_moves());
+        let cell = match self.move_offsets.binary_search(&(index as u32)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        CellId(cell as u16)
+    }
+
     /// Destination cells of `from`'s move block (parallel to
     /// [`Self::move_block`]).
     #[inline]
@@ -147,10 +175,7 @@ impl TransitionTable {
                 }
                 Err(i) => i - 1,
             };
-            TransitionState::Move {
-                from: CellId(from as u16),
-                to: self.neighbor_list[index],
-            }
+            TransitionState::Move { from: CellId(from as u16), to: self.neighbor_list[index] }
         } else if index < moves + cells {
             TransitionState::Enter(CellId((index - moves) as u16))
         } else if index < moves + 2 * cells {
@@ -211,10 +236,7 @@ mod tests {
             assert_eq!(block.len(), grid.neighbors(from).len());
             assert_eq!(targets.len(), block.len());
             for (pos, &to) in targets.iter().enumerate() {
-                assert_eq!(
-                    t.index_of(TransitionState::Move { from, to }),
-                    Some(block.start + pos)
-                );
+                assert_eq!(t.index_of(TransitionState::Move { from, to }), Some(block.start + pos));
             }
         }
     }
@@ -223,8 +245,7 @@ mod tests {
     fn non_adjacent_move_not_in_domain() {
         let grid = Grid::unit(5);
         let t = TransitionTable::new(&grid);
-        let state =
-            TransitionState::Move { from: grid.cell_at(0, 0), to: grid.cell_at(3, 3) };
+        let state = TransitionState::Move { from: grid.cell_at(0, 0), to: grid.cell_at(3, 3) };
         assert_eq!(t.index_of(state), None);
     }
 

@@ -119,11 +119,7 @@ mod tests {
                 let report = audit_oue(&oue);
                 assert!(report.holds(), "eps={eps} d={d}: {report:?}");
                 assert!(report.is_tight(), "eps={eps} d={d}: {report:?}");
-                assert_eq!(
-                    report.triples,
-                    (d * (d - 1)) as u64 * (1u64 << d),
-                    "triple count"
-                );
+                assert_eq!(report.triples, (d * (d - 1)) as u64 * (1u64 << d), "triple count");
             }
         }
     }

@@ -112,11 +112,7 @@ mod tests {
     fn moments(samples: &[u64]) -> (f64, f64) {
         let n = samples.len() as f64;
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var = samples
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
         (mean, var)
     }
 

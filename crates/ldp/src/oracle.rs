@@ -104,9 +104,16 @@ impl FrequencyOracle for Oue {
         }
         let ones = match mode {
             ReportMode::PerUser => {
-                let reports: Result<Vec<_>, _> =
-                    values.iter().map(|&v| self.perturb(v, rng)).collect();
-                self.tally(&reports?)?
+                // One reused report buffer folded straight into the tally:
+                // zero allocations per user, O(n·d·q) total work instead of
+                // materializing n full reports.
+                let mut ones = vec![0u64; self.domain()];
+                let mut scratch = crate::oue::BitReport::zeros(self.domain());
+                for &v in values {
+                    self.perturb_into(v, &mut scratch, rng)?;
+                    self.tally_into(&mut ones, &scratch)?;
+                }
+                ones
             }
             ReportMode::Aggregate => {
                 let counts = true_counts(values, self.domain())?;

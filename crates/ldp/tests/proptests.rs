@@ -184,11 +184,7 @@ fn oue_variance_matches_eq3() {
         samples.push(est.freqs[0]);
     }
     let mean: f64 = samples.iter().sum::<f64>() / rounds as f64;
-    let var: f64 =
-        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / rounds as f64;
+    let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / rounds as f64;
     let expected = FrequencyOracle::variance(&oue, n);
-    assert!(
-        (var - expected).abs() / expected < 0.25,
-        "empirical {var} vs Eq.3 {expected}"
-    );
+    assert!((var - expected).abs() / expected < 0.25, "empirical {var} vs Eq.3 {expected}");
 }

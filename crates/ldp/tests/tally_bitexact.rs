@@ -1,0 +1,144 @@
+//! The word-parallel tally must be *bit-exact* with the per-bit reference
+//! path it replaced, and the zero-allocation `perturb_into` must match the
+//! per-bit perturbation distribution exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retrasyn_ldp::{BitReport, Oue};
+
+/// The straightforward per-bit reference tally the seed implementation
+/// used: test every position of every report.
+fn tally_per_bit(domain: usize, reports: &[BitReport]) -> Vec<u64> {
+    let mut ones = vec![0u64; domain];
+    for r in reports {
+        assert_eq!(r.len(), domain);
+        for (i, one) in ones.iter_mut().enumerate() {
+            if r.get(i) {
+                *one += 1;
+            }
+        }
+    }
+    ones
+}
+
+fn random_reports(domain: usize, n: usize, density: f64, seed: u64) -> Vec<BitReport> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut r = BitReport::zeros(domain);
+            for i in 0..domain {
+                if rng.random::<f64>() < density {
+                    r.set(i, true);
+                }
+            }
+            r
+        })
+        .collect()
+}
+
+#[test]
+fn word_parallel_tally_is_bit_exact() {
+    // Awkward domain sizes around word boundaries, across densities.
+    for domain in [2usize, 63, 64, 65, 130, 1000] {
+        let oue = Oue::new(1.0, domain).unwrap();
+        for (density, seed) in [(0.0, 1u64), (0.05, 2), (0.5, 3), (1.0, 4)] {
+            let reports = random_reports(domain, 37, density, seed);
+            let fast = oue.tally(&reports).unwrap();
+            let reference = tally_per_bit(domain, &reports);
+            assert_eq!(fast, reference, "domain={domain} density={density}");
+        }
+    }
+}
+
+#[test]
+fn tally_into_accumulates_exactly() {
+    let domain = 300;
+    let oue = Oue::new(0.7, domain).unwrap();
+    let reports = random_reports(domain, 25, 0.3, 9);
+    let batch = oue.tally(&reports).unwrap();
+    let mut incremental = vec![0u64; domain];
+    for r in &reports {
+        oue.tally_into(&mut incremental, r).unwrap();
+    }
+    assert_eq!(batch, incremental);
+}
+
+#[test]
+fn tally_rejects_mismatched_lengths() {
+    let oue = Oue::new(1.0, 64).unwrap();
+    let bad = BitReport::zeros(65);
+    assert!(oue.tally(&[bad]).is_err());
+    let good = BitReport::zeros(64);
+    let mut short_ones = vec![0u64; 63];
+    assert!(oue.tally_into(&mut short_ones, &good).is_err());
+}
+
+#[test]
+fn perturb_into_reuses_buffer_and_matches_marginals() {
+    // Exactness check of the geometric-skipping perturbation: empirical
+    // per-position 1-frequencies must match p on the true bit and q
+    // elsewhere within tight binomial bounds.
+    let domain = 64;
+    let eps = 1.0;
+    let oue = Oue::new(eps, domain).unwrap();
+    let q = oue.q();
+    let mut rng = StdRng::seed_from_u64(42);
+    let rounds = 60_000u64;
+    let value = 17usize;
+    let mut ones = vec![0u64; domain];
+    let mut scratch = BitReport::zeros(domain);
+    for _ in 0..rounds {
+        oue.perturb_into(value, &mut scratch, &mut rng).unwrap();
+        oue.tally_into(&mut ones, &scratch).unwrap();
+    }
+    for (i, &c) in ones.iter().enumerate() {
+        let expected = if i == value { 0.5 } else { q };
+        let sigma = (expected * (1.0 - expected) * rounds as f64).sqrt();
+        let diff = (c as f64 - expected * rounds as f64).abs();
+        assert!(
+            diff < 5.0 * sigma,
+            "position {i}: count {c}, expected {}",
+            expected * rounds as f64
+        );
+    }
+}
+
+#[test]
+fn perturb_and_perturb_into_share_distribution() {
+    // The allocating wrapper goes through the same code path; sanity-check
+    // total set-bit counts look identical in expectation.
+    let domain = 512;
+    let oue = Oue::new(2.0, domain).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let rounds = 4_000;
+    let mut total_wrapper = 0u64;
+    for _ in 0..rounds {
+        total_wrapper += oue.perturb(3, &mut rng).unwrap().count_ones();
+    }
+    let mut total_into = 0u64;
+    let mut scratch = BitReport::zeros(domain);
+    for _ in 0..rounds {
+        oue.perturb_into(3, &mut scratch, &mut rng).unwrap();
+        total_into += scratch.count_ones();
+    }
+    let expected = rounds as f64 * (0.5 + (domain - 1) as f64 * oue.q());
+    let sigma = (rounds as f64 * domain as f64 * 0.25).sqrt();
+    assert!((total_wrapper as f64 - expected).abs() < 5.0 * sigma);
+    assert!((total_into as f64 - expected).abs() < 5.0 * sigma);
+}
+
+#[test]
+fn reset_reuses_capacity() {
+    let mut r = BitReport::zeros(256);
+    for i in (0..256).step_by(3) {
+        r.set(i, true);
+    }
+    r.reset(256);
+    assert_eq!(r.count_ones(), 0);
+    assert_eq!(r.len(), 256);
+    // Shrinking then growing within capacity keeps the tail zeroed.
+    r.reset(100);
+    assert_eq!(r.len(), 100);
+    r.reset(200);
+    assert_eq!(r.count_ones(), 0);
+}

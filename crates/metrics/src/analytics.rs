@@ -89,19 +89,14 @@ pub fn radius_of_gyration(dataset: &GriddedDataset) -> Vec<f64> {
             let n = pts.len() as f64;
             let cx = pts.iter().map(|p| p.x).sum::<f64>() / n;
             let cy = pts.iter().map(|p| p.y).sum::<f64>() / n;
-            (pts.iter().map(|p| (p.x - cx).powi(2) + (p.y - cy).powi(2)).sum::<f64>() / n)
-                .sqrt()
+            (pts.iter().map(|p| (p.x - cx).powi(2) + (p.y - cy).powi(2)).sum::<f64>() / n).sqrt()
         })
         .collect()
 }
 
 /// Hourly (or any-periodic) occupancy profile of a region: mean number of
 /// active streams inside the region per phase of a `period`-timestamp day.
-pub fn periodic_occupancy(
-    dataset: &GriddedDataset,
-    region: &[CellId],
-    period: u64,
-) -> Vec<f64> {
+pub fn periodic_occupancy(dataset: &GriddedDataset, region: &[CellId], period: u64) -> Vec<f64> {
     assert!(period >= 1, "period must be >= 1");
     let cells: std::collections::HashSet<CellId> = region.iter().copied().collect();
     let mut totals = vec![0u64; period as usize];
@@ -109,8 +104,7 @@ pub fn periodic_occupancy(
     let counts = crate::per_ts_cell_counts(dataset);
     for (t, row) in counts.iter().enumerate() {
         let phase = (t as u64 % period) as usize;
-        let inside: u64 =
-            cells.iter().map(|c| row[c.index()] as u64).sum();
+        let inside: u64 = cells.iter().map(|c| row[c.index()] as u64).sum();
         totals[phase] += inside;
         samples[phase] += 1;
     }

@@ -17,13 +17,7 @@ pub fn kl(p: &[f64], q: &[f64]) -> f64 {
     p.iter()
         .zip(q)
         .filter(|(&pi, _)| pi > 0.0)
-        .map(|(&pi, &qi)| {
-            if qi <= 0.0 {
-                f64::INFINITY
-            } else {
-                pi * (pi / qi).ln()
-            }
-        })
+        .map(|(&pi, &qi)| if qi <= 0.0 { f64::INFINITY } else { pi * (pi / qi).ln() })
         .sum()
 }
 

@@ -57,11 +57,7 @@ fn top_cells(agg: &[u64], n: usize) -> Vec<usize> {
 
 /// DCG of a ranked cell list with relevance from `rel`.
 fn dcg(ranked: &[usize], rel: &[u64]) -> f64 {
-    ranked
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| rel[c] as f64 / (i as f64 + 2.0).log2())
-        .sum()
+    ranked.iter().enumerate().map(|(i, &c)| rel[c] as f64 / (i as f64 + 2.0).log2()).sum()
 }
 
 /// NDCG@`nh` of `syn`'s hotspot ranking for a single time range.

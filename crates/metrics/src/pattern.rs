@@ -36,10 +36,7 @@ pub fn pattern_counts(
 
 /// Top-`n` patterns by count (ties broken lexicographically for
 /// determinism).
-pub fn top_patterns(
-    counts: &HashMap<Vec<CellId>, u64>,
-    n: usize,
-) -> Vec<Vec<CellId>> {
+pub fn top_patterns(counts: &HashMap<Vec<CellId>, u64>, n: usize) -> Vec<Vec<CellId>> {
     let mut entries: Vec<(&Vec<CellId>, &u64)> = counts.iter().collect();
     entries.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
     entries.into_iter().take(n).map(|(p, _)| p.clone()).collect()
@@ -122,10 +119,7 @@ mod tests {
         // Length-2: (00,10), (10,20); length-3: (00,10,20).
         assert_eq!(counts.len(), 3);
         assert_eq!(counts[&vec![grid.cell_at(0, 0), grid.cell_at(1, 0)]], 1);
-        assert_eq!(
-            counts[&vec![grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(2, 0)]],
-            1
-        );
+        assert_eq!(counts[&vec![grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(2, 0)]], 1);
     }
 
     #[test]
@@ -169,10 +163,7 @@ mod tests {
     fn top_patterns_ranked_by_count() {
         let grid = Grid::unit(4);
         // Pattern (0,0)->(1,0) occurs twice, (3,3)->(3,2) once.
-        let d = ds(
-            &grid,
-            vec![vec![(0, 0), (1, 0)], vec![(0, 0), (1, 0)], vec![(3, 3), (3, 2)]],
-        );
+        let d = ds(&grid, vec![vec![(0, 0), (1, 0)], vec![(0, 0), (1, 0)], vec![(3, 3), (3, 2)]]);
         let counts = pattern_counts(&d, &TimeRange { t0: 0, t1: 1 }, 2);
         let top = top_patterns(&counts, 1);
         assert_eq!(top[0], vec![grid.cell_at(0, 0), grid.cell_at(1, 0)]);

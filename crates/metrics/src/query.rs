@@ -53,8 +53,10 @@ pub fn gen_queries<R: Rng + ?Sized>(
     let phi = phi.clamp(1, horizon);
     (0..count)
         .map(|_| {
-            let span_x = ((k as f64 * (0.2 + 0.3 * rng.random::<f64>())).round() as u16).clamp(1, k);
-            let span_y = ((k as f64 * (0.2 + 0.3 * rng.random::<f64>())).round() as u16).clamp(1, k);
+            let span_x =
+                ((k as f64 * (0.2 + 0.3 * rng.random::<f64>())).round() as u16).clamp(1, k);
+            let span_y =
+                ((k as f64 * (0.2 + 0.3 * rng.random::<f64>())).round() as u16).clamp(1, k);
             let x0 = rng.random_range(0..=(k - span_x));
             let y0 = rng.random_range(0..=(k - span_y));
             let t0 = rng.random_range(0..=(horizon - phi));
@@ -119,10 +121,7 @@ pub fn gen_continuous_queries<R: Rng + ?Sized>(
 }
 
 /// Exact answer over raw continuous trajectories.
-pub fn continuous_answer_raw(
-    dataset: &retrasyn_geo::StreamDataset,
-    q: &ContinuousQuery,
-) -> u64 {
+pub fn continuous_answer_raw(dataset: &retrasyn_geo::StreamDataset, q: &ContinuousQuery) -> u64 {
     let mut total = 0u64;
     for traj in dataset.trajectories() {
         let lo = q.t0.max(traj.start);

@@ -159,12 +159,7 @@ impl MetricSuite {
     /// Build the seeded time-range workload for a dataset shape.
     pub fn time_ranges(&self, orig: &GriddedDataset) -> Vec<TimeRange> {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
-        gen_time_ranges(
-            orig.horizon().max(1),
-            self.config.phi,
-            self.config.num_ranges,
-            &mut rng,
-        )
+        gen_time_ranges(orig.horizon().max(1), self.config.phi, self.config.num_ranges, &mut rng)
     }
 
     /// Evaluate all eight metrics of `syn` against `orig`.

@@ -82,9 +82,7 @@ mod tests {
         let streams: Vec<GriddedStream> = (0..3)
             .map(|i| {
                 let cells = (0..3)
-                    .map(|s| {
-                        grid.cell_at((1 + dir.0 * s) as u16, (1 + dir.1 * s) as u16)
-                    })
+                    .map(|s| grid.cell_at((1 + dir.0 * s) as u16, (1 + dir.1 * s) as u16))
                     .collect();
                 GriddedStream { id: i, start: 0, cells }
             })

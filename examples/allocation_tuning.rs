@@ -17,13 +17,8 @@ use retrasyn::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(23);
-    let dataset = RegimeShiftConfig {
-        users: 1200,
-        timestamps: 80,
-        shift_at: 40,
-        step: 0.05,
-    }
-    .generate(&mut rng);
+    let dataset = RegimeShiftConfig { users: 1200, timestamps: 80, shift_at: 40, step: 0.05 }
+        .generate(&mut rng);
     let grid = Grid::unit(6);
     let orig = dataset.discretize(&grid);
     println!("regime-shift stream: {}", orig.stats());
@@ -40,9 +35,8 @@ fn main() {
         AllocationKind::Sample,
         AllocationKind::RandomReport,
     ] {
-        let config = RetraSynConfig::new(1.0, 10)
-            .with_lambda(orig.avg_length())
-            .with_allocation(kind);
+        let config =
+            RetraSynConfig::new(1.0, 10).with_lambda(orig.avg_length()).with_allocation(kind);
         let mut engine = RetraSyn::population_division(config, grid.clone(), 5);
         let syn = engine.run_gridded(&orig);
         engine.ledger().verify().expect("w-event accounting");

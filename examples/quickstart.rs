@@ -15,8 +15,8 @@ use retrasyn::prelude::*;
 fn main() {
     // 1. A workload: 500 users walking for 60 timestamps with churn.
     let mut rng = StdRng::seed_from_u64(7);
-    let dataset = RandomWalkConfig { users: 500, timestamps: 60, ..Default::default() }
-        .generate(&mut rng);
+    let dataset =
+        RandomWalkConfig { users: 500, timestamps: 60, ..Default::default() }.generate(&mut rng);
     let grid = Grid::unit(6);
     let stats = dataset.stats(&grid);
     println!("original : {stats}");

@@ -16,8 +16,8 @@ use retrasyn::prelude::*;
 fn main() {
     // Produce a private release of a day of taxi traffic.
     let mut rng = StdRng::seed_from_u64(31);
-    let dataset = TDriveConfig { taxis: 900, timestamps: 144, ..Default::default() }
-        .generate(&mut rng);
+    let dataset =
+        TDriveConfig { taxis: 900, timestamps: 144, ..Default::default() }.generate(&mut rng);
     let grid = Grid::unit(6);
     let orig = dataset.discretize(&grid);
     let config = RetraSynConfig::new(1.0, 20).with_lambda(orig.avg_length());
@@ -43,10 +43,8 @@ fn main() {
         println!("  cell{:<3} -> cell{:<3}: {count}", a.0, b.0);
     }
 
-    let centre: Vec<_> = [(2u16, 2u16), (3, 2), (2, 3), (3, 3)]
-        .iter()
-        .map(|&(x, y)| grid.cell_at(x, y))
-        .collect();
+    let centre: Vec<_> =
+        [(2u16, 2u16), (3, 2), (2, 3), (3, 3)].iter().map(|&(x, y)| grid.cell_at(x, y)).collect();
     let suburb: Vec<_> =
         [(0u16, 4u16), (1, 4), (0, 5), (1, 5)].iter().map(|&(x, y)| grid.cell_at(x, y)).collect();
     let inbound = analytics::flow_series(&reloaded, &suburb, &centre);

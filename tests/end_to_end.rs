@@ -93,11 +93,7 @@ fn baselines_length_error_is_ln2() {
         let mut engine = LdpIds::new(kind, LdpIdsConfig::new(1.0, 10), grid.clone(), 5);
         let syn = engine.run_gridded(&orig);
         let err = retrasyn::metrics::length::length_error(&orig, &syn, 20);
-        assert!(
-            (err - std::f64::consts::LN_2).abs() < 1e-6,
-            "{}: length error {err}",
-            kind.name()
-        );
+        assert!((err - std::f64::consts::LN_2).abs() < 1e-6, "{}: length error {err}", kind.name());
     }
 }
 
@@ -155,10 +151,7 @@ fn budget_and_population_divisions_both_work_on_all_generators() {
             let mut engine = RetraSyn::new(config, grid.clone(), division, 13);
             let syn = engine.run_gridded(&orig);
             assert!(!syn.streams().is_empty(), "{name}/{division:?}");
-            engine
-                .ledger()
-                .verify()
-                .unwrap_or_else(|e| panic!("{name}/{division:?}: {e}"));
+            engine.ledger().verify().unwrap_or_else(|e| panic!("{name}/{division:?}: {e}"));
         }
     }
 }
@@ -177,8 +170,7 @@ fn per_user_report_mode_matches_aggregate_statistically() {
     let mut agg = RetraSyn::population_division(agg_config, grid.clone(), 31);
     let agg_report = suite.evaluate(&orig, &agg.run_gridded(&orig));
 
-    let pu_config =
-        RetraSynConfig::new(2.0, 8).with_lambda(orig.avg_length()).per_user_reports();
+    let pu_config = RetraSynConfig::new(2.0, 8).with_lambda(orig.avg_length()).per_user_reports();
     let mut pu = RetraSyn::population_division(pu_config, grid, 31);
     let pu_report = suite.evaluate(&orig, &pu.run_gridded(&orig));
 

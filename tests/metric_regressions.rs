@@ -15,11 +15,7 @@ fn orig(grid: &Grid) -> GriddedDataset {
     GriddedDataset::from_streams(
         grid.clone(),
         vec![
-            GriddedStream {
-                id: 0,
-                start: 0,
-                cells: (0..4).map(|x| grid.cell_at(x, 0)).collect(),
-            },
+            GriddedStream { id: 0, start: 0, cells: (0..4).map(|x| grid.cell_at(x, 0)).collect() },
             GriddedStream { id: 1, start: 0, cells: vec![grid.cell_at(3, 3); 4] },
         ],
         4,
@@ -31,11 +27,7 @@ fn syn(grid: &Grid) -> GriddedDataset {
     GriddedDataset::from_streams(
         grid.clone(),
         vec![
-            GriddedStream {
-                id: 0,
-                start: 0,
-                cells: (0..4).map(|x| grid.cell_at(x, 0)).collect(),
-            },
+            GriddedStream { id: 0, start: 0, cells: (0..4).map(|x| grid.cell_at(x, 0)).collect() },
             GriddedStream { id: 1, start: 0, cells: vec![grid.cell_at(0, 3); 4] },
         ],
         4,
@@ -91,11 +83,7 @@ fn kendall_tau_pinned() {
         let mut id = 0;
         for (cell, &n) in counts.iter().enumerate() {
             for _ in 0..n {
-                streams.push(GriddedStream {
-                    id,
-                    start: 0,
-                    cells: vec![CellId(cell as u16)],
-                });
+                streams.push(GriddedStream { id, start: 0, cells: vec![CellId(cell as u16)] });
                 id += 1;
             }
         }

@@ -22,10 +22,7 @@ fn retrasyn_invariant_across_window_sizes() {
             let config = RetraSynConfig::new(1.0, w).with_lambda(10.0);
             let mut engine = RetraSyn::new(config, Grid::unit(4), division, 3);
             let _ = engine.run(&ds);
-            engine
-                .ledger()
-                .verify()
-                .unwrap_or_else(|e| panic!("w={w} {division:?}: {e}"));
+            engine.ledger().verify().unwrap_or_else(|e| panic!("w={w} {division:?}: {e}"));
         }
     }
 }
@@ -34,15 +31,9 @@ fn retrasyn_invariant_across_window_sizes() {
 fn retrasyn_invariant_across_allocations_and_budgets() {
     let ds = churny_dataset(2, 50);
     for eps in [0.1, 0.5, 2.0, 8.0] {
-        for kind in [
-            AllocationKind::Adaptive,
-            AllocationKind::Uniform,
-            AllocationKind::Sample,
-        ] {
+        for kind in [AllocationKind::Adaptive, AllocationKind::Uniform, AllocationKind::Sample] {
             for division in [Division::Budget, Division::Population] {
-                let config = RetraSynConfig::new(eps, 7)
-                    .with_lambda(10.0)
-                    .with_allocation(kind);
+                let config = RetraSynConfig::new(eps, 7).with_lambda(10.0).with_allocation(kind);
                 let mut engine = RetraSyn::new(config, Grid::unit(4), division, 5);
                 let _ = engine.run(&ds);
                 engine
@@ -67,8 +58,7 @@ fn baselines_invariant_across_parameters() {
     for kind in BaselineKind::ALL {
         for w in [2usize, 5, 10, 25] {
             for eps in [0.5, 1.0, 2.0] {
-                let mut engine =
-                    LdpIds::new(kind, LdpIdsConfig::new(eps, w), Grid::unit(4), 7);
+                let mut engine = LdpIds::new(kind, LdpIdsConfig::new(eps, w), Grid::unit(4), 7);
                 let _ = engine.run(&ds);
                 engine
                     .ledger()
@@ -122,7 +112,6 @@ fn ledger_detects_violations() {
 #[test]
 fn sequential_composition_helper() {
     use retrasyn::ldp::PrivacyBudget;
-    let parts: Vec<PrivacyBudget> =
-        (0..5).map(|_| PrivacyBudget::new(0.2).unwrap()).collect();
+    let parts: Vec<PrivacyBudget> = (0..5).map(|_| PrivacyBudget::new(0.2).unwrap()).collect();
     assert!((PrivacyBudget::compose(&parts) - 1.0).abs() < 1e-12);
 }
