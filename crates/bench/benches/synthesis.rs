@@ -228,7 +228,10 @@ fn bench_step_100k_grid32(c: &mut Criterion) {
 }
 
 fn bench_size_adjustment(c: &mut Criterion) {
-    // Worst case: a 20% population swing in one tick.
+    // Worst case: a 20% population swing in one tick — sequentially and
+    // through the pooled two-phase selection (quit draws + per-shard
+    // Efraimidis–Spirakis keys on the workers, global cut on the caller,
+    // pooled retirement + extension).
     let mut group = c.benchmark_group("synthesis_size_swing_5000");
     group.sample_size(10).measurement_time(Duration::from_millis(900));
     let grid = Grid::unit(6);
@@ -249,11 +252,31 @@ fn bench_size_adjustment(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+    group.bench_function("shrink_20pct_pooled_4t", |b| {
+        b.iter_batched(
+            || {
+                let mut db = SyntheticDb::new();
+                let mut rng = StdRng::seed_from_u64(9);
+                db.step(0, &model, &table, 5000, 30.0, &mut rng);
+                // Warm step creates the worker pool outside the measured
+                // region.
+                db.step_parallel(1, &model, &table, 5000, 30.0, &mut rng, 4);
+                (db, StdRng::seed_from_u64(10))
+            },
+            |(mut db, mut rng)| {
+                db.step_parallel(2, &model, &table, 4000, 30.0, &mut rng, 4);
+                black_box(db.active_count())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
     group.finish();
 }
 
 fn bench_parallel_step(c: &mut Criterion) {
     // The paper's future-work acceleration (§VII): parallel synthesis.
+    // `step_parallel` now runs the whole step (quit + shrink + extend) on
+    // the pool.
     let mut group = c.benchmark_group("synthesis_step_20000_threads");
     group.sample_size(10).measurement_time(Duration::from_millis(900));
     let grid = Grid::unit(6);
@@ -266,10 +289,13 @@ fn bench_parallel_step(c: &mut Criterion) {
                     let mut db = SyntheticDb::new();
                     let mut rng = StdRng::seed_from_u64(7);
                     db.step(0, &model, &table, 20_000, 30.0, &mut rng);
+                    // Warm step creates the worker pool outside the
+                    // measured region.
+                    db.step_parallel(1, &model, &table, 20_000, 30.0, &mut rng, threads);
                     (db, StdRng::seed_from_u64(8))
                 },
                 |(mut db, mut rng)| {
-                    db.step_parallel(1, &model, &table, 20_000, 30.0, &mut rng, threads);
+                    db.step_parallel(2, &model, &table, 20_000, 30.0, &mut rng, threads);
                     black_box(db.active_count())
                 },
                 criterion::BatchSize::LargeInput,
@@ -279,11 +305,66 @@ fn bench_parallel_step(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_step_100k(c: &mut Criterion) {
+    // The acceptance target for full sharding: 100k users on a 32×32 grid,
+    // the fully sharded step (`full`) against the PR-1 extension-only
+    // parallelization (`extend_only`, quit/shrink on the caller thread).
+    // On multi-core hardware `full` pulls the O(n) quit pass off the
+    // caller's critical path; the two arms dispatch the same number of
+    // jobs in the steady state.
+    let mut group = c.benchmark_group("synthesis_step_100k_grid32_threads");
+    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    let grid = Grid::unit(32);
+    let table = TransitionTable::new(&grid);
+    let model = informed_model(&table);
+    let population = 100_000usize;
+    for threads in [1usize, 2, 4] {
+        for full in [true, false] {
+            if !full && threads == 1 {
+                // Both variants fall back to the sequential step at one
+                // thread — skip the duplicate measurement.
+                continue;
+            }
+            let label = if full { "full" } else { "extend_only" };
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter_batched(
+                    || {
+                        let mut db = SyntheticDb::new();
+                        let mut rng = StdRng::seed_from_u64(7);
+                        for t in 0..4 {
+                            db.step(t, &model, &table, population, 30.0, &mut rng);
+                        }
+                        // Warm step creates the worker pool outside
+                        // the measured region.
+                        db.step_parallel(4, &model, &table, population, 30.0, &mut rng, threads);
+                        (db, StdRng::seed_from_u64(8))
+                    },
+                    |(mut db, mut rng)| {
+                        if full {
+                            db.step_parallel(
+                                5, &model, &table, population, 30.0, &mut rng, threads,
+                            );
+                        } else {
+                            db.step_parallel_extend_only(
+                                5, &model, &table, population, 30.0, &mut rng, threads,
+                            );
+                        }
+                        black_box(db.active_count())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_step,
     bench_step_100k_grid32,
     bench_size_adjustment,
-    bench_parallel_step
+    bench_parallel_step,
+    bench_parallel_step_100k
 );
 criterion_main!(benches);

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Validate the criterion-shim bench baselines (`BENCH_*.json`).
+
+The CI bench-smoke job runs this twice: once against the committed
+baselines (so a missing or malformed file fails the build loudly instead
+of silently shipping a broken perf reference) and once against the files
+the bench run just regenerated.
+"""
+
+import json
+import pathlib
+import sys
+
+BASELINES = ("sampler", "oue", "synthesis")
+REQUIRED = {"id", "median_ns", "mean_ns", "min_ns", "samples", "iters_per_sample"}
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path("crates/bench")
+    ok = True
+
+    def error(msg: str) -> None:
+        nonlocal ok
+        ok = False
+        print(f"::error::{msg}")
+
+    for name in BASELINES:
+        path = root / f"BENCH_{name}.json"
+        if not path.is_file():
+            error(f"missing bench baseline {path}")
+            continue
+        try:
+            rows = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            error(f"malformed bench baseline {path}: {exc}")
+            continue
+        if not isinstance(rows, list) or not rows:
+            error(f"bench baseline {path} must be a non-empty JSON array")
+            continue
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                error(f"{path} row {i} is not an object")
+                continue
+            missing = REQUIRED - row.keys()
+            if missing:
+                error(f"{path} row {row.get('id', i)!r} missing keys {sorted(missing)}")
+            for key in REQUIRED - {"id"}:
+                value = row.get(key)
+                if key in row and (not isinstance(value, (int, float)) or value <= 0):
+                    error(f"{path} row {row.get('id', i)!r} has non-positive {key}: {value!r}")
+
+    if ok:
+        print(f"bench baselines OK: {', '.join(f'BENCH_{n}.json' for n in BASELINES)}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

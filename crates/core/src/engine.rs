@@ -90,10 +90,19 @@ pub struct RetraSyn {
     /// Fixed synthetic size for the NoEQ ablation (captured at the first
     /// step).
     fixed_size: Option<usize>,
-    /// Per-user report slots for the RandomReport strategy.
+    /// Per-user report slots for the RandomReport strategy. Entries are
+    /// pruned when their user quits, so the map tracks only users that can
+    /// still report (bounded by the live population, not the all-time
+    /// arrival count).
     report_slots: HashMap<u64, u64>,
+    /// Cached collection oracle, rebuilt only when `(ε, domain)` changes —
+    /// the collection path runs every timestamp and must not rebuild its
+    /// mechanism per step.
+    oracle: Option<Oue>,
     timings: StepTimings,
     steps: u64,
+    /// Reused reporter-value scratch for the collection path.
+    scratch_values: Vec<usize>,
     /// Reused table-sized scratch: full-domain estimate vector.
     scratch_full: Vec<f64>,
     /// Reused table-sized scratch: full-domain selection mask.
@@ -131,8 +140,10 @@ impl RetraSyn {
             next_t: 0,
             fixed_size: None,
             report_slots: HashMap::new(),
+            oracle: None,
             timings: StepTimings::default(),
             steps: 0,
+            scratch_values: Vec::new(),
             scratch_full: vec![0.0; domain],
             scratch_sel: vec![false; domain],
             scratch_dmu: Vec::new(),
@@ -239,6 +250,9 @@ impl RetraSyn {
         };
         for &u in &quitters {
             self.registry.mark_quitted(u);
+            // A quitted user never reports again: drop its RandomReport
+            // slot so the map stays bounded on churning streams.
+            self.report_slots.remove(&u);
         }
 
         self.update_model(t, &estimate);
@@ -305,10 +319,14 @@ impl RetraSyn {
 
         // Lines 13–14: report with the full budget; mark inactive.
         let timer = Instant::now();
-        let values: Vec<usize> = group.iter().map(|&(_, s)| s).collect();
-        let oracle = Oue::new(self.config.eps, self.domain_len().max(2)).expect("validated config");
-        let estimate = oracle
-            .collect(&values, self.config.report_mode, &mut self.rng)
+        self.scratch_values.clear();
+        self.scratch_values.extend(group.iter().map(|&(_, s)| s));
+        self.ensure_oracle(self.config.eps, self.domain_len().max(2));
+        let estimate = self
+            .oracle
+            .as_ref()
+            .expect("ensured above")
+            .collect(&self.scratch_values, self.config.report_mode, &mut self.rng)
             .expect("states are in domain");
         self.timings.user_side += timer.elapsed().as_secs_f64();
         for &(u, _) in &group {
@@ -341,13 +359,27 @@ impl RetraSyn {
         }
         self.ledger.record_budget(t, eps_t);
         let timer = Instant::now();
-        let values: Vec<usize> = states.iter().map(|&(_, s)| s).collect();
-        let oracle = Oue::new(eps_t, self.domain_len().max(2)).expect("positive eps");
-        let estimate = oracle
-            .collect(&values, self.config.report_mode, &mut self.rng)
+        self.scratch_values.clear();
+        self.scratch_values.extend(states.iter().map(|&(_, s)| s));
+        self.ensure_oracle(eps_t, self.domain_len().max(2));
+        let estimate = self
+            .oracle
+            .as_ref()
+            .expect("ensured above")
+            .collect(&self.scratch_values, self.config.report_mode, &mut self.rng)
             .expect("states are in domain");
         self.timings.user_side += timer.elapsed().as_secs_f64();
         estimate
+    }
+
+    /// Make the cached collection oracle current for `(eps, domain)`. The
+    /// population path hits the cache every step (fixed ε); budget paths
+    /// rebuild only when the allocated ε changes.
+    fn ensure_oracle(&mut self, eps: f64, domain: usize) {
+        let fresh = matches!(&self.oracle, Some(o) if o.eps() == eps && o.domain() == domain);
+        if !fresh {
+            self.oracle = Some(Oue::new(eps, domain).expect("validated positive eps"));
+        }
     }
 
     /// DMU + model refresh (§III-C) and allocator feedback.
@@ -466,6 +498,37 @@ mod tests {
         let mut engine = RetraSyn::population_division(config, Grid::unit(4), 11);
         let _ = engine.run(&ds);
         engine.ledger().verify().expect("random-report invariant");
+    }
+
+    #[test]
+    fn random_report_slots_pruned_on_quit() {
+        // High-churn stream: users continuously quit and fresh ids arrive
+        // to replace them. The RandomReport slot map must not grow with
+        // the all-time arrival count — quitted users' slots are pruned.
+        let ds = RandomWalkConfig { users: 300, timestamps: 40, churn: 0.25, ..Default::default() }
+            .generate(&mut StdRng::seed_from_u64(21));
+        let config = RetraSynConfig::new(1.0, 4)
+            .with_lambda(10.0)
+            .with_allocation(AllocationKind::RandomReport);
+        let mut engine = RetraSyn::population_division(config, Grid::unit(4), 9);
+        let _ = engine.run(&ds);
+        // No quitted user retains a slot…
+        for &u in engine.report_slots.keys() {
+            assert_ne!(
+                engine.registry.status(u),
+                Some(UserStatus::Quitted),
+                "user {u} quit but kept a RandomReport slot"
+            );
+        }
+        // …so the map stays bounded by the users that can still report,
+        // strictly below the all-time arrival count once churn retires
+        // users.
+        assert!(
+            engine.report_slots.len() < engine.registry.total_seen(),
+            "slots {} vs seen {}",
+            engine.report_slots.len(),
+            engine.registry.total_seen()
+        );
     }
 
     #[test]

@@ -172,6 +172,11 @@ impl GlobalMobilityModel {
         for &row in &dirty {
             cache.rebuild_row(&self.freqs, table, row as usize, small, large);
         }
+        if !dirty.is_empty() {
+            // A rebuilt row may have changed its cell's quit mass, and the
+            // quitting distribution normalizes globally.
+            cache.rebuild_quit_dist();
+        }
         if enter_dirty {
             cache.rebuild_enter(&self.freqs, table, small, large);
         }

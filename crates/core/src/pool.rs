@@ -3,9 +3,29 @@
 //! The seed implementation spawned fresh scoped threads on every timestamp,
 //! paying thread startup on the critical per-step path. This pool keeps the
 //! workers alive for the lifetime of the [`SyntheticDb`] and hands each one
-//! an owned shard of streams plus an `Arc` snapshot of the model's
+//! an owned [`ShardState`] plus an `Arc` snapshot of the model's
 //! [`SamplerCache`] per step — no locks, no shared mutable state, and no
 //! `unsafe` lifetime erasure (the crate forbids `unsafe`).
+//!
+//! The whole synthesis step runs on the pool, not just the extension
+//! phase. A [`ShardTask`] selects the pass a worker performs over its
+//! shard:
+//!
+//! - [`ShardTask::QuitExtend`] — the fused steady-state pass: per stream,
+//!   one cached quit draw; quitters retire into the shard's own finished
+//!   list, survivors extend by one alias draw.
+//! - [`ShardTask::QuitKeys`] — phase one of the two-phase parallel
+//!   downward adjustment: quit draws as above, then one log-domain
+//!   Efraimidis–Spirakis key `ln(u)/w` per survivor (weight `w` = the
+//!   cached quitting-distribution mass at the stream's last cell; the log
+//!   form orders identically to `u^{1/w}` without underflowing for tiny
+//!   weights). The caller performs the global top-`excess` cut over all
+//!   shards' keys.
+//! - [`ShardTask::RetireExtend`] — phase two: retire the pre-selected
+//!   victims (positions sorted descending so `swap_remove` stays valid),
+//!   then extend the remaining streams.
+//! - [`ShardTask::Extend`] — extension only (the PR-1 parallelization,
+//!   kept as the benchmark reference).
 //!
 //! Determinism: each shard is seeded from the caller's RNG in shard order,
 //! shards are fixed-size prefixes of the stream list, and replies are
@@ -15,27 +35,71 @@
 //! [`SyntheticDb`]: crate::synthesis::SyntheticDb
 
 use crate::sampler::SamplerCache;
-use crate::synthesis::OpenStream;
+use crate::synthesis::{extend_streams, quit_pass, OpenStream};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use retrasyn_geo::GriddedStream;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// One unit of work for a pool worker: extend every stream in `shard` by
-/// one alias-sampled movement. Workers exit when their job channel
+/// Floor for Efraimidis–Spirakis weights so zero-mass cells keep a strict
+/// ordering (matches the sequential shrink path).
+pub(crate) const MIN_SHRINK_WEIGHT: f64 = 1e-12;
+
+/// Which pass a worker runs over its shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ShardTask {
+    /// Fused quit + extend (steady state: no downward adjustment possible).
+    QuitExtend {
+        /// Length-reweighting constant of Eq. 8.
+        lambda: f64,
+    },
+    /// Quit draws, then one Efraimidis–Spirakis key per survivor (shrink
+    /// pending; no extension yet).
+    QuitKeys {
+        /// Length-reweighting constant of Eq. 8.
+        lambda: f64,
+    },
+    /// Retire the shard's pre-selected victims, then extend the remainder.
+    RetireExtend,
+    /// Extension only (the PR-1 reference path).
+    Extend,
+}
+
+/// One worker's owned slice of the synthetic database plus its reusable
+/// result buffers. Buffers keep their capacity as the state shuttles
+/// between the caller and the workers, so the steady-state step performs
+/// no heap allocation.
+#[derive(Debug, Default)]
+pub(crate) struct ShardState {
+    /// The live streams owned by this shard.
+    pub(crate) streams: Vec<OpenStream>,
+    /// Streams retired by this shard during the current step; drained into
+    /// the database's finished list when shards merge (id-sorted at
+    /// `finish`).
+    pub(crate) finished: Vec<GriddedStream>,
+    /// Efraimidis–Spirakis keys, parallel to `streams` after a
+    /// [`ShardTask::QuitKeys`] pass.
+    pub(crate) keys: Vec<f64>,
+    /// Victim positions for [`ShardTask::RetireExtend`], sorted descending.
+    pub(crate) victims: Vec<u32>,
+}
+
+/// One unit of work for a pool worker. Workers exit when their job channel
 /// disconnects, so shutdown is simply dropping the senders.
 struct Job {
     idx: usize,
-    shard: Vec<OpenStream>,
+    state: ShardState,
     cache: Arc<SamplerCache>,
     seed: u64,
+    task: ShardTask,
 }
 
 /// A completed shard, tagged with its position.
 struct Reply {
     idx: usize,
-    shard: Vec<OpenStream>,
+    state: ShardState,
 }
 
 /// A fixed-size pool of synthesis workers.
@@ -76,28 +140,30 @@ impl SynthesisPool {
         self.senders.len()
     }
 
-    /// Extend every stream in every shard by one movement, in parallel.
+    /// Run `task` over every non-empty shard, in parallel.
     ///
     /// `shards[i]` is processed by worker `i % threads` with
-    /// `StdRng::seed_from_u64(seeds[i])`; shards come back in place,
-    /// preserving both order and capacity.
-    pub(crate) fn extend_shards(
+    /// `StdRng::seed_from_u64(seeds[i])`; shard states come back in place,
+    /// preserving both order and buffer capacity.
+    pub(crate) fn run_shards(
         &self,
-        shards: &mut [Vec<OpenStream>],
+        shards: &mut [ShardState],
         seeds: &[u64],
         cache: &Arc<SamplerCache>,
+        task: ShardTask,
     ) {
         debug_assert_eq!(shards.len(), seeds.len());
         let mut outstanding = 0usize;
-        for (idx, shard) in shards.iter_mut().enumerate() {
-            if shard.is_empty() {
+        for (idx, state) in shards.iter_mut().enumerate() {
+            if state.streams.is_empty() {
                 continue;
             }
             let job = Job {
                 idx,
-                shard: std::mem::take(shard),
+                state: std::mem::take(state),
                 cache: Arc::clone(cache),
                 seed: seeds[idx],
+                task,
             };
             self.senders[idx % self.senders.len()]
                 .send(job)
@@ -105,9 +171,33 @@ impl SynthesisPool {
             outstanding += 1;
         }
         for _ in 0..outstanding {
-            let Reply { idx, shard } =
-                self.replies.recv().expect("synthesis worker dropped its reply channel");
-            shards[idx] = shard;
+            let Reply { idx, state } = self.recv_reply();
+            shards[idx] = state;
+        }
+    }
+
+    /// Receive one reply, panicking loudly if a worker died instead of
+    /// hanging forever: a panicked worker never sends its reply, and the
+    /// shared channel only disconnects when *every* worker is gone, so a
+    /// bare `recv` would block permanently on the first worker panic.
+    fn recv_reply(&self) -> Reply {
+        use std::sync::mpsc::RecvTimeoutError;
+        loop {
+            match self.replies.recv_timeout(std::time::Duration::from_millis(100)) {
+                Ok(reply) => return reply,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Workers only exit when their job channel disconnects
+                    // (pool drop) or they panic; during a step the senders
+                    // are alive, so a finished worker means a panic.
+                    assert!(
+                        !self.handles.iter().any(|h| h.is_finished()),
+                        "synthesis worker panicked"
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("all synthesis workers exited unexpectedly")
+                }
+            }
         }
     }
 }
@@ -123,13 +213,36 @@ impl Drop for SynthesisPool {
 }
 
 fn worker_loop(rx: Receiver<Job>, reply_tx: Sender<Reply>) {
-    while let Ok(Job { idx, mut shard, cache, seed }) = rx.recv() {
+    while let Ok(Job { idx, mut state, cache, seed, task }) = rx.recv() {
         let mut rng = StdRng::seed_from_u64(seed);
-        for stream in &mut shard {
-            let from = *stream.cells.last().expect("streams are non-empty");
-            stream.cells.push(cache.sample_move(from, &mut rng));
+        match task {
+            ShardTask::Extend => extend_streams(&mut state.streams, &cache, &mut rng),
+            ShardTask::QuitExtend { lambda } => {
+                quit_pass(&mut state.streams, &mut state.finished, &cache, lambda, true, &mut rng);
+            }
+            ShardTask::QuitKeys { lambda } => {
+                quit_pass(&mut state.streams, &mut state.finished, &cache, lambda, false, &mut rng);
+                state.keys.clear();
+                for stream in &state.streams {
+                    let from = *stream.cells.last().expect("streams are non-empty");
+                    let w = cache.quit_weight(from).max(MIN_SHRINK_WEIGHT);
+                    let u: f64 = rng.random();
+                    state.keys.push(u.ln() / w);
+                }
+            }
+            ShardTask::RetireExtend => {
+                // Victims arrive sorted descending, so each `swap_remove`
+                // moves an element from past the remaining victim
+                // positions.
+                for k in 0..state.victims.len() {
+                    let victim = state.streams.swap_remove(state.victims[k] as usize);
+                    state.finished.push(victim.into_finished());
+                }
+                state.victims.clear();
+                extend_streams(&mut state.streams, &cache, &mut rng);
+            }
         }
-        if reply_tx.send(Reply { idx, shard }).is_err() {
+        if reply_tx.send(Reply { idx, state }).is_err() {
             return;
         }
     }

@@ -200,6 +200,14 @@ pub struct SamplerCache {
     packed: Vec<u64>,
     /// Per-cell base termination probability `f_iQ / (Σ f_ix + f_iQ)`.
     quit_base: Vec<f64>,
+    /// Per-cell clamped quit mass `max(f_iQ, 0)` — the numerator of the
+    /// quitting distribution `Pr(q_j)`.
+    quit_mass: Vec<f64>,
+    /// Normalized quitting distribution `Pr(q_j)` (Eq. 6); uniform when
+    /// the total quit mass is zero. Kept in sync by
+    /// [`Self::rebuild_quit_dist`] so the shrink path reads O(1) weights
+    /// instead of allocating a fresh O(cells) vector per step.
+    quit_dist: Vec<f64>,
     /// Alias table over the entering distribution `Pr(e_i)`.
     enter: AliasTable,
     /// Domain length this cache was built for (consistency check).
@@ -216,6 +224,8 @@ impl PartialEq for SamplerCache {
         self.offsets == other.offsets
             && self.packed == other.packed
             && self.quit_base == other.quit_base
+            && self.quit_mass == other.quit_mass
+            && self.quit_dist == other.quit_dist
             && self.enter == other.enter
             && self.domain_len == other.domain_len
     }
@@ -232,6 +242,8 @@ impl SamplerCache {
             offsets,
             packed: vec![0u64; moves],
             quit_base: vec![0.0; cells],
+            quit_mass: vec![0.0; cells],
+            quit_dist: vec![0.0; cells],
             // Built directly from the enter block (AliasTable clamps
             // negatives internally).
             enter: AliasTable::new(&freqs[moves..moves + cells]),
@@ -244,6 +256,7 @@ impl SamplerCache {
         for cell in 0..cells {
             cache.rebuild_row(freqs, table, cell, &mut small, &mut large);
         }
+        cache.rebuild_quit_dist();
         cache
     }
 
@@ -276,6 +289,24 @@ impl SamplerCache {
         let quit_mass = freqs[table.quit_index(CellId(cell as u16))].max(0.0);
         let denom = move_mass + quit_mass;
         self.quit_base[cell] = if denom > 0.0 { quit_mass / denom } else { 0.0 };
+        self.quit_mass[cell] = quit_mass;
+    }
+
+    /// Recompute the normalized quitting distribution `Pr(q_j)` from the
+    /// per-cell quit masses, in place (no allocation). Call once after a
+    /// batch of [`Self::rebuild_row`] calls — the masses are per-cell but
+    /// the normalizer is global, so renormalization is batched rather than
+    /// repeated per row.
+    pub fn rebuild_quit_dist(&mut self) {
+        let total: f64 = self.quit_mass.iter().sum();
+        if total <= 0.0 {
+            let uniform = 1.0 / self.quit_dist.len() as f64;
+            self.quit_dist.iter_mut().for_each(|p| *p = uniform);
+        } else {
+            for (d, &m) in self.quit_dist.iter_mut().zip(&self.quit_mass) {
+                *d = m / total;
+            }
+        }
     }
 
     /// Rebuild the entering-distribution alias table. `small`/`large` are
@@ -332,6 +363,14 @@ impl SamplerCache {
     #[inline]
     pub fn base_quit_prob(&self, from: CellId) -> f64 {
         self.quit_base[from.index()]
+    }
+
+    /// Cached quitting-distribution weight `Pr(q_j)` at `cell` (Eq. 6) —
+    /// the O(1) replacement for `GlobalMobilityModel::quit_distribution`
+    /// on the shrink path.
+    #[inline]
+    pub fn quit_weight(&self, cell: CellId) -> f64 {
+        self.quit_dist[cell.index()]
     }
 
     /// O(1) draw from the entering distribution.
@@ -480,7 +519,29 @@ mod tests {
         for cell in 0..table.num_cells() {
             cache.rebuild_row(&freqs, &table, cell, &mut small, &mut large);
         }
+        cache.rebuild_quit_dist();
         let full = SamplerCache::build(&freqs, &table);
         assert_eq!(cache, full);
+    }
+
+    #[test]
+    fn cached_quit_dist_matches_model_distribution() {
+        use crate::model::GlobalMobilityModel;
+        let grid = Grid::unit(4);
+        let table = TransitionTable::new(&grid);
+        let freqs: Vec<f64> =
+            (0..table.len()).map(|i| ((i * 13 % 7) as f64 - 1.0) * 0.01).collect();
+        let cache = SamplerCache::build(&freqs, &table);
+        let mut model = GlobalMobilityModel::new(table.len());
+        model.replace_all(&freqs);
+        let dist = model.quit_distribution(&table);
+        for c in grid.cells() {
+            assert!((cache.quit_weight(c) - dist[c.index()]).abs() < 1e-12, "{c:?}");
+        }
+        // All-zero quit mass: both degrade to the uniform distribution.
+        let cache = SamplerCache::build(&vec![0.0; table.len()], &table);
+        for c in grid.cells() {
+            assert!((cache.quit_weight(c) - 1.0 / 16.0).abs() < 1e-12);
+        }
     }
 }

@@ -18,21 +18,27 @@
 //! over a reused scratch buffer, so standalone callers that never call
 //! [`GlobalMobilityModel::rebuild_samplers`] still get correct output.
 //!
-//! **Parallelism.** [`SyntheticDb::step_parallel`] runs the extension phase
+//! **Parallelism.** [`SyntheticDb::step_parallel`] runs the *entire* step
 //! on a persistent [`SynthesisPool`] owned by the database: streams are
-//! moved into per-worker shards (reused across steps), each shard is seeded
-//! deterministically from the caller's RNG, and results are re-assembled in
-//! shard order — fixed `(seed, threads)` gives identical output.
+//! moved into per-worker shards (reused across steps), each worker runs
+//! the fused quit+extend pass over its shard with a per-shard finished
+//! list, and downward size adjustment is a two-phase parallel selection —
+//! workers compute Efraimidis–Spirakis keys per shard, the caller makes
+//! the global top-`excess` cut, workers retire their victims and extend
+//! the remainder. Each shard is seeded deterministically from the caller's
+//! RNG and results are re-assembled in shard order — fixed
+//! `(seed, threads)` gives identical output.
 //!
 //! The *NoEQ* mode ([`SyntheticDb::step_no_eq`]) reproduces the baselines
 //! and the Table-IV ablation: a fixed-size database initialized at random
 //! whose streams never terminate.
 
 use crate::model::GlobalMobilityModel;
-use crate::pool::{draw_seeds, SynthesisPool};
+use crate::pool::{draw_seeds, ShardState, ShardTask, SynthesisPool, MIN_SHRINK_WEIGHT};
 use crate::sampler::{sample_weighted, SamplerCache};
 use rand::Rng;
 use retrasyn_geo::{CellId, Grid, GriddedDataset, GriddedStream, TransitionTable};
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// A live synthetic stream.
@@ -41,6 +47,77 @@ pub(crate) struct OpenStream {
     pub(crate) id: u64,
     pub(crate) start: u64,
     pub(crate) cells: Vec<CellId>,
+}
+
+impl OpenStream {
+    /// Close the stream into its released form.
+    pub(crate) fn into_finished(self) -> GriddedStream {
+        GriddedStream { id: self.id, start: self.start, cells: self.cells }
+    }
+}
+
+/// Below this population the parallel step falls back to the sequential
+/// path: dispatch overhead dominates the per-stream work.
+const MIN_PARALLEL: usize = 2048;
+
+/// Descending order over Efraimidis–Spirakis keys with a deterministic
+/// `(shard, position)` tiebreak, so the global top-`excess` cut selects a
+/// unique victim set regardless of `select_nth_unstable_by`'s internal
+/// ordering. Keys are compared in the log domain (`ln(u)/w` rather than
+/// `u^{1/w}` — the same ordering, but `u^{1/w}` underflows to exactly 0
+/// for the tiny weights a large grid produces, which would silently turn
+/// big one-tick shrinks into positional selection). With `u ∈ [0, 1)` and
+/// `w > 0` a key is in `[−∞, 0)`: never NaN.
+fn cmp_keys_desc(a: &(f64, u32, u32), b: &(f64, u32, u32)) -> Ordering {
+    b.0.partial_cmp(&a.0)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.1.cmp(&b.1))
+        .then_with(|| a.2.cmp(&b.2))
+}
+
+/// Extend every stream by one alias-sampled movement. Shared by the
+/// sequential cached paths and the pool workers so the two can never
+/// diverge.
+pub(crate) fn extend_streams<R: Rng + ?Sized>(
+    streams: &mut [OpenStream],
+    cache: &SamplerCache,
+    rng: &mut R,
+) {
+    for stream in streams {
+        let from = *stream.cells.last().expect("streams are non-empty");
+        stream.cells.push(cache.sample_move(from, rng));
+    }
+}
+
+/// One in-place termination pass (Eq. 8, cached quit probabilities):
+/// quitters are `swap_remove`d into `finished` (the swapped-in stream is
+/// decided next, so the pass moves O(quits) elements), survivors
+/// optionally extend in the same pass. Shared by the sequential cached
+/// paths and the pool workers so the two can never diverge.
+pub(crate) fn quit_pass<R: Rng + ?Sized>(
+    streams: &mut Vec<OpenStream>,
+    finished: &mut Vec<GriddedStream>,
+    cache: &SamplerCache,
+    lambda: f64,
+    extend: bool,
+    rng: &mut R,
+) {
+    let inv_lambda = 1.0 / lambda;
+    let mut i = 0;
+    while i < streams.len() {
+        let stream = &mut streams[i];
+        let from = *stream.cells.last().expect("streams are non-empty");
+        let q = stream.cells.len() as f64 * inv_lambda * cache.base_quit_prob(from);
+        if rng.random::<f64>() >= q {
+            if extend {
+                stream.cells.push(cache.sample_move(from, rng));
+            }
+            i += 1;
+        } else {
+            let quitter = streams.swap_remove(i);
+            finished.push(quitter.into_finished());
+        }
+    }
 }
 
 /// The evolving synthetic trajectory database `T_syn`.
@@ -52,12 +129,17 @@ pub struct SyntheticDb {
     initialized: bool,
     /// Persistent worker pool, created lazily on the first parallel step.
     pool: Option<SynthesisPool>,
-    /// Reused per-worker shard buffers (capacity survives across steps).
-    shards: Vec<Vec<OpenStream>>,
+    /// Reused per-worker shard states (stream, finished, key and victim
+    /// buffers all keep their capacity across steps).
+    shards: Vec<ShardState>,
     /// Reused per-shard seed buffer.
     seeds: Vec<u64>,
     /// Reused O(k) probability buffer for the scan fallback.
     scan_buf: Vec<f64>,
+    /// Reused `(key, shard, position)` buffer for the shrink cut.
+    keyed: Vec<(f64, u32, u32)>,
+    /// Reused victim-position buffer for the sequential shrink path.
+    victims: Vec<u32>,
 }
 
 impl Clone for SyntheticDb {
@@ -73,6 +155,8 @@ impl Clone for SyntheticDb {
             shards: Vec::new(),
             seeds: Vec::new(),
             scan_buf: Vec::new(),
+            keyed: Vec::new(),
+            victims: Vec::new(),
         }
     }
 }
@@ -136,7 +220,7 @@ impl SyntheticDb {
             self.quit_phase(model, table, cache.as_deref(), lambda, rng);
             // Phase 2a: size adjustment downward *before* extension, so
             // the terminated streams end at their `t−1` location.
-            self.shrink_to_target(model, table, target, rng);
+            self.shrink_to_target(model, table, cache.as_deref(), target, rng);
             // Phase 1b: extension — survivors move to a neighbor drawn
             // from the movement distribution conditioned on not quitting.
             self.extend_all(model, table, cache.as_deref(), rng);
@@ -168,20 +252,7 @@ impl SyntheticDb {
     ) {
         match cache {
             Some(cache) => {
-                let inv_lambda = 1.0 / lambda;
-                let mut i = 0;
-                while i < self.alive.len() {
-                    let stream = &mut self.alive[i];
-                    let from = *stream.cells.last().unwrap();
-                    let q = stream.cells.len() as f64 * inv_lambda * cache.base_quit_prob(from);
-                    if rng.random::<f64>() >= q {
-                        stream.cells.push(cache.sample_move(from, rng));
-                        i += 1;
-                    } else {
-                        let quitter = self.alive.swap_remove(i);
-                        Self::retire(&mut self.finished, quitter);
-                    }
-                }
+                quit_pass(&mut self.alive, &mut self.finished, cache, lambda, true, rng);
             }
             None => {
                 let mut buf = std::mem::take(&mut self.scan_buf);
@@ -214,12 +285,7 @@ impl SyntheticDb {
         rng: &mut R,
     ) {
         match cache {
-            Some(cache) => {
-                for stream in &mut self.alive {
-                    let from = *stream.cells.last().unwrap();
-                    stream.cells.push(cache.sample_move(from, rng));
-                }
-            }
+            Some(cache) => extend_streams(&mut self.alive, cache, rng),
             None => {
                 let mut buf = std::mem::take(&mut self.scan_buf);
                 for stream in &mut self.alive {
@@ -246,14 +312,14 @@ impl SyntheticDb {
         lambda: f64,
         rng: &mut R,
     ) {
+        if let Some(cache) = cache {
+            return quit_pass(&mut self.alive, &mut self.finished, cache, lambda, false, rng);
+        }
         let mut i = 0;
         while i < self.alive.len() {
             let from = *self.alive[i].cells.last().unwrap();
             let len = self.alive[i].cells.len() as u64;
-            let q = match cache {
-                Some(c) => c.quit_prob(from, len, lambda),
-                None => model.quit_prob(table, from, len, lambda),
-            };
+            let q = model.quit_prob(table, from, len, lambda);
             if rng.random::<f64>() >= q {
                 i += 1;
             } else {
@@ -267,36 +333,56 @@ impl SyntheticDb {
     /// (Efraimidis–Spirakis keys `u^{1/w}`, keep the largest), retiring
     /// them at their `t−1` location with probability proportional to the
     /// quitting distribution.
+    ///
+    /// With a fresh cache the per-stream weight is an O(1) lookup into the
+    /// cached quitting distribution; only the cold fallback allocates the
+    /// O(cells) vector. Victim selection is a partial
+    /// `select_nth_unstable_by` — only the `excess` largest keys are
+    /// needed, not a full sort.
     fn shrink_to_target<R: Rng + ?Sized>(
         &mut self,
         model: &GlobalMobilityModel,
         table: &TransitionTable,
+        cache: Option<&SamplerCache>,
         target: usize,
         rng: &mut R,
     ) {
         if self.alive.len() <= target {
             return;
         }
-        let quit_dist = model.quit_distribution(table);
         let excess = self.alive.len() - target;
-        let mut keyed: Vec<(f64, usize)> = self
-            .alive
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let w = quit_dist[s.cells.last().unwrap().index()].max(1e-12);
-                let u: f64 = rng.random::<f64>();
-                (u.powf(1.0 / w), i)
-            })
-            .collect();
-        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-        let mut victims: Vec<usize> = keyed[..excess].iter().map(|&(_, i)| i).collect();
-        // Remove from the back so indices stay valid.
-        victims.sort_unstable_by(|a, b| b.cmp(a));
-        for v in victims {
-            let stream = self.alive.swap_remove(v);
+        self.keyed.clear();
+        match cache {
+            Some(cache) => {
+                for (i, s) in self.alive.iter().enumerate() {
+                    let w = cache.quit_weight(*s.cells.last().unwrap()).max(MIN_SHRINK_WEIGHT);
+                    let u: f64 = rng.random::<f64>();
+                    self.keyed.push((u.ln() / w, 0, i as u32));
+                }
+            }
+            None => {
+                let quit_dist = model.quit_distribution(table);
+                for (i, s) in self.alive.iter().enumerate() {
+                    let w = quit_dist[s.cells.last().unwrap().index()].max(MIN_SHRINK_WEIGHT);
+                    let u: f64 = rng.random::<f64>();
+                    self.keyed.push((u.ln() / w, 0, i as u32));
+                }
+            }
+        }
+        if excess < self.keyed.len() {
+            self.keyed.select_nth_unstable_by(excess - 1, cmp_keys_desc);
+        }
+        self.victims.clear();
+        self.victims.extend(self.keyed[..excess].iter().map(|&(_, _, i)| i));
+        // `swap_remove` from the highest position down: each removal moves
+        // the current last element, which sits past every remaining
+        // (smaller) victim position.
+        self.victims.sort_unstable_by(|a, b| b.cmp(a));
+        for k in 0..self.victims.len() {
+            let stream = self.alive.swap_remove(self.victims[k] as usize);
             Self::retire(&mut self.finished, stream);
         }
+        self.victims.clear();
     }
 
     /// Advance one timestamp in NoEQ / baseline mode: fixed size
@@ -325,12 +411,7 @@ impl SyntheticDb {
             return;
         }
         match model.sampler() {
-            Some(cache) => {
-                for stream in &mut self.alive {
-                    let from = *stream.cells.last().unwrap();
-                    stream.cells.push(cache.sample_move(from, rng));
-                }
-            }
+            Some(cache) => extend_streams(&mut self.alive, cache, rng),
             None => {
                 let mut buf = std::mem::take(&mut self.scan_buf);
                 for stream in &mut self.alive {
@@ -348,12 +429,21 @@ impl SyntheticDb {
     /// names as future work (§VII: "study acceleration techniques (e.g.,
     /// parallel computing)").
     ///
-    /// The extension phase runs on a persistent worker pool owned by this
-    /// database (created on first use, re-created if `threads` changes).
+    /// The *entire* step runs on a persistent worker pool owned by this
+    /// database (created on first use, re-created if `threads` changes):
+    ///
+    /// - steady state (no shrink possible): one dispatch of the fused
+    ///   quit+extend pass; quitters retire into per-shard finished lists;
+    /// - shrinking: two dispatches — workers draw quits and compute one
+    ///   Efraimidis–Spirakis key per survivor, the caller makes the global
+    ///   top-`excess` cut across all shards, then workers retire their
+    ///   victims and extend the remainder.
+    ///
     /// Semantically identical invariants to [`Self::step`] (exact size
-    /// tracking, adjacency); the random stream differs from the sequential
-    /// path but is deterministic for a fixed `(seed, threads)`. Falls back
-    /// to the sequential step for small databases where dispatch overhead
+    /// tracking, adjacency, identical per-stream decision distributions);
+    /// the random stream differs from the sequential path but is
+    /// deterministic for a fixed `(seed, threads)`. Falls back to the
+    /// sequential step for small databases where dispatch overhead
     /// dominates, and whenever the model has no fresh [`SamplerCache`]
     /// (workers sample exclusively through the cache snapshot).
     #[allow(clippy::too_many_arguments)]
@@ -367,51 +457,157 @@ impl SyntheticDb {
         rng: &mut R,
         threads: usize,
     ) {
-        const MIN_PARALLEL: usize = 2048;
         let cache = model.sampler().cloned();
         let parallel_ok = threads > 1 && self.alive.len() >= MIN_PARALLEL && cache.is_some();
         if !parallel_ok {
             return self.step(t, model, table, target, lambda, rng);
         }
         let cache: Arc<SamplerCache> = cache.unwrap();
-        if !self.initialized {
-            self.spawn(t, model, table, Some(&cache), target, rng);
-            self.initialized = true;
-            return;
-        }
+        // An uninitialized database has no live streams, so the
+        // MIN_PARALLEL guard above already routed initialization through
+        // the sequential step.
+        debug_assert!(self.initialized);
 
-        // Phases 1a + 2a on the caller thread: with cached quit
-        // probabilities both are cheap O(n) passes, and keeping them on the
-        // main RNG preserves a single decision order.
-        self.quit_phase(model, table, Some(&cache), lambda, rng);
-        self.shrink_to_target(model, table, target, rng);
-
-        // Phase 1b on the pool: shard, seed deterministically, dispatch.
-        if !self.alive.is_empty() {
-            match &self.pool {
-                Some(pool) if pool.threads() == threads => {}
-                _ => self.pool = Some(SynthesisPool::new(threads)),
-            }
-            let chunk_len = self.alive.len().div_ceil(threads).max(1);
-            let num_shards = self.alive.len().div_ceil(chunk_len);
-            self.shards.resize_with(num_shards, Vec::new);
-            for (i, stream) in self.alive.drain(..).enumerate() {
-                self.shards[i / chunk_len].push(stream);
-            }
+        self.ensure_pool(threads);
+        let live = self.alive.len();
+        let num_shards = self.shard_alive(threads);
+        let pool = self.pool.as_ref().expect("pool created above");
+        if live <= target {
+            // Steady state: one dispatch of the fused quit+extend pass
+            // (downward adjustment is impossible no matter how the quit
+            // draws fall).
             draw_seeds(&mut self.seeds, num_shards, rng);
-            let pool = self.pool.as_ref().expect("pool created above");
-            pool.extend_shards(&mut self.shards, &self.seeds, &cache);
-            for shard in &mut self.shards {
-                // `append` moves the streams back and leaves the shard's
-                // capacity in place for the next step.
-                self.alive.append(shard);
+            pool.run_shards(
+                &mut self.shards[..num_shards],
+                &self.seeds,
+                &cache,
+                ShardTask::QuitExtend { lambda },
+            );
+        } else {
+            // Two-phase parallel downward adjustment. Pass 1: quit draws
+            // plus one Efraimidis–Spirakis key per survivor, per shard.
+            draw_seeds(&mut self.seeds, num_shards, rng);
+            pool.run_shards(
+                &mut self.shards[..num_shards],
+                &self.seeds,
+                &cache,
+                ShardTask::QuitKeys { lambda },
+            );
+            // Global top-`excess` cut over all shards' keys on the caller.
+            let survivors: usize = self.shards[..num_shards].iter().map(|s| s.streams.len()).sum();
+            let excess = survivors.saturating_sub(target);
+            if excess > 0 {
+                self.keyed.clear();
+                for (si, shard) in self.shards[..num_shards].iter().enumerate() {
+                    debug_assert_eq!(shard.keys.len(), shard.streams.len());
+                    for (pos, &key) in shard.keys.iter().enumerate() {
+                        self.keyed.push((key, si as u32, pos as u32));
+                    }
+                }
+                if excess < self.keyed.len() {
+                    self.keyed.select_nth_unstable_by(excess - 1, cmp_keys_desc);
+                }
+                for &(_, si, pos) in &self.keyed[..excess] {
+                    self.shards[si as usize].victims.push(pos);
+                }
+                for shard in &mut self.shards[..num_shards] {
+                    // Descending, so the workers' `swap_remove`s stay valid.
+                    shard.victims.sort_unstable_by(|a, b| b.cmp(a));
+                }
             }
+            // Pass 2: workers retire their victims and extend the rest.
+            draw_seeds(&mut self.seeds, num_shards, rng);
+            pool.run_shards(
+                &mut self.shards[..num_shards],
+                &self.seeds,
+                &cache,
+                ShardTask::RetireExtend,
+            );
         }
+        self.merge_shards(num_shards);
 
         // Phase 2b: upward size adjustment.
         if self.alive.len() < target {
             let missing = target - self.alive.len();
             self.spawn(t, model, table, Some(&cache), missing, rng);
+        }
+    }
+
+    /// The PR-1 parallelization, kept as the benchmark reference: quit
+    /// draws and downward adjustment run sequentially on the caller
+    /// thread; only the extension phase is dispatched to the pool. Same
+    /// guards and determinism contract as [`Self::step_parallel`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_parallel_extend_only<R: Rng + ?Sized>(
+        &mut self,
+        t: u64,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        target: usize,
+        lambda: f64,
+        rng: &mut R,
+        threads: usize,
+    ) {
+        let cache = model.sampler().cloned();
+        let parallel_ok = threads > 1 && self.alive.len() >= MIN_PARALLEL && cache.is_some();
+        if !parallel_ok {
+            return self.step(t, model, table, target, lambda, rng);
+        }
+        let cache: Arc<SamplerCache> = cache.unwrap();
+        // An uninitialized database has no live streams, so the
+        // MIN_PARALLEL guard above already routed initialization through
+        // the sequential step.
+        debug_assert!(self.initialized);
+
+        self.quit_phase(model, table, Some(&cache), lambda, rng);
+        self.shrink_to_target(model, table, Some(&cache), target, rng);
+
+        if !self.alive.is_empty() {
+            self.ensure_pool(threads);
+            let num_shards = self.shard_alive(threads);
+            draw_seeds(&mut self.seeds, num_shards, rng);
+            let pool = self.pool.as_ref().expect("pool created above");
+            pool.run_shards(&mut self.shards[..num_shards], &self.seeds, &cache, ShardTask::Extend);
+            self.merge_shards(num_shards);
+        }
+
+        if self.alive.len() < target {
+            let missing = target - self.alive.len();
+            self.spawn(t, model, table, Some(&cache), missing, rng);
+        }
+    }
+
+    /// Create or resize the persistent pool for `threads` workers.
+    fn ensure_pool(&mut self, threads: usize) {
+        match &self.pool {
+            Some(pool) if pool.threads() == threads => {}
+            _ => self.pool = Some(SynthesisPool::new(threads)),
+        }
+    }
+
+    /// Move the live streams into contiguous fixed-size shard prefixes
+    /// (buffers reused across steps); returns the shard count.
+    fn shard_alive(&mut self, threads: usize) -> usize {
+        debug_assert!(self.alive.len() < u32::MAX as usize, "positions are u32");
+        let chunk_len = self.alive.len().div_ceil(threads).max(1);
+        let num_shards = self.alive.len().div_ceil(chunk_len);
+        if self.shards.len() < num_shards {
+            self.shards.resize_with(num_shards, ShardState::default);
+        }
+        for (i, stream) in self.alive.drain(..).enumerate() {
+            self.shards[i / chunk_len].streams.push(stream);
+        }
+        num_shards
+    }
+
+    /// Re-assemble shard results in shard order: survivors back into
+    /// `alive`, per-shard finished lists into the database's finished list
+    /// (id-sorted once at [`Self::finish`]). `append` leaves every
+    /// buffer's capacity in place for the next step.
+    fn merge_shards(&mut self, num_shards: usize) {
+        for shard in &mut self.shards[..num_shards] {
+            self.alive.append(&mut shard.streams);
+            self.finished.append(&mut shard.finished);
         }
     }
 
@@ -444,7 +640,7 @@ impl SyntheticDb {
     }
 
     fn retire(finished: &mut Vec<GriddedStream>, stream: OpenStream) {
-        finished.push(GriddedStream { id: stream.id, start: stream.start, cells: stream.cells });
+        finished.push(stream.into_finished());
     }
 
     /// Close all live streams and assemble the released synthetic database.

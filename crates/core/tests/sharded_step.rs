@@ -1,0 +1,256 @@
+//! Distributional and determinism pins for the fully sharded synthesis
+//! step: the pooled quit / shrink / extend passes must make per-stream
+//! decisions from exactly the same distributions as the sequential path
+//! (verified with two-sample chi-square over retirement locations), be
+//! bit-identical across runs for a fixed `(seed, threads)`, and collapse
+//! to the sequential path at `threads = 1`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retrasyn_core::{GlobalMobilityModel, SyntheticDb};
+use retrasyn_geo::{Grid, GriddedDataset, TransitionTable};
+
+/// Informed model (all-positive pseudo-random frequencies, so every cell
+/// has movement, enter and quit mass) with the sampler cache built.
+fn informed_setup() -> (Grid, TransitionTable, GlobalMobilityModel) {
+    let grid = Grid::unit(8);
+    let table = TransitionTable::new(&grid);
+    let mut model = GlobalMobilityModel::new(table.len());
+    let est: Vec<f64> = (0..table.len()).map(|i| ((i * 37 % 11) as f64 + 1.0) * 1e-3).collect();
+    model.replace_all(&est);
+    model.rebuild_samplers(&table);
+    (grid, table, model)
+}
+
+/// Histogram of last cells over streams that terminated before the final
+/// timestamp (quitters and shrink victims; streams alive at `finish` end
+/// exactly at `horizon − 1`).
+fn early_end_histogram(ds: &GriddedDataset, horizon: u64, num_cells: usize) -> (Vec<u64>, u64) {
+    let mut hist = vec![0u64; num_cells];
+    let mut n = 0u64;
+    for s in ds.streams() {
+        let end = s.start + s.cells.len() as u64 - 1;
+        if end < horizon - 1 {
+            hist[s.last_cell().index()] += 1;
+            n += 1;
+        }
+    }
+    (hist, n)
+}
+
+/// Two-sample chi-square statistic between histograms `a` and `b` (unequal
+/// totals handled by the usual √(N_b/N_a) weighting). Returns the statistic
+/// and the degrees of freedom (occupied categories − 1).
+fn two_sample_chi_square(a: &[u64], b: &[u64], na: u64, nb: u64) -> (f64, usize) {
+    let (ka, kb) = ((nb as f64 / na as f64).sqrt(), (na as f64 / nb as f64).sqrt());
+    let mut chi = 0.0;
+    let mut occupied = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        if x + y == 0 {
+            continue;
+        }
+        occupied += 1;
+        let d = ka * x as f64 - kb * y as f64;
+        chi += d * d / (x + y) as f64;
+    }
+    (chi, occupied.saturating_sub(1))
+}
+
+/// Loose 99.9th-percentile bound for chi-square with `dof` degrees of
+/// freedom (Wilson–Hilferty plus margin; deliberately conservative so the
+/// seeded test never flakes while still catching a wrong distribution).
+fn chi2_crit(dof: usize) -> f64 {
+    dof as f64 + 4.0 * (2.0 * dof as f64).sqrt() + 10.0
+}
+
+#[test]
+fn sharded_quit_decisions_match_sequential_distribution() {
+    // Steady-state steps (population pinned at the target) so every early
+    // termination is a natural Eq. 8 quit: the fused pooled pass and the
+    // sequential pass must retire streams at identically distributed
+    // locations.
+    let (grid, table, model) = informed_setup();
+    let num_cells = grid.num_cells();
+    let target = 4000usize;
+    let steps = 6u64;
+    let mut seq_hist = vec![0u64; num_cells];
+    let mut par_hist = vec![0u64; num_cells];
+    let (mut seq_n, mut par_n) = (0u64, 0u64);
+    for seed in 0..3u64 {
+        let mut init = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        init.step(0, &model, &table, target, 6.0, &mut rng);
+
+        let mut seq_db = init.clone();
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        for t in 1..steps {
+            seq_db.step(t, &model, &table, target, 6.0, &mut rng);
+        }
+        let (h, n) = early_end_histogram(&seq_db.finish(&grid, steps), steps, num_cells);
+        seq_hist.iter_mut().zip(&h).for_each(|(acc, &x)| *acc += x);
+        seq_n += n;
+
+        let mut par_db = init.clone();
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        for t in 1..steps {
+            par_db.step_parallel(t, &model, &table, target, 6.0, &mut rng, 4);
+        }
+        let (h, n) = early_end_histogram(&par_db.finish(&grid, steps), steps, num_cells);
+        par_hist.iter_mut().zip(&h).for_each(|(acc, &x)| *acc += x);
+        par_n += n;
+    }
+    assert!(seq_n > 500 && par_n > 500, "quits too rare: seq={seq_n} par={par_n}");
+    let (chi, dof) = two_sample_chi_square(&seq_hist, &par_hist, seq_n, par_n);
+    assert!(
+        chi < chi2_crit(dof),
+        "sharded quit locations diverge: chi={chi:.1} dof={dof} (crit {:.1})",
+        chi2_crit(dof)
+    );
+}
+
+#[test]
+fn sharded_shrink_selection_matches_sequential_distribution() {
+    // A pure shrink step: λ → ∞ disables natural quitting, the target drop
+    // forces retirement of `excess` victims chosen with probability
+    // proportional to the quitting distribution at their last cell. The
+    // two-phase pooled selection (per-shard Efraimidis–Spirakis keys +
+    // global cut) must match the sequential selection's distribution.
+    let (grid, table, model) = informed_setup();
+    let num_cells = grid.num_cells();
+    let (from, to) = (4000usize, 2500usize);
+    let mut seq_hist = vec![0u64; num_cells];
+    let mut par_hist = vec![0u64; num_cells];
+    let (mut seq_n, mut par_n) = (0u64, 0u64);
+    for seed in 0..3u64 {
+        let mut init = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        init.step(0, &model, &table, from, 1e12, &mut rng);
+        // A couple of steady steps spread the population over the grid.
+        for t in 1..3 {
+            init.step(t, &model, &table, from, 1e12, &mut rng);
+        }
+
+        let mut seq_db = init.clone();
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        seq_db.step(3, &model, &table, to, 1e12, &mut rng);
+        assert_eq!(seq_db.active_count(), to);
+        let (h, n) = early_end_histogram(&seq_db.finish(&grid, 4), 4, num_cells);
+        seq_hist.iter_mut().zip(&h).for_each(|(acc, &x)| *acc += x);
+        seq_n += n;
+
+        let mut par_db = init.clone();
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        par_db.step_parallel(3, &model, &table, to, 1e12, &mut rng, 4);
+        assert_eq!(par_db.active_count(), to);
+        let (h, n) = early_end_histogram(&par_db.finish(&grid, 4), 4, num_cells);
+        par_hist.iter_mut().zip(&h).for_each(|(acc, &x)| *acc += x);
+        par_n += n;
+    }
+    // Every early end is a shrink victim: exactly `excess` per run.
+    assert_eq!(seq_n, 3 * (from - to) as u64);
+    assert_eq!(par_n, 3 * (from - to) as u64);
+    let (chi, dof) = two_sample_chi_square(&seq_hist, &par_hist, seq_n, par_n);
+    assert!(
+        chi < chi2_crit(dof),
+        "sharded shrink selection diverges: chi={chi:.1} dof={dof} (crit {:.1})",
+        chi2_crit(dof)
+    );
+}
+
+#[test]
+fn fully_sharded_step_bit_identical_per_seed_and_threads() {
+    // A schedule that exercises every pooled pass: steady (fused
+    // quit+extend), shrinking (two-phase selection) and growth (spawn).
+    let (grid, table, model) = informed_setup();
+    let targets = [4000usize, 4000, 3000, 3600, 2200, 2600];
+    let run_parallel = |threads: usize| {
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        for (t, &target) in targets.iter().enumerate() {
+            db.step_parallel(t as u64, &model, &table, target, 8.0, &mut rng, threads);
+            assert_eq!(db.active_count(), target, "t={t}");
+        }
+        db.finish(&grid, targets.len() as u64)
+    };
+    let run_sequential = || {
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        for (t, &target) in targets.iter().enumerate() {
+            db.step(t as u64, &model, &table, target, 8.0, &mut rng);
+        }
+        db.finish(&grid, targets.len() as u64)
+    };
+    // Bit-identical across runs for a fixed (seed, threads).
+    assert_eq!(run_parallel(4).streams(), run_parallel(4).streams());
+    // threads = 1 delegates to the sequential path: exact match.
+    assert_eq!(run_parallel(1).streams(), run_sequential().streams());
+    // The pooled path consumes a different RNG stream than the sequential
+    // one; divergence proves the pool actually engaged.
+    assert_ne!(run_parallel(4).streams(), run_sequential().streams());
+    // Moves stay grid-adjacent through every pooled pass.
+    let released = run_parallel(4);
+    for s in released.streams() {
+        for w in s.cells.windows(2) {
+            assert!(grid.are_adjacent(w[0], w[1]));
+        }
+    }
+}
+
+#[test]
+fn shrink_selection_survives_key_underflow_regime() {
+    // 32×32 grid, uniform quitting distribution: per-cell weight ≈ 1e-3,
+    // exactly the regime where naive `u^{1/w}` keys underflow to 0.0 and
+    // a large one-tick shrink would degrade into positional tie-breaking
+    // (victims taken from shard 0, position 0 upward). With log-domain
+    // keys the selection stays weighted-random, so every shard keeps
+    // roughly its proportional share of survivors.
+    let grid = Grid::unit(32);
+    let table = TransitionTable::new(&grid);
+    let mut model = GlobalMobilityModel::new(table.len());
+    model.rebuild_samplers(&table); // uninformed: uniform fallbacks
+    let mut db = SyntheticDb::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    db.step_parallel(0, &model, &table, 4096, 1e12, &mut rng, 4);
+    db.step_parallel(1, &model, &table, 1024, 1e12, &mut rng, 4);
+    assert_eq!(db.active_count(), 1024);
+    let released = db.finish(&grid, 2);
+    // Streams were spawned with ids 0..4096 in order and never reordered
+    // before the shrink, so id / 1024 is the stream's shard.
+    let mut kept = [0u32; 4];
+    for s in released.streams() {
+        let survived = s.start + s.cells.len() as u64 - 1 == 1;
+        if survived {
+            kept[(s.id / 1024) as usize] += 1;
+        }
+    }
+    // Hypergeometric per shard: mean 256, sd ≈ 12; the bounds are ±~9 sd.
+    for (shard, &k) in kept.iter().enumerate() {
+        assert!(
+            (150..=370).contains(&(k as usize)),
+            "shard {shard} kept {k} of 1024 survivors (expected ≈256): {kept:?}"
+        );
+    }
+}
+
+#[test]
+fn extend_only_reference_keeps_contract() {
+    // The PR-1 reference path (caller-side quit/shrink, pooled extension)
+    // must keep the same determinism and exact-size contract.
+    let (grid, table, model) = informed_setup();
+    let targets = [4000usize, 3000, 3400, 2500];
+    let run = |threads: usize| {
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(44);
+        for (t, &target) in targets.iter().enumerate() {
+            db.step_parallel_extend_only(t as u64, &model, &table, target, 8.0, &mut rng, threads);
+            assert_eq!(db.active_count(), target, "t={t}");
+        }
+        db.finish(&grid, targets.len() as u64)
+    };
+    assert_eq!(run(4).streams(), run(4).streams());
+    for s in run(4).streams() {
+        for w in s.cells.windows(2) {
+            assert!(grid.are_adjacent(w[0], w[1]));
+        }
+    }
+}

@@ -79,11 +79,13 @@ fn metric_evaluation_is_deterministic() {
 
 #[test]
 fn pooled_parallel_engine_release_is_deterministic() {
-    // The persistent-worker-pool synthesis path: a fixed (seed, threads)
-    // pair must yield an identical release run-to-run, and threads = 1
-    // must match the sequential path exactly. 12k taxis keep the active
-    // population (~4k/step) above the pool's MIN_PARALLEL threshold so the
-    // pooled path actually engages.
+    // The fully sharded synthesis path (fused quit+extend in workers,
+    // two-phase parallel shrink): a fixed (seed, threads) pair must yield
+    // an identical release run-to-run, and threads = 1 must match the
+    // sequential path exactly. 12k taxis keep the active population
+    // (~4k/step) above the pool's MIN_PARALLEL threshold so the pooled
+    // path actually engages, and the real population's churn drives both
+    // shrinking and growing steps through the pool.
     let ds = TDriveConfig { taxis: 12_000, timestamps: 12, ..Default::default() }
         .generate(&mut StdRng::seed_from_u64(12));
     let grid = Grid::unit(5);
@@ -104,6 +106,28 @@ fn pooled_parallel_engine_release_is_deterministic() {
     // The pooled path consumes a different RNG stream than the sequential
     // one; divergence proves the pool actually engaged.
     assert_ne!(a.streams(), c.streams(), "pooled path did not engage");
+}
+
+#[test]
+fn pooled_engine_release_deterministic_under_shrink_heavy_churn() {
+    // High churn retires many real streams per step, so the synthetic
+    // target repeatedly drops and the pooled two-phase shrink selection
+    // (per-shard Efraimidis–Spirakis keys + global cut) runs on the
+    // critical path. The release must still be bit-identical per
+    // (seed, threads).
+    let ds = RandomWalkConfig { users: 9_000, timestamps: 15, churn: 0.2, ..Default::default() }
+        .generate(&mut StdRng::seed_from_u64(18));
+    let grid = Grid::unit(5);
+    let orig = ds.discretize(&grid);
+    let release = |threads: usize| {
+        let config = RetraSynConfig::new(1.0, 6)
+            .with_lambda(orig.avg_length())
+            .with_synthesis_threads(threads);
+        let mut engine = RetraSyn::population_division(config, grid.clone(), 55);
+        engine.run_gridded(&orig)
+    };
+    assert_eq!(release(4).streams(), release(4).streams());
+    assert_eq!(release(1).streams(), release(1).streams());
 }
 
 #[test]
