@@ -68,7 +68,11 @@ mod seed_reference {
     use retrasyn_geo::CellId;
 
     pub struct RefStream {
+        // id/start are never read back, but the struct must keep the
+        // production row layout for a faithful memory-traffic comparison.
+        #[allow(dead_code)]
         pub id: u64,
+        #[allow(dead_code)]
         pub start: u64,
         pub cells: Vec<CellId>,
     }
@@ -131,6 +135,77 @@ mod seed_reference {
     }
 }
 
+/// A faithful reproduction of the PR-2 storage layout, frozen as the
+/// columnar-refactor reference: one `Vec<CellId>` per stream (a heap
+/// pointer chase per user per step) with the same cached alias draws and
+/// fused quit+extend pass the live implementation uses. The delta between
+/// this arm and `alias` is pure memory-layout cost: SoA head columns plus
+/// the chunked tail arena versus per-stream Vecs.
+mod vec_reference {
+    use super::*;
+    use rand::Rng;
+    use retrasyn_core::SamplerCache;
+    use retrasyn_geo::CellId;
+
+    pub struct VecStream {
+        // id/start are never read back, but the struct must keep the
+        // PR-2 row layout for a faithful memory-traffic comparison.
+        #[allow(dead_code)]
+        pub id: u64,
+        #[allow(dead_code)]
+        pub start: u64,
+        pub cells: Vec<CellId>,
+    }
+
+    pub fn spawn(
+        alive: &mut Vec<VecStream>,
+        next_id: &mut u64,
+        t: u64,
+        cache: &SamplerCache,
+        count: usize,
+        rng: &mut StdRng,
+    ) {
+        for _ in 0..count {
+            let cell = cache.sample_enter(rng);
+            alive.push(VecStream { id: *next_id, start: t, cells: vec![cell] });
+            *next_id += 1;
+        }
+    }
+
+    /// The PR-2 fused steady-state pass: cached quit probability, one alias
+    /// draw, `swap_remove` retirement — over Vec-of-structs storage.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        alive: &mut Vec<VecStream>,
+        finished: &mut Vec<VecStream>,
+        next_id: &mut u64,
+        t: u64,
+        cache: &SamplerCache,
+        target: usize,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) {
+        let inv_lambda = 1.0 / lambda;
+        let mut i = 0;
+        while i < alive.len() {
+            let stream = &mut alive[i];
+            let from = *stream.cells.last().unwrap();
+            let q = stream.cells.len() as f64 * inv_lambda * cache.base_quit_prob(from);
+            if rng.random::<f64>() >= q {
+                stream.cells.push(cache.sample_move(from, rng));
+                i += 1;
+            } else {
+                let quitter = alive.swap_remove(i);
+                finished.push(quitter);
+            }
+        }
+        if alive.len() < target {
+            let missing = target - alive.len();
+            spawn(alive, next_id, t, cache, missing, rng);
+        }
+    }
+}
+
 fn bench_step_100k_grid32(c: &mut Criterion) {
     // The scaling target from the tentpole acceptance criteria: one full
     // synthesis step over 100k live streams on a 32x32 grid. Three arms:
@@ -166,6 +241,52 @@ fn bench_step_100k_grid32(c: &mut Criterion) {
                         db.step(WARM_STEPS + 1 + k, &model, &table, population, 30.0, &mut rng);
                     }
                     black_box(db.active_count())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    {
+        // PR-2 Vec-of-structs storage with the same cached sampling: the
+        // memory-layout before/after for the columnar store.
+        let model = informed_model(&table);
+        let cache = model.sampler().expect("cache built").clone();
+        group.bench_function("vec_reference", |b| {
+            b.iter_batched(
+                || {
+                    let mut alive = Vec::new();
+                    let mut finished = Vec::new();
+                    let mut next_id = 0u64;
+                    let mut rng = StdRng::seed_from_u64(7);
+                    vec_reference::spawn(&mut alive, &mut next_id, 0, &cache, population, &mut rng);
+                    for t in 1..=WARM_STEPS {
+                        vec_reference::step(
+                            &mut alive,
+                            &mut finished,
+                            &mut next_id,
+                            t,
+                            &cache,
+                            population,
+                            30.0,
+                            &mut rng,
+                        );
+                    }
+                    (alive, finished, next_id, StdRng::seed_from_u64(8))
+                },
+                |(mut alive, mut finished, mut next_id, mut rng)| {
+                    for k in 0..MEASURED_STEPS {
+                        vec_reference::step(
+                            &mut alive,
+                            &mut finished,
+                            &mut next_id,
+                            WARM_STEPS + 1 + k,
+                            &cache,
+                            population,
+                            30.0,
+                            &mut rng,
+                        );
+                    }
+                    black_box(alive.len())
                 },
                 criterion::BatchSize::LargeInput,
             )
@@ -306,12 +427,12 @@ fn bench_parallel_step(c: &mut Criterion) {
 }
 
 fn bench_parallel_step_100k(c: &mut Criterion) {
-    // The acceptance target for full sharding: 100k users on a 32×32 grid,
-    // the fully sharded step (`full`) against the PR-1 extension-only
-    // parallelization (`extend_only`, quit/shrink on the caller thread).
-    // On multi-core hardware `full` pulls the O(n) quit pass off the
-    // caller's critical path; the two arms dispatch the same number of
-    // jobs in the steady state.
+    // The acceptance target for full sharding: 100k users on a 32×32 grid
+    // through the fully sharded pooled step over the columnar store
+    // (disjoint index-range shards, per-shard tail buffers relocated at
+    // the merge). The PR-1 extension-only reference was dropped with the
+    // storage refactor — the comparison stopped being meaningful once
+    // shards became column ranges.
     let mut group = c.benchmark_group("synthesis_step_100k_grid32_threads");
     group.sample_size(10).measurement_time(Duration::from_millis(1200));
     let grid = Grid::unit(32);
@@ -319,42 +440,26 @@ fn bench_parallel_step_100k(c: &mut Criterion) {
     let model = informed_model(&table);
     let population = 100_000usize;
     for threads in [1usize, 2, 4] {
-        for full in [true, false] {
-            if !full && threads == 1 {
-                // Both variants fall back to the sequential step at one
-                // thread — skip the duplicate measurement.
-                continue;
-            }
-            let label = if full { "full" } else { "extend_only" };
-            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
-                b.iter_batched(
-                    || {
-                        let mut db = SyntheticDb::new();
-                        let mut rng = StdRng::seed_from_u64(7);
-                        for t in 0..4 {
-                            db.step(t, &model, &table, population, 30.0, &mut rng);
-                        }
-                        // Warm step creates the worker pool outside
-                        // the measured region.
-                        db.step_parallel(4, &model, &table, population, 30.0, &mut rng, threads);
-                        (db, StdRng::seed_from_u64(8))
-                    },
-                    |(mut db, mut rng)| {
-                        if full {
-                            db.step_parallel(
-                                5, &model, &table, population, 30.0, &mut rng, threads,
-                            );
-                        } else {
-                            db.step_parallel_extend_only(
-                                5, &model, &table, population, 30.0, &mut rng, threads,
-                            );
-                        }
-                        black_box(db.active_count())
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            });
-        }
+        group.bench_with_input(BenchmarkId::new("full", threads), &threads, |b, &threads| {
+            b.iter_batched(
+                || {
+                    let mut db = SyntheticDb::new();
+                    let mut rng = StdRng::seed_from_u64(7);
+                    for t in 0..4 {
+                        db.step(t, &model, &table, population, 30.0, &mut rng);
+                    }
+                    // Warm step creates the worker pool outside
+                    // the measured region.
+                    db.step_parallel(4, &model, &table, population, 30.0, &mut rng, threads);
+                    (db, StdRng::seed_from_u64(8))
+                },
+                |(mut db, mut rng)| {
+                    db.step_parallel(5, &model, &table, population, 30.0, &mut rng, threads);
+                    black_box(db.active_count())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     group.finish();
 }

@@ -169,7 +169,7 @@ mod tests {
         for spec in MethodSpec::table3().into_iter().chain(MethodSpec::table4()) {
             let (syn, timings) = spec.run(&gridded, 1.0, 5, 3);
             assert_eq!(syn.horizon(), 15, "{}", spec.name());
-            assert!(!syn.streams().is_empty(), "{}", spec.name());
+            assert!(!syn.is_empty(), "{}", spec.name());
             match spec {
                 MethodSpec::Baseline(_) => assert!(timings.is_none()),
                 MethodSpec::RetraSyn { .. } => assert!(timings.is_some()),

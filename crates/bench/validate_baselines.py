@@ -46,7 +46,11 @@ def main() -> int:
                 error(f"{path} row {row.get('id', i)!r} missing keys {sorted(missing)}")
             for key in REQUIRED - {"id"}:
                 value = row.get(key)
-                if key in row and (not isinstance(value, (int, float)) or value <= 0):
+                # bool is an int subclass in Python: reject it explicitly so
+                # a corrupted `true` still counts as malformed.
+                if key in row and (
+                    isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0
+                ):
                     error(f"{path} row {row.get('id', i)!r} has non-positive {key}: {value!r}")
 
     if ok:

@@ -426,7 +426,7 @@ mod tests {
             let mut engine = LdpIds::new(kind, config, Grid::unit(5), 3);
             let syn = engine.run(&ds);
             assert_eq!(syn.horizon(), 25, "{}", kind.name());
-            assert!(!syn.streams().is_empty(), "{}", kind.name());
+            assert!(!syn.is_empty(), "{}", kind.name());
             engine.ledger().verify().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         }
     }
@@ -438,7 +438,7 @@ mod tests {
         let mut engine = LdpIds::new(BaselineKind::Lbd, config, Grid::unit(5), 3);
         let syn = engine.run(&ds);
         // Fixed-size DB: every stream spans the whole horizon.
-        for s in syn.streams() {
+        for s in syn.iter() {
             assert_eq!(s.start, 0);
             assert_eq!(s.len(), 25);
         }
@@ -487,8 +487,8 @@ mod tests {
         };
         let a = run(9);
         let b = run(9);
-        assert_eq!(a.streams().len(), b.streams().len());
-        assert_eq!(a.streams()[3], b.streams()[3]);
+        assert_eq!(a.num_streams(), b.num_streams());
+        assert_eq!(a.stream(3), b.stream(3));
     }
 
     #[test]

@@ -465,7 +465,7 @@ mod tests {
         let mut engine = RetraSyn::population_division(config, Grid::unit(5), 7);
         let syn = engine.run(&ds);
         assert_eq!(syn.horizon(), 30);
-        assert!(!syn.streams().is_empty());
+        assert!(!syn.is_empty());
         engine.ledger().verify().expect("w-event invariant");
         assert!(engine.ledger().total_user_reports() > 0);
     }
@@ -569,7 +569,7 @@ mod tests {
         }
         // NoEQ synthetic streams never terminate.
         let syn = std::mem::take(&mut engine.synthetic).finish(&Grid::unit(5), 30);
-        for s in syn.streams() {
+        for s in syn.iter() {
             assert_eq!(s.start, 0);
             assert_eq!(s.len(), 30);
         }
@@ -595,11 +595,10 @@ mod tests {
         let a = run(42);
         let b = run(42);
         let c = run(43);
-        assert_eq!(a.streams().len(), b.streams().len());
-        assert_eq!(a.streams()[0], b.streams()[0]);
+        assert_eq!(a.num_streams(), b.num_streams());
+        assert_eq!(a.stream(0), b.stream(0));
         // Different seeds diverge somewhere.
-        let same = a.streams().len() == c.streams().len()
-            && a.streams().iter().zip(c.streams()).all(|(x, y)| x == y);
+        let same = a.num_streams() == c.num_streams() && a.iter().eq(c.iter());
         assert!(!same, "different seeds produced identical output");
     }
 

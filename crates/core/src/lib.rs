@@ -25,6 +25,9 @@
 //!   owned by the model and rebuilt incrementally after each DMU step.
 //! - [`pool`]: the persistent synthesis worker pool (§VII acceleration)
 //!   with deterministic per-chunk seeding.
+//! - `store` (internal): the columnar [`SyntheticDb`] stream storage —
+//!   SoA head columns, a chunked append-only tail arena, and an O(1)
+//!   finished region feeding the zero-copy release path.
 //!
 //! Ablation variants are configuration flags: `dmu: false` reproduces
 //! *AllUpdate*, `enter_quit: false` reproduces *NoEQ* (Table IV).
@@ -40,6 +43,7 @@ pub mod model;
 pub mod pool;
 pub mod population;
 pub mod sampler;
+mod store;
 pub mod synthesis;
 
 pub use allocation::AllocationKind;

@@ -7,13 +7,20 @@
 //! [`SamplerCache`] per step — no locks, no shared mutable state, and no
 //! `unsafe` lifetime erasure (the crate forbids `unsafe`).
 //!
+//! A shard is a disjoint index range of the store's head columns, copied
+//! into the shard's own [`Columns`] (five contiguous `memcpy`s — the
+//! per-stream `Vec` shuffle of the old layout is gone). Workers append
+//! tail-arena nodes into a private per-shard buffer with shard-local
+//! addresses; the caller's merge relocates each buffer to the end of the
+//! shared arena in shard order and offsets the survivors' links.
+//!
 //! The whole synthesis step runs on the pool, not just the extension
 //! phase. A [`ShardTask`] selects the pass a worker performs over its
 //! shard:
 //!
 //! - [`ShardTask::QuitExtend`] — the fused steady-state pass: per stream,
 //!   one cached quit draw; quitters retire into the shard's own finished
-//!   list, survivors extend by one alias draw.
+//!   columns, survivors extend by one alias draw.
 //! - [`ShardTask::QuitKeys`] — phase one of the two-phase parallel
 //!   downward adjustment: quit draws as above, then one log-domain
 //!   Efraimidis–Spirakis key `ln(u)/w` per survivor (weight `w` = the
@@ -24,21 +31,19 @@
 //! - [`ShardTask::RetireExtend`] — phase two: retire the pre-selected
 //!   victims (positions sorted descending so `swap_remove` stays valid),
 //!   then extend the remaining streams.
-//! - [`ShardTask::Extend`] — extension only (the PR-1 parallelization,
-//!   kept as the benchmark reference).
 //!
 //! Determinism: each shard is seeded from the caller's RNG in shard order,
-//! shards are fixed-size prefixes of the stream list, and replies are
+//! shards are fixed-size index ranges of the live columns, and replies are
 //! re-assembled by shard index, so a fixed `(seed, threads)` pair yields an
 //! identical database regardless of worker scheduling.
 //!
 //! [`SyntheticDb`]: crate::synthesis::SyntheticDb
 
 use crate::sampler::SamplerCache;
-use crate::synthesis::{extend_streams, quit_pass, OpenStream};
+use crate::store::{Columns, TailNode};
+use crate::synthesis::{extend_cols, quit_pass_cols};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use retrasyn_geo::GriddedStream;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,8 +68,6 @@ pub(crate) enum ShardTask {
     },
     /// Retire the shard's pre-selected victims, then extend the remainder.
     RetireExtend,
-    /// Extension only (the PR-1 reference path).
-    Extend,
 }
 
 /// One worker's owned slice of the synthetic database plus its reusable
@@ -73,13 +76,18 @@ pub(crate) enum ShardTask {
 /// no heap allocation.
 #[derive(Debug, Default)]
 pub(crate) struct ShardState {
-    /// The live streams owned by this shard.
-    pub(crate) streams: Vec<OpenStream>,
-    /// Streams retired by this shard during the current step; drained into
-    /// the database's finished list when shards merge (id-sorted at
-    /// `finish`).
-    pub(crate) finished: Vec<GriddedStream>,
-    /// Efraimidis–Spirakis keys, parallel to `streams` after a
+    /// The live stream columns owned by this shard (a disjoint index range
+    /// of the store's live columns).
+    pub(crate) cols: Columns,
+    /// Columns of streams retired by this shard during the current step;
+    /// drained into the store's finished region when shards merge
+    /// (id-sorted at `finish`).
+    pub(crate) finished: Columns,
+    /// Tail nodes appended by this shard during the current pass, with
+    /// shard-local addresses; the merge relocates them into the shared
+    /// arena and offsets the survivors' links.
+    pub(crate) appended: Vec<TailNode>,
+    /// Efraimidis–Spirakis keys, parallel to `cols` after a
     /// [`ShardTask::QuitKeys`] pass.
     pub(crate) keys: Vec<f64>,
     /// Victim positions for [`ShardTask::RetireExtend`], sorted descending.
@@ -155,7 +163,7 @@ impl SynthesisPool {
         debug_assert_eq!(shards.len(), seeds.len());
         let mut outstanding = 0usize;
         for (idx, state) in shards.iter_mut().enumerate() {
-            if state.streams.is_empty() {
+            if state.cols.is_empty() {
                 continue;
             }
             let job = Job {
@@ -215,31 +223,44 @@ impl Drop for SynthesisPool {
 fn worker_loop(rx: Receiver<Job>, reply_tx: Sender<Reply>) {
     while let Ok(Job { idx, mut state, cache, seed, task }) = rx.recv() {
         let mut rng = StdRng::seed_from_u64(seed);
+        state.appended.clear();
         match task {
-            ShardTask::Extend => extend_streams(&mut state.streams, &cache, &mut rng),
             ShardTask::QuitExtend { lambda } => {
-                quit_pass(&mut state.streams, &mut state.finished, &cache, lambda, true, &mut rng);
+                quit_pass_cols(
+                    &mut state.cols,
+                    &mut state.finished,
+                    &mut state.appended,
+                    &cache,
+                    lambda,
+                    true,
+                    &mut rng,
+                );
             }
             ShardTask::QuitKeys { lambda } => {
-                quit_pass(&mut state.streams, &mut state.finished, &cache, lambda, false, &mut rng);
+                quit_pass_cols(
+                    &mut state.cols,
+                    &mut state.finished,
+                    &mut state.appended,
+                    &cache,
+                    lambda,
+                    false,
+                    &mut rng,
+                );
                 state.keys.clear();
-                for stream in &state.streams {
-                    let from = *stream.cells.last().expect("streams are non-empty");
-                    let w = cache.quit_weight(from).max(MIN_SHRINK_WEIGHT);
+                for &head in &state.cols.heads {
+                    let w = cache.quit_weight(head).max(MIN_SHRINK_WEIGHT);
                     let u: f64 = rng.random();
                     state.keys.push(u.ln() / w);
                 }
             }
             ShardTask::RetireExtend => {
                 // Victims arrive sorted descending, so each `swap_remove`
-                // moves an element from past the remaining victim
-                // positions.
+                // moves a row from past the remaining victim positions.
                 for k in 0..state.victims.len() {
-                    let victim = state.streams.swap_remove(state.victims[k] as usize);
-                    state.finished.push(victim.into_finished());
+                    state.cols.swap_remove_into(state.victims[k] as usize, &mut state.finished);
                 }
                 state.victims.clear();
-                extend_streams(&mut state.streams, &cache, &mut rng);
+                extend_cols(&mut state.cols, &mut state.appended, &cache, &mut rng);
             }
         }
         if reply_tx.send(Reply { idx, state }).is_err() {

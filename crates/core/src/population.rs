@@ -8,6 +8,14 @@
 //!   which is what makes population division satisfy w-event LDP;
 //! - **Quitted** — delivered the final `Quit` report (or silently left);
 //!   never reports again.
+//!
+//! The registry maintains the active set *incrementally*: every status
+//! transition updates a dense membership vector (swap-remove indexed by a
+//! position map), so [`UserRegistry::active_count`] is O(1) and
+//! [`UserRegistry::active_users`] touches only the currently active users
+//! — long-quitted ids never slow bookkeeping down, no matter how much the
+//! stream churns. The sorted listing is produced lazily into the same
+//! reused buffer, re-sorted only after a mutation.
 
 use std::collections::HashMap;
 
@@ -28,6 +36,16 @@ pub struct UserRegistry {
     status: HashMap<u64, UserStatus>,
     /// users who reported at time t (for recycling at t + w).
     by_report_time: HashMap<u64, Vec<u64>>,
+    /// Dense membership vector of the Active users (unordered; positions
+    /// tracked by `active_pos` for O(1) removal).
+    active_set: Vec<u64>,
+    /// Position of each Active user inside `active_set`.
+    active_pos: HashMap<u64, u32>,
+    /// Reused sorted copy of `active_set`, rebuilt lazily after a
+    /// mutation; `active_set` itself is never reordered by reads.
+    sorted_buf: Vec<u64>,
+    /// Whether `sorted_buf` currently mirrors `active_set`.
+    sorted_valid: bool,
 }
 
 impl UserRegistry {
@@ -36,9 +54,29 @@ impl UserRegistry {
         Self::default()
     }
 
+    fn add_active(&mut self, user: u64) {
+        debug_assert!(!self.active_pos.contains_key(&user));
+        self.active_pos.insert(user, self.active_set.len() as u32);
+        self.active_set.push(user);
+        self.sorted_valid = false;
+    }
+
+    fn remove_active(&mut self, user: u64) {
+        if let Some(pos) = self.active_pos.remove(&user) {
+            self.active_set.swap_remove(pos as usize);
+            if let Some(&moved) = self.active_set.get(pos as usize) {
+                self.active_pos.insert(moved, pos);
+            }
+            self.sorted_valid = false;
+        }
+    }
+
     /// Register a newly arrived user as Active (no effect if known).
     pub fn register(&mut self, user: u64) {
-        self.status.entry(user).or_insert(UserStatus::Active);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.status.entry(user) {
+            e.insert(UserStatus::Active);
+            self.add_active(user);
+        }
     }
 
     /// Current status, if the user has been seen.
@@ -50,12 +88,15 @@ impl UserRegistry {
     pub fn mark_reported(&mut self, user: u64, t: u64) {
         debug_assert_eq!(self.status.get(&user), Some(&UserStatus::Active), "user {user}");
         self.status.insert(user, UserStatus::Inactive);
+        self.remove_active(user);
         self.by_report_time.entry(t).or_default().push(user);
     }
 
     /// Permanently retire a user.
     pub fn mark_quitted(&mut self, user: u64) {
-        self.status.insert(user, UserStatus::Quitted);
+        if self.status.insert(user, UserStatus::Quitted) == Some(UserStatus::Active) {
+            self.remove_active(user);
+        }
     }
 
     /// Recycle users that reported at `t − w` (Alg. 1 line 9): Inactive →
@@ -68,22 +109,30 @@ impl UserRegistry {
             for u in users {
                 if self.status.get(&u) == Some(&UserStatus::Inactive) {
                     self.status.insert(u, UserStatus::Active);
+                    self.add_active(u);
                 }
             }
         }
     }
 
-    /// All Active users, sorted for determinism.
-    pub fn active_users(&self) -> Vec<u64> {
-        let mut users: Vec<u64> =
-            self.status.iter().filter(|(_, &s)| s == UserStatus::Active).map(|(&u, _)| u).collect();
-        users.sort_unstable();
-        users
+    /// All Active users, sorted for determinism. Copies the maintained
+    /// membership set into a reused buffer and sorts it — O(a log a) over
+    /// the *active* users after a mutation, O(1) when the set is
+    /// unchanged, and never a scan over the full seen-user map (the
+    /// membership vector and its position index are left untouched).
+    pub fn active_users(&mut self) -> &[u64] {
+        if !self.sorted_valid {
+            self.sorted_buf.clear();
+            self.sorted_buf.extend_from_slice(&self.active_set);
+            self.sorted_buf.sort_unstable();
+            self.sorted_valid = true;
+        }
+        &self.sorted_buf
     }
 
-    /// Number of Active users.
+    /// Number of Active users — O(1), maintained incrementally.
     pub fn active_count(&self) -> usize {
-        self.status.values().filter(|&&s| s == UserStatus::Active).count()
+        self.active_set.len()
     }
 
     /// Number of users ever observed.
@@ -95,6 +144,16 @@ impl UserRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The incrementally maintained count/set must always agree with a
+    /// full scan of the status map.
+    fn check_consistency(r: &mut UserRegistry) {
+        let mut expect: Vec<u64> =
+            r.status.iter().filter(|(_, &s)| s == UserStatus::Active).map(|(&u, _)| u).collect();
+        expect.sort_unstable();
+        assert_eq!(r.active_count(), expect.len());
+        assert_eq!(r.active_users(), expect.as_slice());
+    }
 
     #[test]
     fn lifecycle() {
@@ -109,6 +168,7 @@ mod tests {
         assert_eq!(r.status(1), Some(UserStatus::Inactive));
         r.recycle(10, 5); // t - w = 5: user 1
         assert_eq!(r.status(1), Some(UserStatus::Active));
+        check_consistency(&mut r);
     }
 
     #[test]
@@ -118,6 +178,7 @@ mod tests {
         r.mark_reported(1, 0);
         r.register(1);
         assert_eq!(r.status(1), Some(UserStatus::Inactive));
+        assert_eq!(r.active_count(), 0);
     }
 
     #[test]
@@ -128,6 +189,7 @@ mod tests {
         r.mark_quitted(1);
         r.recycle(8, 5);
         assert_eq!(r.status(1), Some(UserStatus::Quitted));
+        assert_eq!(r.active_count(), 0);
     }
 
     #[test]
@@ -137,7 +199,7 @@ mod tests {
             r.register(u);
         }
         r.mark_reported(3, 0);
-        assert_eq!(r.active_users(), vec![1, 5, 9]);
+        assert_eq!(r.active_users(), &[1, 5, 9]);
         assert_eq!(r.active_count(), 3);
         assert_eq!(r.total_seen(), 4);
     }
@@ -159,5 +221,38 @@ mod tests {
         }
         r.recycle(7, 5);
         assert_eq!(r.active_count(), 4);
+    }
+
+    #[test]
+    fn incremental_set_tracks_churn() {
+        // A churn-heavy schedule interleaving every transition; the
+        // maintained set must agree with a full scan at every point, and
+        // listings between mutations must not re-sort (same slice).
+        let mut r = UserRegistry::new();
+        for u in 0..50 {
+            r.register(u);
+        }
+        check_consistency(&mut r);
+        for u in (0..50).step_by(3) {
+            r.mark_reported(u, 1);
+        }
+        check_consistency(&mut r);
+        for u in (0..50).step_by(7) {
+            r.mark_quitted(u);
+        }
+        check_consistency(&mut r);
+        r.recycle(6, 5); // reporters at t=1 recycle, quitted stay out
+        check_consistency(&mut r);
+        // Quitting an Inactive user must not touch the active set.
+        r.register(100);
+        r.mark_reported(100, 6);
+        let before = r.active_users().to_vec();
+        r.mark_quitted(100);
+        assert_eq!(r.active_users(), before.as_slice());
+        check_consistency(&mut r);
+        // mark_quitted on an Active user removes exactly that user.
+        r.mark_quitted(1);
+        assert!(!r.active_users().contains(&1));
+        check_consistency(&mut r);
     }
 }

@@ -1,0 +1,384 @@
+//! Columnar trajectory storage for the synthesis hot path (§III-D at
+//! millions-of-users scale).
+//!
+//! The Vec-of-structs layout this replaces (`OpenStream { cells: Vec }`)
+//! paid one heap pointer chase per live stream per timestamp in the fused
+//! quit+extend pass, and `finish()` copied every stream into a fresh
+//! per-stream `Vec` before metrics could run. The [`StreamStore`] keeps the
+//! per-step state in structure-of-arrays form instead:
+//!
+//! - **Head columns** ([`Columns`]): the fields the fused pass actually
+//!   touches — current cell (`heads`), `lens`, plus `ids`/`starts`/`links`
+//!   bookkeeping — live in parallel vectors, so advancing `n` streams reads
+//!   and writes contiguous memory.
+//! - **Tail arena** ([`TailArena`]): historical cells are append-only
+//!   [`TailNode`]s in fixed-size chunks, each linking backward to the
+//!   stream's previous node. Extending a stream appends one node
+//!   (sequential writes within a step) and never moves old cells; chunks
+//!   mean growth never reallocates or copies the arena.
+//! - **Finished region**: retiring a stream moves its five column entries
+//!   into a second [`Columns`] — O(1), cells stay where they are in the
+//!   arena.
+//!
+//! Release ([`StreamStore::into_dataset`]) walks each chain once, backward,
+//! into a single flat cell column sorted by stream id and hands the result
+//! to [`GriddedDataset::from_columns`] — no per-stream `Vec` is ever
+//! allocated on the release path.
+//!
+//! Sharded synthesis copies disjoint index ranges of the head columns into
+//! per-worker [`Columns`] (a handful of `memcpy`s, not a per-stream
+//! shuffle); workers append tail nodes into private buffers with
+//! shard-local addresses, and the merge relocates each buffer to the end of
+//! the shared arena in shard order, offsetting the survivors' links — which
+//! keeps the fixed-`(seed, threads)` output bit-identical to the sequential
+//! ordering semantics.
+
+use retrasyn_geo::{CellId, Grid, GriddedDataset};
+
+/// Sentinel link for a stream with no tail (length 1).
+pub(crate) const NO_LINK: u32 = u32::MAX;
+
+const CHUNK_BITS: u32 = 16;
+const CHUNK_LEN: usize = 1 << CHUNK_BITS;
+const CHUNK_MASK: usize = CHUNK_LEN - 1;
+
+/// One arena entry: the cell a stream occupied before its most recent
+/// extension, linking backward to the node before that (`NO_LINK` at the
+/// stream's first cell).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TailNode {
+    pub(crate) cell: CellId,
+    pub(crate) prev: u32,
+}
+
+/// Chunked append-only arena of [`TailNode`]s. Addresses are dense `u32`
+/// indices; fixed-size chunks keep them stable and make growth O(1) —
+/// no reallocation ever copies existing nodes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TailArena {
+    chunks: Vec<Vec<TailNode>>,
+    len: usize,
+}
+
+impl TailArena {
+    /// Number of nodes stored.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Node at `addr`.
+    #[inline]
+    pub(crate) fn get(&self, addr: u32) -> TailNode {
+        self.chunks[addr as usize >> CHUNK_BITS][addr as usize & CHUNK_MASK]
+    }
+
+    /// Start a new chunk. The exhaustion check lives here — once per
+    /// `CHUNK_LEN` appends, not on the hot path — and is a hard `assert`:
+    /// past it, `len as u32` would wrap (and `NO_LINK` would collide with
+    /// a real address), silently cross-linking chains in release builds.
+    /// Capping at the last whole chunk below `NO_LINK` keeps every address
+    /// the new chunk can hand out strictly below the sentinel.
+    fn grow(&mut self) {
+        assert!(
+            self.len + CHUNK_LEN <= NO_LINK as usize,
+            "tail arena address space exhausted ({} nodes)",
+            self.len
+        );
+        self.chunks.push(Vec::with_capacity(CHUNK_LEN));
+    }
+
+    /// Append one node, returning its address.
+    #[inline]
+    pub(crate) fn push(&mut self, node: TailNode) -> u32 {
+        if self.len & CHUNK_MASK == 0 {
+            self.grow();
+        }
+        let addr = self.len as u32;
+        self.chunks.last_mut().expect("chunk pushed above").push(node);
+        self.len += 1;
+        addr
+    }
+
+    /// Bulk-append `nodes` (chunk-wise copies), preserving order.
+    pub(crate) fn extend_from_slice(&mut self, nodes: &[TailNode]) {
+        let mut rest = nodes;
+        while !rest.is_empty() {
+            if self.len & CHUNK_MASK == 0 {
+                self.grow();
+            }
+            let room = CHUNK_LEN - (self.len & CHUNK_MASK);
+            let take = room.min(rest.len());
+            self.chunks.last_mut().expect("chunk ensured above").extend_from_slice(&rest[..take]);
+            self.len += take;
+            rest = &rest[take..];
+        }
+    }
+}
+
+/// Where a pass appends tail nodes: the shared arena directly (sequential
+/// paths — addresses are global immediately) or a per-shard buffer (pool
+/// workers — addresses are shard-local until the merge relocates the
+/// buffer and offsets the links).
+pub(crate) trait TailSink {
+    /// Append one node, returning its address in this sink's space.
+    fn append_node(&mut self, node: TailNode) -> u32;
+}
+
+impl TailSink for TailArena {
+    #[inline]
+    fn append_node(&mut self, node: TailNode) -> u32 {
+        self.push(node)
+    }
+}
+
+impl TailSink for Vec<TailNode> {
+    #[inline]
+    fn append_node(&mut self, node: TailNode) -> u32 {
+        let addr = self.len() as u32;
+        self.push(node);
+        addr
+    }
+}
+
+/// Structure-of-arrays stream state: five parallel columns, one row per
+/// stream. The fused quit+extend pass touches `heads`/`lens`/`links`;
+/// `ids`/`starts` ride along for retirement and release.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Columns {
+    /// Current (most recent) cell per stream — the hot column.
+    pub(crate) heads: Vec<CellId>,
+    /// Stream ids.
+    pub(crate) ids: Vec<u64>,
+    /// Entering timestamps.
+    pub(crate) starts: Vec<u64>,
+    /// Cells reported so far (chain length + 1).
+    pub(crate) lens: Vec<u32>,
+    /// Arena address of the previous cell's node (`NO_LINK` if length 1).
+    pub(crate) links: Vec<u32>,
+}
+
+impl Columns {
+    /// Number of rows.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Whether there are no rows.
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// Drop all rows, keeping capacity.
+    pub(crate) fn clear(&mut self) {
+        self.heads.clear();
+        self.ids.clear();
+        self.starts.clear();
+        self.lens.clear();
+        self.links.clear();
+    }
+
+    /// Append one row.
+    #[inline]
+    pub(crate) fn push(&mut self, id: u64, start: u64, head: CellId, len: u32, link: u32) {
+        self.heads.push(head);
+        self.ids.push(id);
+        self.starts.push(start);
+        self.lens.push(len);
+        self.links.push(link);
+    }
+
+    /// `swap_remove` row `i` into `out` — O(1) retirement; the stream's
+    /// cells never move.
+    #[inline]
+    pub(crate) fn swap_remove_into(&mut self, i: usize, out: &mut Columns) {
+        out.heads.push(self.heads.swap_remove(i));
+        out.ids.push(self.ids.swap_remove(i));
+        out.starts.push(self.starts.swap_remove(i));
+        out.lens.push(self.lens.swap_remove(i));
+        out.links.push(self.links.swap_remove(i));
+    }
+
+    /// Extend stream `i` by one cell: its old head becomes a tail node in
+    /// `sink`, the new cell takes the head slot.
+    #[inline]
+    pub(crate) fn extend_row<S: TailSink>(&mut self, i: usize, to: CellId, sink: &mut S) {
+        let link = sink.append_node(TailNode { cell: self.heads[i], prev: self.links[i] });
+        self.heads[i] = to;
+        self.links[i] = link;
+        self.lens[i] += 1;
+    }
+
+    /// Append rows `lo..hi` of `src` (five contiguous copies — the
+    /// shard-out path).
+    pub(crate) fn extend_from_range(&mut self, src: &Columns, lo: usize, hi: usize) {
+        self.heads.extend_from_slice(&src.heads[lo..hi]);
+        self.ids.extend_from_slice(&src.ids[lo..hi]);
+        self.starts.extend_from_slice(&src.starts[lo..hi]);
+        self.lens.extend_from_slice(&src.lens[lo..hi]);
+        self.links.extend_from_slice(&src.links[lo..hi]);
+    }
+
+    /// Drain every row of `other` onto the end of `self`, preserving order
+    /// and `other`'s capacity.
+    pub(crate) fn append(&mut self, other: &mut Columns) {
+        self.heads.append(&mut other.heads);
+        self.ids.append(&mut other.ids);
+        self.starts.append(&mut other.starts);
+        self.lens.append(&mut other.lens);
+        self.links.append(&mut other.links);
+    }
+}
+
+/// The synthesizer's columnar stream storage: live head columns, the shared
+/// chunked tail arena, and the finished region retirement moves rows into.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StreamStore {
+    /// Live streams (SoA).
+    pub(crate) live: Columns,
+    /// Retired streams (SoA; cells remain in the arena).
+    pub(crate) finished: Columns,
+    /// Historical cells of every stream, live or finished.
+    pub(crate) tail: TailArena,
+}
+
+impl StreamStore {
+    /// Append a fresh length-1 live stream.
+    #[inline]
+    pub(crate) fn spawn(&mut self, id: u64, start: u64, cell: CellId) {
+        self.live.push(id, start, cell, 1, NO_LINK);
+    }
+
+    /// Materialize the cells of a stream described by `(head, len, link)`
+    /// into `out`, oldest first, by walking its chain backward.
+    fn write_cells(&self, head: CellId, len: usize, link: u32, out: &mut [CellId]) {
+        debug_assert_eq!(out.len(), len);
+        out[len - 1] = head;
+        let mut addr = link;
+        for slot in out[..len - 1].iter_mut().rev() {
+            let node = self.tail.get(addr);
+            *slot = node.cell;
+            addr = node.prev;
+        }
+        debug_assert_eq!(addr, NO_LINK, "chain length disagrees with len column");
+    }
+
+    /// Close every live stream (in live order, matching the sequential
+    /// retirement semantics) and release the whole store as an id-sorted
+    /// columnar [`GriddedDataset`]: one flat cell column, no per-stream
+    /// allocation.
+    pub(crate) fn into_dataset(mut self, grid: Grid, horizon: u64) -> GriddedDataset {
+        {
+            let StreamStore { live, finished, .. } = &mut self;
+            finished.append(live);
+        }
+        let n = self.finished.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| self.finished.ids[i as usize]);
+        let total: usize = self.finished.lens.iter().map(|&l| l as usize).sum();
+        let mut ids = Vec::with_capacity(n);
+        let mut starts = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut cells = vec![CellId(0); total];
+        offsets.push(0usize);
+        let mut pos = 0usize;
+        for &oi in &order {
+            let i = oi as usize;
+            ids.push(self.finished.ids[i]);
+            starts.push(self.finished.starts[i]);
+            let len = self.finished.lens[i] as usize;
+            self.write_cells(
+                self.finished.heads[i],
+                len,
+                self.finished.links[i],
+                &mut cells[pos..pos + len],
+            );
+            pos += len;
+            offsets.push(pos);
+        }
+        GriddedDataset::from_columns(grid, ids, starts, offsets, cells, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_chunks_do_not_move_nodes() {
+        let mut arena = TailArena::default();
+        // Cross several chunk boundaries through both push and bulk paths.
+        for i in 0..(CHUNK_LEN + 10) as u32 {
+            let addr = arena.push(TailNode { cell: CellId((i % 7) as u16), prev: i });
+            assert_eq!(addr, i);
+        }
+        let batch: Vec<TailNode> =
+            (0..CHUNK_LEN + 5).map(|i| TailNode { cell: CellId(3), prev: i as u32 }).collect();
+        let base = arena.len();
+        arena.extend_from_slice(&batch);
+        assert_eq!(arena.len(), base + batch.len());
+        for (i, node) in batch.iter().enumerate() {
+            assert_eq!(arena.get((base + i) as u32).prev, node.prev);
+        }
+        // Early nodes are untouched by growth.
+        assert_eq!(arena.get(5).prev, 5);
+    }
+
+    #[test]
+    fn store_extends_retires_and_releases() {
+        let grid = Grid::unit(4);
+        let mut store = StreamStore::default();
+        store.spawn(1, 0, grid.cell_at(0, 0));
+        store.spawn(0, 0, grid.cell_at(3, 3));
+        // Extend stream row 0 twice, row 1 once.
+        let StreamStore { live, tail, .. } = &mut store;
+        live.extend_row(0, grid.cell_at(1, 0), tail);
+        live.extend_row(1, grid.cell_at(2, 3), tail);
+        live.extend_row(0, grid.cell_at(1, 1), tail);
+        // Retire row 0 (id 1) — O(1), row 1 swaps into its slot.
+        let StreamStore { live, finished, .. } = &mut store;
+        live.swap_remove_into(0, finished);
+        assert_eq!(store.live.len(), 1);
+        assert_eq!(store.finished.len(), 1);
+        let ds = store.into_dataset(grid.clone(), 3);
+        // Sorted by id regardless of retirement order.
+        assert_eq!(ds.stream(0).id, 0);
+        assert_eq!(ds.stream(0).cells, &[grid.cell_at(3, 3), grid.cell_at(2, 3)]);
+        assert_eq!(ds.stream(1).id, 1);
+        assert_eq!(
+            ds.stream(1).cells,
+            &[grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(1, 1)]
+        );
+    }
+
+    #[test]
+    fn local_sink_addresses_relocate() {
+        // Worker-style: append into a local buffer, then relocate into the
+        // arena at a base offset — links stay consistent.
+        let grid = Grid::unit(4);
+        let mut store = StreamStore::default();
+        store.spawn(0, 0, grid.cell_at(0, 0));
+        let mut local: Vec<TailNode> = Vec::new();
+        let StreamStore { live, .. } = &mut store;
+        live.extend_row(0, grid.cell_at(1, 0), &mut local);
+        live.extend_row(0, grid.cell_at(2, 0), &mut local);
+        assert_eq!(store.live.links[0], 1); // shard-local address
+        let base = store.tail.len() as u32;
+        // Local `prev` pointers inside the batch must be rebased too; the
+        // merge path only offsets links of rows extended this pass, so the
+        // batch itself is rebased by the caller before relocation.
+        for node in &mut local {
+            if node.prev != NO_LINK {
+                node.prev += base;
+            }
+        }
+        store.tail.extend_from_slice(&local);
+        store.live.links[0] += base;
+        let ds = store.into_dataset(grid.clone(), 3);
+        assert_eq!(
+            ds.stream(0).cells,
+            &[grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(2, 0)]
+        );
+    }
+}

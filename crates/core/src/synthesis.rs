@@ -11,6 +11,11 @@
 //!    distribution `E`; excess streams are terminated with probability
 //!    proportional to the quitting distribution `Q` at their last location.
 //!
+//! **Storage.** Live streams are columnar ([`StreamStore`]): the fused
+//! pass walks the contiguous head/len columns and appends one tail-arena
+//! node per survivor — no per-stream heap pointer chase, O(1) retirement,
+//! and a release path that never materializes a per-stream `Vec`.
+//!
 //! **Hot-path cost.** When the model's [`SamplerCache`] is fresh (the
 //! engine rebuilds it after every model update), each per-user decision is
 //! O(1): a cached quit probability and one alias draw, with no heap
@@ -19,14 +24,16 @@
 //! [`GlobalMobilityModel::rebuild_samplers`] still get correct output.
 //!
 //! **Parallelism.** [`SyntheticDb::step_parallel`] runs the *entire* step
-//! on a persistent [`SynthesisPool`] owned by the database: streams are
-//! moved into per-worker shards (reused across steps), each worker runs
-//! the fused quit+extend pass over its shard with a per-shard finished
-//! list, and downward size adjustment is a two-phase parallel selection —
-//! workers compute Efraimidis–Spirakis keys per shard, the caller makes
-//! the global top-`excess` cut, workers retire their victims and extend
-//! the remainder. Each shard is seeded deterministically from the caller's
-//! RNG and results are re-assembled in shard order — fixed
+//! on a persistent [`SynthesisPool`] owned by the database: disjoint index
+//! ranges of the store's head columns are copied into per-worker
+//! [`ShardState`]s (five `memcpy`s per shard, reused across steps), each
+//! worker runs the fused quit+extend pass over its columns with a
+//! per-shard finished region and a private tail buffer, and downward size
+//! adjustment is a two-phase parallel selection — workers compute
+//! Efraimidis–Spirakis keys per shard, the caller makes the global
+//! top-`excess` cut, workers retire their victims and extend the
+//! remainder. The merge relocates each shard's tail buffer into the shared
+//! arena in shard order and offsets the survivors' links, so a fixed
 //! `(seed, threads)` gives identical output.
 //!
 //! The *NoEQ* mode ([`SyntheticDb::step_no_eq`]) reproduces the baselines
@@ -36,25 +43,11 @@
 use crate::model::GlobalMobilityModel;
 use crate::pool::{draw_seeds, ShardState, ShardTask, SynthesisPool, MIN_SHRINK_WEIGHT};
 use crate::sampler::{sample_weighted, SamplerCache};
+use crate::store::{Columns, StreamStore, TailSink};
 use rand::Rng;
-use retrasyn_geo::{CellId, Grid, GriddedDataset, GriddedStream, TransitionTable};
+use retrasyn_geo::{CellId, Grid, GriddedDataset, TransitionTable};
 use std::cmp::Ordering;
 use std::sync::Arc;
-
-/// A live synthetic stream.
-#[derive(Debug, Clone)]
-pub(crate) struct OpenStream {
-    pub(crate) id: u64,
-    pub(crate) start: u64,
-    pub(crate) cells: Vec<CellId>,
-}
-
-impl OpenStream {
-    /// Close the stream into its released form.
-    pub(crate) fn into_finished(self) -> GriddedStream {
-        GriddedStream { id: self.id, start: self.start, cells: self.cells }
-    }
-}
 
 /// Below this population the parallel step falls back to the sequential
 /// path: dispatch overhead dominates the per-stream work.
@@ -75,28 +68,32 @@ fn cmp_keys_desc(a: &(f64, u32, u32), b: &(f64, u32, u32)) -> Ordering {
         .then_with(|| a.2.cmp(&b.2))
 }
 
-/// Extend every stream by one alias-sampled movement. Shared by the
+/// Extend every stream by one alias-sampled movement: contiguous walk over
+/// the head column, one appended tail node per stream. Shared by the
 /// sequential cached paths and the pool workers so the two can never
-/// diverge.
-pub(crate) fn extend_streams<R: Rng + ?Sized>(
-    streams: &mut [OpenStream],
+/// diverge (the sink is the global arena sequentially, a shard-local
+/// buffer in workers).
+pub(crate) fn extend_cols<R: Rng + ?Sized, S: TailSink>(
+    cols: &mut Columns,
+    sink: &mut S,
     cache: &SamplerCache,
     rng: &mut R,
 ) {
-    for stream in streams {
-        let from = *stream.cells.last().expect("streams are non-empty");
-        stream.cells.push(cache.sample_move(from, rng));
+    for i in 0..cols.len() {
+        let to = cache.sample_move(cols.heads[i], rng);
+        cols.extend_row(i, to, sink);
     }
 }
 
 /// One in-place termination pass (Eq. 8, cached quit probabilities):
-/// quitters are `swap_remove`d into `finished` (the swapped-in stream is
-/// decided next, so the pass moves O(quits) elements), survivors
+/// quitters are `swap_remove`d into the `finished` columns (the swapped-in
+/// stream is decided next, so the pass moves O(quits) rows), survivors
 /// optionally extend in the same pass. Shared by the sequential cached
 /// paths and the pool workers so the two can never diverge.
-pub(crate) fn quit_pass<R: Rng + ?Sized>(
-    streams: &mut Vec<OpenStream>,
-    finished: &mut Vec<GriddedStream>,
+pub(crate) fn quit_pass_cols<R: Rng + ?Sized, S: TailSink>(
+    cols: &mut Columns,
+    finished: &mut Columns,
+    sink: &mut S,
     cache: &SamplerCache,
     lambda: f64,
     extend: bool,
@@ -104,18 +101,17 @@ pub(crate) fn quit_pass<R: Rng + ?Sized>(
 ) {
     let inv_lambda = 1.0 / lambda;
     let mut i = 0;
-    while i < streams.len() {
-        let stream = &mut streams[i];
-        let from = *stream.cells.last().expect("streams are non-empty");
-        let q = stream.cells.len() as f64 * inv_lambda * cache.base_quit_prob(from);
+    while i < cols.len() {
+        let from = cols.heads[i];
+        let q = cols.lens[i] as f64 * inv_lambda * cache.base_quit_prob(from);
         if rng.random::<f64>() >= q {
             if extend {
-                stream.cells.push(cache.sample_move(from, rng));
+                let to = cache.sample_move(from, rng);
+                cols.extend_row(i, to, sink);
             }
             i += 1;
         } else {
-            let quitter = streams.swap_remove(i);
-            finished.push(quitter.into_finished());
+            cols.swap_remove_into(i, finished);
         }
     }
 }
@@ -123,14 +119,13 @@ pub(crate) fn quit_pass<R: Rng + ?Sized>(
 /// The evolving synthetic trajectory database `T_syn`.
 #[derive(Debug, Default)]
 pub struct SyntheticDb {
-    alive: Vec<OpenStream>,
-    finished: Vec<GriddedStream>,
+    store: StreamStore,
     next_id: u64,
     initialized: bool,
     /// Persistent worker pool, created lazily on the first parallel step.
     pool: Option<SynthesisPool>,
-    /// Reused per-worker shard states (stream, finished, key and victim
-    /// buffers all keep their capacity across steps).
+    /// Reused per-worker shard states (columns, tail buffers, key and
+    /// victim buffers all keep their capacity across steps).
     shards: Vec<ShardState>,
     /// Reused per-shard seed buffer.
     seeds: Vec<u64>,
@@ -147,8 +142,7 @@ impl Clone for SyntheticDb {
         // Worker pools are not cloneable state: the clone re-creates its
         // own lazily on the first parallel step.
         SyntheticDb {
-            alive: self.alive.clone(),
-            finished: self.finished.clone(),
+            store: self.store.clone(),
             next_id: self.next_id,
             initialized: self.initialized,
             pool: None,
@@ -169,21 +163,21 @@ impl SyntheticDb {
 
     /// Number of live synthetic streams.
     pub fn active_count(&self) -> usize {
-        self.alive.len()
+        self.store.live.len()
     }
 
     /// Number of completed synthetic streams so far.
     pub fn finished_count(&self) -> usize {
-        self.finished.len()
+        self.store.finished.len()
     }
 
     /// Per-cell occupancy of the live synthetic population (the real-time
     /// view a streaming consumer monitors; post-processing, no privacy
-    /// cost).
+    /// cost). One contiguous scan of the head column.
     pub fn occupancy(&self, num_cells: usize) -> Vec<u64> {
         let mut counts = vec![0u64; num_cells];
-        for s in &self.alive {
-            counts[s.cells.last().expect("streams are non-empty").index()] += 1;
+        for head in &self.store.live.heads {
+            counts[head.index()] += 1;
         }
         counts
     }
@@ -208,12 +202,13 @@ impl SyntheticDb {
             self.initialized = true;
             return;
         }
-        if self.alive.len() <= target {
+        if self.store.live.len() <= target {
             // Fast path (the steady state: the population is not
             // shrinking, so downward adjustment is impossible no matter
             // how the quit draws fall): termination and extension fuse
             // into ONE compacting pass — per stream, one cached quit
-            // probability, one alias draw, zero allocations.
+            // probability, one alias draw, zero allocations, contiguous
+            // column traffic.
             self.quit_and_extend_fused(model, table, cache.as_deref(), lambda, rng);
         } else {
             // Phase 1a: natural termination via Eq. 8.
@@ -226,8 +221,8 @@ impl SyntheticDb {
             self.extend_all(model, table, cache.as_deref(), rng);
         }
         // Phase 2b: size adjustment upward via the entering distribution.
-        if self.alive.len() < target {
-            let missing = target - self.alive.len();
+        if self.store.live.len() < target {
+            let missing = target - self.store.live.len();
             self.spawn(t, model, table, cache.as_deref(), missing, rng);
         }
     }
@@ -235,11 +230,11 @@ impl SyntheticDb {
     /// Fused phases 1a + 1b for steps that cannot shrink: decide
     /// termination and extend survivors in a single in-place pass. Only
     /// valid when no downward size adjustment can occur
-    /// (`alive.len() <= target` before the quit draws).
+    /// (`live.len() <= target` before the quit draws).
     ///
-    /// Survivors stay in place; a quitter is `swap_remove`d and the stream
-    /// swapped into its slot is decided next, so the pass moves O(quits)
-    /// elements instead of compacting all n. The draw order is a
+    /// Survivors stay in place; a quitter's columns are `swap_remove`d and
+    /// the row swapped into its slot is decided next, so the pass moves
+    /// O(quits) rows instead of compacting all n. The draw order is a
     /// deterministic function of the quit pattern — identical for a fixed
     /// seed.
     fn quit_and_extend_fused<R: Rng + ?Sized>(
@@ -250,25 +245,24 @@ impl SyntheticDb {
         lambda: f64,
         rng: &mut R,
     ) {
+        let StreamStore { live, finished, tail } = &mut self.store;
         match cache {
             Some(cache) => {
-                quit_pass(&mut self.alive, &mut self.finished, cache, lambda, true, rng);
+                quit_pass_cols(live, finished, tail, cache, lambda, true, rng);
             }
             None => {
                 let mut buf = std::mem::take(&mut self.scan_buf);
                 let mut i = 0;
-                while i < self.alive.len() {
-                    let from = *self.alive[i].cells.last().unwrap();
-                    let len = self.alive[i].cells.len() as u64;
-                    let q = model.quit_prob(table, from, len, lambda);
+                while i < live.len() {
+                    let from = live.heads[i];
+                    let q = model.quit_prob(table, from, live.lens[i] as u64, lambda);
                     if rng.random::<f64>() >= q {
                         model.move_probs_into(table, from, &mut buf);
                         let pos = sample_weighted(&buf, rng);
-                        self.alive[i].cells.push(table.move_targets(from)[pos]);
+                        live.extend_row(i, table.move_targets(from)[pos], tail);
                         i += 1;
                     } else {
-                        let quitter = self.alive.swap_remove(i);
-                        Self::retire(&mut self.finished, quitter);
+                        live.swap_remove_into(i, finished);
                     }
                 }
                 self.scan_buf = buf;
@@ -284,15 +278,16 @@ impl SyntheticDb {
         cache: Option<&SamplerCache>,
         rng: &mut R,
     ) {
+        let StreamStore { live, tail, .. } = &mut self.store;
         match cache {
-            Some(cache) => extend_streams(&mut self.alive, cache, rng),
+            Some(cache) => extend_cols(live, tail, cache, rng),
             None => {
                 let mut buf = std::mem::take(&mut self.scan_buf);
-                for stream in &mut self.alive {
-                    let from = *stream.cells.last().unwrap();
+                for i in 0..live.len() {
+                    let from = live.heads[i];
                     model.move_probs_into(table, from, &mut buf);
                     let pos = sample_weighted(&buf, rng);
-                    stream.cells.push(table.move_targets(from)[pos]);
+                    live.extend_row(i, table.move_targets(from)[pos], tail);
                 }
                 self.scan_buf = buf;
             }
@@ -301,7 +296,7 @@ impl SyntheticDb {
 
     /// Phase 1a: draw per-stream termination decisions and retire quitters.
     ///
-    /// One in-place pass moving O(quits) elements: survivors stay put, a
+    /// One in-place pass moving O(quits) rows: survivors stay put, a
     /// quitter is `swap_remove`d and the swapped-in stream decided next —
     /// deterministic for a fixed seed, no per-step allocation.
     fn quit_phase<R: Rng + ?Sized>(
@@ -312,27 +307,26 @@ impl SyntheticDb {
         lambda: f64,
         rng: &mut R,
     ) {
+        let StreamStore { live, finished, tail } = &mut self.store;
         if let Some(cache) = cache {
-            return quit_pass(&mut self.alive, &mut self.finished, cache, lambda, false, rng);
+            return quit_pass_cols(live, finished, tail, cache, lambda, false, rng);
         }
         let mut i = 0;
-        while i < self.alive.len() {
-            let from = *self.alive[i].cells.last().unwrap();
-            let len = self.alive[i].cells.len() as u64;
-            let q = model.quit_prob(table, from, len, lambda);
+        while i < live.len() {
+            let from = live.heads[i];
+            let q = model.quit_prob(table, from, live.lens[i] as u64, lambda);
             if rng.random::<f64>() >= q {
                 i += 1;
             } else {
-                let quitter = self.alive.swap_remove(i);
-                Self::retire(&mut self.finished, quitter);
+                live.swap_remove_into(i, finished);
             }
         }
     }
 
     /// Phase 2a: weighted sampling without replacement of `excess` victims
-    /// (Efraimidis–Spirakis keys `u^{1/w}`, keep the largest), retiring
-    /// them at their `t−1` location with probability proportional to the
-    /// quitting distribution.
+    /// (Efraimidis–Spirakis keys, keep the largest), retiring them at
+    /// their `t−1` location with probability proportional to the quitting
+    /// distribution.
     ///
     /// With a fresh cache the per-stream weight is an O(1) lookup into the
     /// cached quitting distribution; only the cold fallback allocates the
@@ -347,23 +341,23 @@ impl SyntheticDb {
         target: usize,
         rng: &mut R,
     ) {
-        if self.alive.len() <= target {
+        if self.store.live.len() <= target {
             return;
         }
-        let excess = self.alive.len() - target;
+        let excess = self.store.live.len() - target;
         self.keyed.clear();
         match cache {
             Some(cache) => {
-                for (i, s) in self.alive.iter().enumerate() {
-                    let w = cache.quit_weight(*s.cells.last().unwrap()).max(MIN_SHRINK_WEIGHT);
+                for (i, &head) in self.store.live.heads.iter().enumerate() {
+                    let w = cache.quit_weight(head).max(MIN_SHRINK_WEIGHT);
                     let u: f64 = rng.random::<f64>();
                     self.keyed.push((u.ln() / w, 0, i as u32));
                 }
             }
             None => {
                 let quit_dist = model.quit_distribution(table);
-                for (i, s) in self.alive.iter().enumerate() {
-                    let w = quit_dist[s.cells.last().unwrap().index()].max(MIN_SHRINK_WEIGHT);
+                for (i, &head) in self.store.live.heads.iter().enumerate() {
+                    let w = quit_dist[head.index()].max(MIN_SHRINK_WEIGHT);
                     let u: f64 = rng.random::<f64>();
                     self.keyed.push((u.ln() / w, 0, i as u32));
                 }
@@ -375,12 +369,12 @@ impl SyntheticDb {
         self.victims.clear();
         self.victims.extend(self.keyed[..excess].iter().map(|&(_, _, i)| i));
         // `swap_remove` from the highest position down: each removal moves
-        // the current last element, which sits past every remaining
-        // (smaller) victim position.
+        // the current last row, which sits past every remaining (smaller)
+        // victim position.
         self.victims.sort_unstable_by(|a, b| b.cmp(a));
+        let StreamStore { live, finished, .. } = &mut self.store;
         for k in 0..self.victims.len() {
-            let stream = self.alive.swap_remove(self.victims[k] as usize);
-            Self::retire(&mut self.finished, stream);
+            live.swap_remove_into(self.victims[k] as usize, finished);
         }
         self.victims.clear();
     }
@@ -400,29 +394,13 @@ impl SyntheticDb {
         if !self.initialized {
             let cells = grid.num_cells() as u16;
             for _ in 0..init_size {
-                self.alive.push(OpenStream {
-                    id: self.next_id,
-                    start: t,
-                    cells: vec![CellId(rng.random_range(0..cells))],
-                });
+                self.store.spawn(self.next_id, t, CellId(rng.random_range(0..cells)));
                 self.next_id += 1;
             }
             self.initialized = true;
             return;
         }
-        match model.sampler() {
-            Some(cache) => extend_streams(&mut self.alive, cache, rng),
-            None => {
-                let mut buf = std::mem::take(&mut self.scan_buf);
-                for stream in &mut self.alive {
-                    let from = *stream.cells.last().unwrap();
-                    model.move_probs_into(table, from, &mut buf);
-                    let pos = sample_weighted(&buf, rng);
-                    stream.cells.push(table.move_targets(from)[pos]);
-                }
-                self.scan_buf = buf;
-            }
-        }
+        self.extend_all(model, table, model.sampler().map(Arc::as_ref), rng);
     }
 
     /// Parallel variant of [`Self::step`] — the acceleration the paper
@@ -433,17 +411,19 @@ impl SyntheticDb {
     /// database (created on first use, re-created if `threads` changes):
     ///
     /// - steady state (no shrink possible): one dispatch of the fused
-    ///   quit+extend pass; quitters retire into per-shard finished lists;
+    ///   quit+extend pass; quitters retire into per-shard finished columns;
     /// - shrinking: two dispatches — workers draw quits and compute one
     ///   Efraimidis–Spirakis key per survivor, the caller makes the global
     ///   top-`excess` cut across all shards, then workers retire their
     ///   victims and extend the remainder.
     ///
-    /// Semantically identical invariants to [`Self::step`] (exact size
-    /// tracking, adjacency, identical per-stream decision distributions);
-    /// the random stream differs from the sequential path but is
-    /// deterministic for a fixed `(seed, threads)`. Falls back to the
-    /// sequential step for small databases where dispatch overhead
+    /// Shards are disjoint index ranges of the store's head columns;
+    /// workers receive them as owned column copies and return them in
+    /// place. Semantically identical invariants to [`Self::step`] (exact
+    /// size tracking, adjacency, identical per-stream decision
+    /// distributions); the random stream differs from the sequential path
+    /// but is deterministic for a fixed `(seed, threads)`. Falls back to
+    /// the sequential step for small databases where dispatch overhead
     /// dominates, and whenever the model has no fresh [`SamplerCache`]
     /// (workers sample exclusively through the cache snapshot).
     #[allow(clippy::too_many_arguments)]
@@ -458,7 +438,7 @@ impl SyntheticDb {
         threads: usize,
     ) {
         let cache = model.sampler().cloned();
-        let parallel_ok = threads > 1 && self.alive.len() >= MIN_PARALLEL && cache.is_some();
+        let parallel_ok = threads > 1 && self.store.live.len() >= MIN_PARALLEL && cache.is_some();
         if !parallel_ok {
             return self.step(t, model, table, target, lambda, rng);
         }
@@ -469,8 +449,8 @@ impl SyntheticDb {
         debug_assert!(self.initialized);
 
         self.ensure_pool(threads);
-        let live = self.alive.len();
-        let num_shards = self.shard_alive(threads);
+        let live = self.store.live.len();
+        let num_shards = self.shard_live(threads);
         let pool = self.pool.as_ref().expect("pool created above");
         if live <= target {
             // Steady state: one dispatch of the fused quit+extend pass
@@ -494,12 +474,12 @@ impl SyntheticDb {
                 ShardTask::QuitKeys { lambda },
             );
             // Global top-`excess` cut over all shards' keys on the caller.
-            let survivors: usize = self.shards[..num_shards].iter().map(|s| s.streams.len()).sum();
+            let survivors: usize = self.shards[..num_shards].iter().map(|s| s.cols.len()).sum();
             let excess = survivors.saturating_sub(target);
             if excess > 0 {
                 self.keyed.clear();
                 for (si, shard) in self.shards[..num_shards].iter().enumerate() {
-                    debug_assert_eq!(shard.keys.len(), shard.streams.len());
+                    debug_assert_eq!(shard.keys.len(), shard.cols.len());
                     for (pos, &key) in shard.keys.iter().enumerate() {
                         self.keyed.push((key, si as u32, pos as u32));
                     }
@@ -527,52 +507,8 @@ impl SyntheticDb {
         self.merge_shards(num_shards);
 
         // Phase 2b: upward size adjustment.
-        if self.alive.len() < target {
-            let missing = target - self.alive.len();
-            self.spawn(t, model, table, Some(&cache), missing, rng);
-        }
-    }
-
-    /// The PR-1 parallelization, kept as the benchmark reference: quit
-    /// draws and downward adjustment run sequentially on the caller
-    /// thread; only the extension phase is dispatched to the pool. Same
-    /// guards and determinism contract as [`Self::step_parallel`].
-    #[allow(clippy::too_many_arguments)]
-    pub fn step_parallel_extend_only<R: Rng + ?Sized>(
-        &mut self,
-        t: u64,
-        model: &GlobalMobilityModel,
-        table: &TransitionTable,
-        target: usize,
-        lambda: f64,
-        rng: &mut R,
-        threads: usize,
-    ) {
-        let cache = model.sampler().cloned();
-        let parallel_ok = threads > 1 && self.alive.len() >= MIN_PARALLEL && cache.is_some();
-        if !parallel_ok {
-            return self.step(t, model, table, target, lambda, rng);
-        }
-        let cache: Arc<SamplerCache> = cache.unwrap();
-        // An uninitialized database has no live streams, so the
-        // MIN_PARALLEL guard above already routed initialization through
-        // the sequential step.
-        debug_assert!(self.initialized);
-
-        self.quit_phase(model, table, Some(&cache), lambda, rng);
-        self.shrink_to_target(model, table, Some(&cache), target, rng);
-
-        if !self.alive.is_empty() {
-            self.ensure_pool(threads);
-            let num_shards = self.shard_alive(threads);
-            draw_seeds(&mut self.seeds, num_shards, rng);
-            let pool = self.pool.as_ref().expect("pool created above");
-            pool.run_shards(&mut self.shards[..num_shards], &self.seeds, &cache, ShardTask::Extend);
-            self.merge_shards(num_shards);
-        }
-
-        if self.alive.len() < target {
-            let missing = target - self.alive.len();
+        if self.store.live.len() < target {
+            let missing = target - self.store.live.len();
             self.spawn(t, model, table, Some(&cache), missing, rng);
         }
     }
@@ -585,29 +521,46 @@ impl SyntheticDb {
         }
     }
 
-    /// Move the live streams into contiguous fixed-size shard prefixes
+    /// Copy the live columns into disjoint fixed-size shard ranges
     /// (buffers reused across steps); returns the shard count.
-    fn shard_alive(&mut self, threads: usize) -> usize {
-        debug_assert!(self.alive.len() < u32::MAX as usize, "positions are u32");
-        let chunk_len = self.alive.len().div_ceil(threads).max(1);
-        let num_shards = self.alive.len().div_ceil(chunk_len);
+    fn shard_live(&mut self, threads: usize) -> usize {
+        let n = self.store.live.len();
+        debug_assert!(n < u32::MAX as usize, "positions are u32");
+        let chunk_len = n.div_ceil(threads).max(1);
+        let num_shards = n.div_ceil(chunk_len);
         if self.shards.len() < num_shards {
             self.shards.resize_with(num_shards, ShardState::default);
         }
-        for (i, stream) in self.alive.drain(..).enumerate() {
-            self.shards[i / chunk_len].streams.push(stream);
+        for (k, shard) in self.shards[..num_shards].iter_mut().enumerate() {
+            let lo = k * chunk_len;
+            let hi = (lo + chunk_len).min(n);
+            shard.cols.clear();
+            shard.cols.extend_from_range(&self.store.live, lo, hi);
         }
+        self.store.live.clear();
         num_shards
     }
 
-    /// Re-assemble shard results in shard order: survivors back into
-    /// `alive`, per-shard finished lists into the database's finished list
-    /// (id-sorted once at [`Self::finish`]). `append` leaves every
-    /// buffer's capacity in place for the next step.
+    /// Re-assemble shard results in shard order: each shard's tail buffer
+    /// relocates to the end of the shared arena and the survivors' links
+    /// gain the shard's base offset (every live row extends exactly once
+    /// per extending pass, so appended nodes' `prev` pointers are pre-pass
+    /// global addresses and only the live links need rebasing); survivor
+    /// columns append back onto `live`, per-shard finished columns onto
+    /// the store's finished region (id-sorted once at [`Self::finish`]).
+    /// Every buffer keeps its capacity for the next step.
     fn merge_shards(&mut self, num_shards: usize) {
         for shard in &mut self.shards[..num_shards] {
-            self.alive.append(&mut shard.streams);
-            self.finished.append(&mut shard.finished);
+            let base = self.store.tail.len() as u32;
+            self.store.tail.extend_from_slice(&shard.appended);
+            shard.appended.clear();
+            if base > 0 {
+                for link in &mut shard.cols.links {
+                    *link += base;
+                }
+            }
+            self.store.live.append(&mut shard.cols);
+            self.store.finished.append(&mut shard.finished);
         }
     }
 
@@ -624,7 +577,7 @@ impl SyntheticDb {
             Some(cache) => {
                 for _ in 0..count {
                     let cell = cache.sample_enter(rng);
-                    self.alive.push(OpenStream { id: self.next_id, start: t, cells: vec![cell] });
+                    self.store.spawn(self.next_id, t, cell);
                     self.next_id += 1;
                 }
             }
@@ -632,24 +585,18 @@ impl SyntheticDb {
                 let enter_dist = model.enter_distribution(table);
                 for _ in 0..count {
                     let cell = CellId(sample_weighted(&enter_dist, rng) as u16);
-                    self.alive.push(OpenStream { id: self.next_id, start: t, cells: vec![cell] });
+                    self.store.spawn(self.next_id, t, cell);
                     self.next_id += 1;
                 }
             }
         }
     }
 
-    fn retire(finished: &mut Vec<GriddedStream>, stream: OpenStream) {
-        finished.push(stream.into_finished());
-    }
-
-    /// Close all live streams and assemble the released synthetic database.
-    pub fn finish(mut self, grid: &Grid, horizon: u64) -> GriddedDataset {
-        for stream in self.alive.drain(..) {
-            Self::retire(&mut self.finished, stream);
-        }
-        self.finished.sort_by_key(|s| s.id);
-        GriddedDataset::from_streams(grid.clone(), self.finished, horizon)
+    /// Close all live streams and assemble the released synthetic
+    /// database: one id-sorted columnar [`GriddedDataset`] built straight
+    /// from the store — no per-stream `Vec` copies.
+    pub fn finish(self, grid: &Grid, horizon: u64) -> GriddedDataset {
+        self.store.into_dataset(grid.clone(), horizon)
     }
 }
 
@@ -658,7 +605,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use retrasyn_geo::{Grid, TransitionState};
+    use retrasyn_geo::TransitionState;
 
     fn setup() -> (Grid, TransitionTable, GlobalMobilityModel) {
         let grid = Grid::unit(4);
@@ -705,7 +652,7 @@ mod tests {
         db.step(0, &model, &table, 50, 10.0, &mut rng);
         assert_eq!(db.active_count(), 50);
         let released = db.finish(&grid, 1);
-        for s in released.streams() {
+        for s in released.iter() {
             assert_eq!(s.first_cell(), grid.cell_at(0, 0));
             assert_eq!(s.start, 0);
         }
@@ -720,7 +667,7 @@ mod tests {
         db.step(0, &model, &table, 50, 10.0, &mut rng);
         assert_eq!(db.active_count(), 50);
         let released = db.finish(&grid, 1);
-        for s in released.streams() {
+        for s in released.iter() {
             assert_eq!(s.first_cell(), grid.cell_at(0, 0));
         }
     }
@@ -761,7 +708,7 @@ mod tests {
             let released = db.finish(&grid, 4);
             // Every move in every stream is rightward (the only nonzero
             // moves).
-            for s in released.streams() {
+            for s in released.iter() {
                 for w in s.cells.windows(2) {
                     let (ax, ay) = grid.cell_xy(w[0]);
                     let (bx, by) = grid.cell_xy(w[1]);
@@ -811,7 +758,7 @@ mod tests {
         assert_eq!(db.active_count(), 25);
         assert_eq!(db.finished_count(), 0);
         let released = db.finish(&grid, 20);
-        for s in released.streams() {
+        for s in released.iter() {
             assert_eq!(s.len(), 20);
             assert_eq!(s.start, 0);
         }
@@ -828,7 +775,7 @@ mod tests {
             db.step(t, &model, &table, 15, 10.0, &mut rng);
         }
         let released = db.finish(&grid, 6);
-        for s in released.streams() {
+        for s in released.iter() {
             for w in s.cells.windows(2) {
                 assert!(grid.are_adjacent(w[0], w[1]));
             }
@@ -846,10 +793,11 @@ mod tests {
         }
         let total_streams = db.finished_count() + db.active_count();
         let released = db.finish(&grid, 5);
-        assert_eq!(released.streams().len(), total_streams);
+        assert_eq!(released.num_streams(), total_streams);
         assert_eq!(released.horizon(), 5);
-        for w in released.streams().windows(2) {
-            assert!(w[0].id < w[1].id);
+        let ids: Vec<u64> = released.iter().map(|s| s.id).collect();
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
         }
     }
 
@@ -866,7 +814,7 @@ mod tests {
             assert_eq!(db.active_count(), target, "t={t}");
         }
         let released = db.finish(&grid, 5);
-        for s in released.streams() {
+        for s in released.iter() {
             for w in s.cells.windows(2) {
                 assert!(grid.are_adjacent(w[0], w[1]));
             }
@@ -890,7 +838,7 @@ mod tests {
             db.finish(&grid, 6)
         };
         // threads = 1 delegates to the sequential path: identical output.
-        assert_eq!(run(true).streams(), run(false).streams());
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -905,7 +853,7 @@ mod tests {
             }
             db.finish(&grid, 4)
         };
-        assert_eq!(run().streams(), run().streams());
+        assert_eq!(run(), run());
     }
 
     #[test]
@@ -923,7 +871,7 @@ mod tests {
         db.step_parallel(5, &model, &table, 5000, 50.0, &mut rng, 4);
         assert_eq!(db.pool.as_ref().unwrap().threads(), 4);
         let released = db.finish(&grid, 6);
-        for s in released.streams() {
+        for s in released.iter() {
             for w in s.cells.windows(2) {
                 assert!(grid.are_adjacent(w[0], w[1]));
             }

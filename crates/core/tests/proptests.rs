@@ -123,7 +123,7 @@ proptest! {
         }
         let horizon = targets.len() as u64;
         let released = db.finish(&grid, horizon);
-        for s in released.streams() {
+        for s in released.iter() {
             prop_assert!(!s.cells.is_empty());
             prop_assert!(s.end() < horizon);
             for w in s.cells.windows(2) {

@@ -291,7 +291,7 @@ mod tests {
         let grid = Grid::unit(10);
         let gd = ds.discretize(&grid);
         let raw_streams = ds.trajectories().len();
-        let split_streams = gd.streams().len();
+        let split_streams = gd.num_streams();
         let split_ratio = (split_streams - raw_streams) as f64 / raw_streams as f64;
         assert!(split_ratio < 0.10, "too many non-adjacent jumps: {split_ratio}");
     }

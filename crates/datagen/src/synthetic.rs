@@ -178,7 +178,7 @@ mod tests {
         // Count horizontal vs vertical cell moves before and after the shift.
         let mut before = (0u64, 0u64); // (horizontal, vertical)
         let mut after = (0u64, 0u64);
-        for s in gd.streams() {
+        for s in gd.iter() {
             for (i, w) in s.cells.windows(2).enumerate() {
                 let t = s.start + i as u64 + 1;
                 let (ax, ay) = grid.cell_xy(w[0]);

@@ -339,7 +339,7 @@ mod tests {
         let grid = Grid::unit(6);
         let gd = ds.discretize(&grid);
         let split_ratio =
-            (gd.streams().len() - ds.trajectories().len()) as f64 / ds.trajectories().len() as f64;
+            (gd.num_streams() - ds.trajectories().len()) as f64 / ds.trajectories().len() as f64;
         assert!(split_ratio < 0.15, "split ratio {split_ratio}");
     }
 }

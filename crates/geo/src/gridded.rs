@@ -7,11 +7,24 @@
 //! non-adjacent timestamps, we add quitting events and split them into
 //! multiple streams") extended to spatial jumps, which keeps every movement
 //! representable in the reachability-constrained transition domain.
+//!
+//! **Storage.** A [`GriddedDataset`] is columnar: per-stream metadata lives
+//! in parallel `ids`/`starts`/`offsets` columns and every cell of every
+//! stream lives in one flat `cells` column, sliced per stream by
+//! `offsets`. Consumers iterate through borrowed [`StreamView`]s — walking
+//! a million-stream database touches three contiguous columns and performs
+//! zero allocation. The synthesizer's release path builds the columns
+//! directly ([`GriddedDataset::from_columns`]), so handing a finished
+//! database to the metrics suite never materializes one `Vec` per stream;
+//! [`GriddedStream`] remains as the owned row type for construction and
+//! I/O.
 
 use crate::grid::{CellId, Grid};
 use crate::stream::{DatasetStats, StreamDataset};
 
-/// A discretized stream: one grid cell per timestamp starting at `start`.
+/// An owned discretized stream: one grid cell per timestamp starting at
+/// `start`. The construction/I-O currency; datasets store streams
+/// columnar and iterate them as [`StreamView`]s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GriddedStream {
     /// Stream id, unique within a [`GriddedDataset`].
@@ -66,51 +79,177 @@ impl GriddedStream {
     pub fn hop_distance(&self, grid: &Grid) -> u64 {
         self.cells.windows(2).map(|w| grid.chebyshev(w[0], w[1]) as u64).sum()
     }
+
+    /// Borrow this stream as a view.
+    pub fn view(&self) -> StreamView<'_> {
+        StreamView { id: self.id, start: self.start, cells: &self.cells }
+    }
+}
+
+/// A borrowed view of one stream inside a [`GriddedDataset`] — the
+/// iteration currency of every metric and release consumer. Views borrow
+/// the dataset's columnar storage, so walking a database never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamView<'a> {
+    /// Stream id, unique within the dataset.
+    pub id: u64,
+    /// Entering timestamp.
+    pub start: u64,
+    /// One cell per timestamp `start, start+1, …`.
+    pub cells: &'a [CellId],
+}
+
+impl<'a> StreamView<'a> {
+    /// Number of reported cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Streams are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Last active timestamp (inclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.cells.len() as u64 - 1
+    }
+
+    /// Whether the stream reports at `t`.
+    pub fn active_at(&self, t: u64) -> bool {
+        t >= self.start && t <= self.end()
+    }
+
+    /// Cell at timestamp `t`, if active.
+    pub fn cell_at(&self, t: u64) -> Option<CellId> {
+        if self.active_at(t) {
+            Some(self.cells[(t - self.start) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// First (entering) cell.
+    pub fn first_cell(&self) -> CellId {
+        self.cells[0]
+    }
+
+    /// Last (quitting) cell.
+    pub fn last_cell(&self) -> CellId {
+        *self.cells.last().unwrap()
+    }
+
+    /// Travel distance in grid hops (Chebyshev per step).
+    pub fn hop_distance(&self, grid: &Grid) -> u64 {
+        self.cells.windows(2).map(|w| grid.chebyshev(w[0], w[1]) as u64).sum()
+    }
+
+    /// An owned copy of this stream.
+    pub fn to_owned(&self) -> GriddedStream {
+        GriddedStream { id: self.id, start: self.start, cells: self.cells.to_vec() }
+    }
 }
 
 /// A database of discretized streams sharing a grid, over `0..horizon`.
-#[derive(Debug, Clone)]
+///
+/// Stored columnar: `ids`/`starts` hold per-stream metadata, `cells` holds
+/// every cell of every stream back to back, and `offsets` (length
+/// `num_streams + 1`) slices `cells` per stream.
+#[derive(Debug, Clone, PartialEq)]
 pub struct GriddedDataset {
     grid: Grid,
-    streams: Vec<GriddedStream>,
+    ids: Vec<u64>,
+    starts: Vec<u64>,
+    offsets: Vec<usize>,
+    cells: Vec<CellId>,
     horizon: u64,
 }
 
 impl GriddedDataset {
-    /// Assemble from pre-gridded streams (used by the synthesizer). Streams
-    /// must already respect grid adjacency; this is checked in debug builds.
+    /// Assemble from owned pre-gridded streams (flattened into the columnar
+    /// layout). Streams must already respect grid adjacency; this is
+    /// checked in debug builds.
     pub fn from_streams(grid: Grid, streams: Vec<GriddedStream>, horizon: u64) -> Self {
-        debug_assert!(streams.iter().all(|s| {
-            s.cells.windows(2).all(|w| grid.are_adjacent(w[0], w[1]))
-                && s.cells.iter().all(|c| c.index() < grid.num_cells())
-        }));
-        let computed = streams.iter().map(|s| s.end() + 1).max().unwrap_or(0);
+        let total: usize = streams.iter().map(GriddedStream::len).sum();
+        let mut ids = Vec::with_capacity(streams.len());
+        let mut starts = Vec::with_capacity(streams.len());
+        let mut offsets = Vec::with_capacity(streams.len() + 1);
+        let mut cells = Vec::with_capacity(total);
+        offsets.push(0);
+        for s in streams {
+            ids.push(s.id);
+            starts.push(s.start);
+            cells.extend_from_slice(&s.cells);
+            offsets.push(cells.len());
+        }
+        Self::from_columns(grid, ids, starts, offsets, cells, horizon)
+    }
+
+    /// Assemble directly from columnar storage — the synthesizer's
+    /// zero-copy release path: `offsets[i]..offsets[i+1]` bounds stream
+    /// `i`'s cells inside the flat `cells` column. Adjacency and cell
+    /// bounds are checked in debug builds; the offset structure and the
+    /// horizon always.
+    pub fn from_columns(
+        grid: Grid,
+        ids: Vec<u64>,
+        starts: Vec<u64>,
+        offsets: Vec<usize>,
+        cells: Vec<CellId>,
+        horizon: u64,
+    ) -> Self {
+        assert_eq!(ids.len(), starts.len(), "column length mismatch");
+        assert_eq!(offsets.len(), ids.len() + 1, "offsets must bound every stream");
+        assert_eq!(*offsets.first().unwrap_or(&0), 0, "offsets must begin at 0");
+        assert_eq!(*offsets.last().unwrap_or(&0), cells.len(), "offsets must end at cells.len()");
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]), "streams are non-empty and ordered");
+        debug_assert!(cells.iter().all(|c| c.index() < grid.num_cells()));
+        debug_assert!(offsets
+            .windows(2)
+            .all(|w| { cells[w[0]..w[1]].windows(2).all(|p| grid.are_adjacent(p[0], p[1])) }));
+        let computed = starts
+            .iter()
+            .zip(offsets.windows(2))
+            .map(|(&s, w)| s + (w[1] - w[0]) as u64)
+            .max()
+            .unwrap_or(0);
         assert!(horizon >= computed, "horizon {horizon} < last report {computed}");
-        GriddedDataset { grid, streams, horizon }
+        GriddedDataset { grid, ids, starts, offsets, cells, horizon }
     }
 
     /// Discretize a raw dataset against `grid`, splitting streams at
     /// non-adjacent cell jumps.
     pub fn from_dataset(dataset: &StreamDataset, grid: &Grid) -> Self {
-        let mut streams = Vec::with_capacity(dataset.trajectories().len());
+        let mut ids = Vec::new();
+        let mut starts = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut cells: Vec<CellId> = Vec::new();
         let mut next_id = 0u64;
+        let mut seg: Vec<CellId> = Vec::new();
         for traj in dataset.trajectories() {
-            let cells: Vec<CellId> = traj.points.iter().map(|p| grid.cell_of(p)).collect();
+            seg.clear();
+            seg.extend(traj.points.iter().map(|p| grid.cell_of(p)));
             let mut seg_start_idx = 0usize;
-            for i in 1..=cells.len() {
-                let split = i == cells.len() || !grid.are_adjacent(cells[i - 1], cells[i]);
+            for i in 1..=seg.len() {
+                let split = i == seg.len() || !grid.are_adjacent(seg[i - 1], seg[i]);
                 if split {
-                    streams.push(GriddedStream {
-                        id: next_id,
-                        start: traj.start + seg_start_idx as u64,
-                        cells: cells[seg_start_idx..i].to_vec(),
-                    });
+                    ids.push(next_id);
+                    starts.push(traj.start + seg_start_idx as u64);
+                    cells.extend_from_slice(&seg[seg_start_idx..i]);
+                    offsets.push(cells.len());
                     next_id += 1;
                     seg_start_idx = i;
                 }
             }
         }
-        GriddedDataset { grid: grid.clone(), streams, horizon: dataset.horizon() }
+        GriddedDataset {
+            grid: grid.clone(),
+            ids,
+            starts,
+            offsets,
+            cells,
+            horizon: dataset.horizon(),
+        }
     }
 
     /// The shared grid.
@@ -118,9 +257,34 @@ impl GriddedDataset {
         &self.grid
     }
 
-    /// All streams.
-    pub fn streams(&self) -> &[GriddedStream] {
-        &self.streams
+    /// Number of streams.
+    pub fn num_streams(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the database holds no streams.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Borrowed view of stream `i` (release order).
+    pub fn stream(&self, i: usize) -> StreamView<'_> {
+        StreamView {
+            id: self.ids[i],
+            start: self.starts[i],
+            cells: &self.cells[self.offsets[i]..self.offsets[i + 1]],
+        }
+    }
+
+    /// Borrowed iteration over every stream, in release order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = StreamView<'_>> + Clone {
+        (0..self.ids.len()).map(|i| self.stream(i))
+    }
+
+    /// Materialize every stream as an owned row (I/O and test helper; the
+    /// hot paths iterate views instead).
+    pub fn to_streams(&self) -> Vec<GriddedStream> {
+        self.iter().map(|s| s.to_owned()).collect()
     }
 
     /// Number of timestamps.
@@ -130,15 +294,19 @@ impl GriddedDataset {
 
     /// Number of streams active at `t`.
     pub fn active_count(&self, t: u64) -> usize {
-        self.streams.iter().filter(|s| s.active_at(t)).count()
+        self.starts
+            .iter()
+            .zip(self.offsets.windows(2))
+            .filter(|(&s, w)| t >= s && t < s + (w[1] - w[0]) as u64)
+            .count()
     }
 
     /// Per-cell occupancy counts at timestamp `t`.
     pub fn snapshot_counts(&self, t: u64) -> Vec<u64> {
         let mut counts = vec![0u64; self.grid.num_cells()];
-        for s in &self.streams {
-            if let Some(c) = s.cell_at(t) {
-                counts[c.index()] += 1;
+        for (&start, w) in self.starts.iter().zip(self.offsets.windows(2)) {
+            if t >= start && t < start + (w[1] - w[0]) as u64 {
+                counts[self.cells[w[0] + (t - start) as usize].index()] += 1;
             }
         }
         counts
@@ -147,18 +315,16 @@ impl GriddedDataset {
     /// Per-cell visit counts aggregated over all timestamps.
     pub fn total_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.grid.num_cells()];
-        for s in &self.streams {
-            for c in &s.cells {
-                counts[c.index()] += 1;
-            }
+        for c in &self.cells {
+            counts[c.index()] += 1;
         }
         counts
     }
 
     /// Table-I statistics of the discretized database.
     pub fn stats(&self) -> DatasetStats {
-        let points: usize = self.streams.iter().map(GriddedStream::len).sum();
-        let n = self.streams.len();
+        let points = self.cells.len();
+        let n = self.ids.len();
         DatasetStats {
             streams: n,
             points,
@@ -189,10 +355,10 @@ mod tests {
             vec![Point::new(0.1, 0.1), Point::new(0.3, 0.1), Point::new(0.6, 0.1)],
         )]);
         let g = ds.discretize(&grid);
-        assert_eq!(g.streams().len(), 1);
-        let s = &g.streams()[0];
+        assert_eq!(g.num_streams(), 1);
+        let s = g.stream(0);
         assert_eq!(s.start, 2);
-        assert_eq!(s.cells, vec![grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(2, 0)]);
+        assert_eq!(s.cells, &[grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(2, 0)]);
         assert_eq!(s.end(), 4);
         assert_eq!(s.first_cell(), grid.cell_at(0, 0));
         assert_eq!(s.last_cell(), grid.cell_at(2, 0));
@@ -208,12 +374,12 @@ mod tests {
             vec![Point::new(0.1, 0.1), Point::new(0.9, 0.1), Point::new(0.9, 0.3)],
         )]);
         let g = ds.discretize(&grid);
-        assert_eq!(g.streams().len(), 2);
-        assert_eq!(g.streams()[0].cells.len(), 1);
-        assert_eq!(g.streams()[1].cells.len(), 2);
-        assert_eq!(g.streams()[1].start, 1);
+        assert_eq!(g.num_streams(), 2);
+        assert_eq!(g.stream(0).len(), 1);
+        assert_eq!(g.stream(1).len(), 2);
+        assert_eq!(g.stream(1).start, 1);
         // Ids are unique.
-        assert_ne!(g.streams()[0].id, g.streams()[1].id);
+        assert_ne!(g.stream(0).id, g.stream(1).id);
     }
 
     #[test]
@@ -244,6 +410,7 @@ mod tests {
             cells: vec![grid.cell_at(0, 0), grid.cell_at(1, 1), grid.cell_at(1, 2)],
         };
         assert_eq!(s.hop_distance(&grid), 2);
+        assert_eq!(s.view().hop_distance(&grid), 2);
     }
 
     #[test]
@@ -269,10 +436,46 @@ mod tests {
             start: 1,
             cells: vec![grid.cell_at(0, 0), grid.cell_at(1, 0)],
         }];
-        let g = GriddedDataset::from_streams(grid, streams, 5);
+        let g = GriddedDataset::from_streams(grid, streams.clone(), 5);
         assert_eq!(g.horizon(), 5);
-        assert_eq!(g.streams().len(), 1);
-        assert_eq!(g.streams()[0].cell_at(2), Some(g.grid().cell_at(1, 0)));
-        assert_eq!(g.streams()[0].cell_at(0), None);
+        assert_eq!(g.num_streams(), 1);
+        assert_eq!(g.stream(0).cell_at(2), Some(g.grid().cell_at(1, 0)));
+        assert_eq!(g.stream(0).cell_at(0), None);
+        // Views round-trip to the owned rows they were built from.
+        assert_eq!(g.to_streams(), streams);
+    }
+
+    #[test]
+    fn from_columns_matches_from_streams() {
+        let grid = Grid::unit(3);
+        let streams = vec![
+            GriddedStream { id: 4, start: 0, cells: vec![grid.cell_at(0, 0), grid.cell_at(1, 1)] },
+            GriddedStream { id: 7, start: 2, cells: vec![grid.cell_at(2, 2)] },
+        ];
+        let a = GriddedDataset::from_streams(grid.clone(), streams, 4);
+        let b = GriddedDataset::from_columns(
+            grid.clone(),
+            vec![4, 7],
+            vec![0, 2],
+            vec![0, 2, 3],
+            vec![grid.cell_at(0, 0), grid.cell_at(1, 1), grid.cell_at(2, 2)],
+            4,
+        );
+        assert_eq!(a, b);
+        assert!(a.iter().eq(b.iter()));
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end")]
+    fn from_columns_rejects_ragged_offsets() {
+        let grid = Grid::unit(2);
+        let _ = GriddedDataset::from_columns(
+            grid.clone(),
+            vec![0],
+            vec![0],
+            vec![0, 2],
+            vec![grid.cell_at(0, 0)],
+            3,
+        );
     }
 }

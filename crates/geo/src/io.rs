@@ -23,9 +23,9 @@ use std::path::Path;
 /// Serialize a gridded database to a writer.
 pub fn write_gridded<W: Write>(dataset: &GriddedDataset, writer: &mut W) -> io::Result<()> {
     writeln!(writer, "retrasyn-gridded v1 k={} horizon={}", dataset.grid().k(), dataset.horizon())?;
-    for s in dataset.streams() {
+    for s in dataset.iter() {
         write!(writer, "{} {}", s.id, s.start)?;
-        for c in &s.cells {
+        for c in s.cells {
             write!(writer, " {}", c.0)?;
         }
         writeln!(writer)?;
@@ -147,7 +147,7 @@ mod tests {
         let loaded = read_gridded(io::BufReader::new(buf.as_slice())).unwrap();
         assert_eq!(loaded.horizon(), 5);
         assert_eq!(loaded.grid().k(), 4);
-        assert_eq!(loaded.streams(), ds.streams());
+        assert_eq!(loaded, ds);
     }
 
     #[test]
@@ -158,7 +158,7 @@ mod tests {
         let path = dir.join("release.txt");
         save_gridded(&ds, &path).unwrap();
         let loaded = load_gridded(&path).unwrap();
-        assert_eq!(loaded.streams(), ds.streams());
+        assert_eq!(loaded, ds);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -196,6 +196,6 @@ mod tests {
     fn skips_blank_lines() {
         let ok = "retrasyn-gridded v1 k=2 horizon=2\n\n0 0 0 1\n\n";
         let ds = read_gridded(io::BufReader::new(ok.as_bytes())).unwrap();
-        assert_eq!(ds.streams().len(), 1);
+        assert_eq!(ds.num_streams(), 1);
     }
 }

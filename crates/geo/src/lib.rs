@@ -31,7 +31,7 @@ pub mod trajectory;
 pub mod transition;
 
 pub use grid::{CellId, Grid, Neighborhood};
-pub use gridded::{GriddedDataset, GriddedStream};
+pub use gridded::{GriddedDataset, GriddedStream, StreamView};
 pub use point::{BoundingBox, Point};
 pub use stream::{DatasetStats, StreamDataset};
 pub use timeline::{EventTimeline, UserEvent};

@@ -34,7 +34,7 @@ impl EventTimeline {
     pub fn build(dataset: &GriddedDataset) -> Self {
         let horizon = dataset.horizon() as usize;
         let mut events: Vec<Vec<UserEvent>> = vec![Vec::new(); horizon];
-        for s in dataset.streams() {
+        for s in dataset.iter() {
             let id = s.id;
             // Enter at start.
             if (s.start as usize) < horizon {

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use retrasyn_geo::{
-    BoundingBox, EventTimeline, Grid, Point, StreamDataset, Trajectory, TransitionState,
-    TransitionTable,
+    BoundingBox, EventTimeline, Grid, GriddedDataset, GriddedStream, Point, StreamDataset,
+    Trajectory, TransitionState, TransitionTable,
 };
 
 proptest! {
@@ -72,11 +72,11 @@ proptest! {
         let ds = StreamDataset::new(vec![Trajectory::new(0, start, points.clone())]);
         let gd = ds.discretize(&g);
         // Total cells = total raw points.
-        let total: usize = gd.streams().iter().map(|s| s.len()).sum();
+        let total: usize = gd.iter().map(|s| s.len()).sum();
         prop_assert_eq!(total, points.len());
         // Segments respect adjacency and tile the time axis contiguously.
         let mut expected_next = start;
-        for s in gd.streams() {
+        for s in gd.iter() {
             prop_assert_eq!(s.start, expected_next);
             for w in s.cells.windows(2) {
                 prop_assert!(g.are_adjacent(w[0], w[1]));
@@ -112,12 +112,53 @@ proptest! {
                 }
             }
         }
-        let segs = gd.streams().len();
+        let segs = gd.num_streams();
         prop_assert_eq!(enters, segs);
         prop_assert_eq!(moves, n_points - segs);
         // The final segment survives to the horizon (no quit recorded);
         // all earlier segments quit.
         prop_assert_eq!(quits, segs - 1);
+    }
+
+    /// The arena-backed columnar constructor is equivalent to flattening
+    /// owned rows: building a dataset via `from_columns` yields exactly the
+    /// same views, owned round-trips, and aggregate counts as
+    /// `from_streams` over the same content.
+    #[test]
+    fn arena_backed_dataset_matches_from_streams(
+        k in 2u16..=6,
+        specs in prop::collection::vec((0u64..20, 1usize..12, 0usize..1000), 1..25),
+    ) {
+        let g = Grid::unit(k);
+        let mut streams = Vec::new();
+        let (mut ids, mut starts, mut offsets, mut cells) =
+            (Vec::new(), Vec::new(), vec![0usize], Vec::new());
+        for (i, &(start, len, seed)) in specs.iter().enumerate() {
+            // Deterministic adjacency-respecting walk from a seeded cell.
+            let mut cur = retrasyn_geo::CellId((seed % g.num_cells()) as u16);
+            let mut walk = vec![cur];
+            for step in 1..len {
+                let neigh = g.neighbors(cur);
+                cur = neigh.as_slice()[(seed + step) % neigh.len()];
+                walk.push(cur);
+            }
+            ids.push(i as u64);
+            starts.push(start);
+            cells.extend_from_slice(&walk);
+            offsets.push(cells.len());
+            streams.push(GriddedStream { id: i as u64, start, cells: walk });
+        }
+        let horizon = streams.iter().map(|s| s.end() + 1).max().unwrap();
+        let rows = GriddedDataset::from_streams(g.clone(), streams.clone(), horizon);
+        let cols = GriddedDataset::from_columns(g.clone(), ids, starts, offsets, cells, horizon);
+        prop_assert_eq!(&rows, &cols);
+        prop_assert!(rows.iter().eq(cols.iter()));
+        prop_assert_eq!(cols.to_streams(), streams);
+        prop_assert_eq!(rows.total_counts(), cols.total_counts());
+        for t in 0..horizon {
+            prop_assert_eq!(rows.snapshot_counts(t), cols.snapshot_counts(t));
+            prop_assert_eq!(rows.active_count(t), cols.active_count(t));
+        }
     }
 
     /// Subsampling keeps the requested fraction within rounding.

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 /// (first cell, last cell).
 pub fn od_matrix(dataset: &GriddedDataset) -> HashMap<(CellId, CellId), u64> {
     let mut od = HashMap::new();
-    for s in dataset.streams() {
+    for s in dataset.iter() {
         *od.entry((s.first_cell(), s.last_cell())).or_insert(0) += 1;
     }
     od
@@ -39,7 +39,7 @@ pub fn flow_series(
     let from: std::collections::HashSet<CellId> = from_region.iter().copied().collect();
     let to: std::collections::HashSet<CellId> = to_region.iter().copied().collect();
     let mut series = vec![0u64; dataset.horizon() as usize];
-    for s in dataset.streams() {
+    for s in dataset.iter() {
         for (i, w) in s.cells.windows(2).enumerate() {
             let t = s.start as usize + i + 1;
             if t < series.len() && from.contains(&w[0]) && to.contains(&w[1]) {
@@ -55,7 +55,7 @@ pub fn flow_series(
 pub fn mean_dwell_time(dataset: &GriddedDataset) -> f64 {
     let mut runs = 0u64;
     let mut total = 0u64;
-    for s in dataset.streams() {
+    for s in dataset.iter() {
         let mut run_len = 1u64;
         for w in s.cells.windows(2) {
             if w[0] == w[1] {
@@ -82,7 +82,6 @@ pub fn mean_dwell_time(dataset: &GriddedDataset) -> f64 {
 pub fn radius_of_gyration(dataset: &GriddedDataset) -> Vec<f64> {
     let grid: &Grid = dataset.grid();
     dataset
-        .streams()
         .iter()
         .map(|s| {
             let pts: Vec<_> = s.cells.iter().map(|&c| grid.center(c)).collect();

@@ -90,8 +90,8 @@ mod tests {
         // Streams active only at t=0; horizons padded to 5.
         let mut a = ds(&grid, vec![vec![(0, 0)]]);
         let mut b = ds(&grid, vec![vec![(0, 0)]]);
-        a = GriddedDataset::from_streams(grid.clone(), a.streams().to_vec(), 5);
-        b = GriddedDataset::from_streams(grid.clone(), b.streams().to_vec(), 5);
+        a = GriddedDataset::from_streams(grid.clone(), a.to_streams(), 5);
+        b = GriddedDataset::from_streams(grid.clone(), b.to_streams(), 5);
         assert!(density_error(&a, &b) < 1e-12);
     }
 

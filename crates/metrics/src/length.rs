@@ -15,7 +15,7 @@ use retrasyn_geo::GriddedDataset;
 /// Travel distances (grid hops) of all streams.
 pub fn travel_distances(dataset: &GriddedDataset) -> Vec<u64> {
     let grid = dataset.grid();
-    dataset.streams().iter().map(|s| s.hop_distance(grid)).collect()
+    dataset.iter().map(|s| s.hop_distance(grid)).collect()
 }
 
 /// Histogram values into `bins` equal-width buckets over `[0, max]`.

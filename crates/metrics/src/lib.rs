@@ -53,7 +53,7 @@ pub fn per_ts_cell_counts(dataset: &GriddedDataset) -> Vec<Vec<u32>> {
     let horizon = dataset.horizon() as usize;
     let cells = dataset.grid().num_cells();
     let mut counts = vec![vec![0u32; cells]; horizon];
-    for s in dataset.streams() {
+    for s in dataset.iter() {
         for (i, c) in s.cells.iter().enumerate() {
             let t = s.start as usize + i;
             if t < horizon {

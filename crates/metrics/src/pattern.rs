@@ -17,7 +17,7 @@ pub fn pattern_counts(
 ) -> HashMap<Vec<CellId>, u64> {
     assert!(max_len >= 2, "patterns have length >= 2");
     let mut counts: HashMap<Vec<CellId>, u64> = HashMap::new();
-    for s in dataset.streams() {
+    for s in dataset.iter() {
         // Clip the stream to the time range.
         if s.end() < range.t0 || s.start > range.t1 {
             continue;

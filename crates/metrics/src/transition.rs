@@ -9,7 +9,7 @@ use retrasyn_geo::{GriddedDataset, TransitionTable};
 pub fn per_ts_move_counts(dataset: &GriddedDataset, table: &TransitionTable) -> Vec<Vec<u32>> {
     let horizon = dataset.horizon() as usize;
     let mut counts = vec![vec![0u32; table.num_moves()]; horizon];
-    for s in dataset.streams() {
+    for s in dataset.iter() {
         for (i, w) in s.cells.windows(2).enumerate() {
             let t = s.start as usize + i + 1;
             if t >= horizon {

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 /// Count trips as (first cell, last cell) pairs.
 pub fn trip_counts(dataset: &GriddedDataset) -> HashMap<(u16, u16), u64> {
     let mut counts = HashMap::new();
-    for s in dataset.streams() {
+    for s in dataset.iter() {
         *counts.entry((s.first_cell().0, s.last_cell().0)).or_insert(0) += 1;
     }
     counts

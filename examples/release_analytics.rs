@@ -31,7 +31,7 @@ fn main() {
     let reloaded = io::load_gridded(&path).expect("load release");
     println!(
         "release: {} streams, {} bytes at {}",
-        reloaded.streams().len(),
+        reloaded.num_streams(),
         std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
         path.display()
     );

@@ -32,7 +32,7 @@ fn discretization_is_deterministic() {
     let grid = Grid::unit(7);
     let a = ds.discretize(&grid);
     let b = ds.discretize(&grid);
-    assert_eq!(a.streams(), b.streams());
+    assert_eq!(a, b);
 }
 
 #[test]
@@ -47,7 +47,7 @@ fn retrasyn_release_is_deterministic() {
     };
     let a = release(99);
     let b = release(99);
-    assert_eq!(a.streams(), b.streams());
+    assert_eq!(a, b);
 }
 
 #[test]
@@ -60,7 +60,7 @@ fn baseline_release_is_deterministic() {
             LdpIds::new(BaselineKind::Lba, LdpIdsConfig::new(1.0, 8), grid.clone(), seed);
         engine.run_gridded(&orig)
     };
-    assert_eq!(release(4).streams(), release(4).streams());
+    assert_eq!(release(4), release(4));
 }
 
 #[test]
@@ -99,13 +99,13 @@ fn pooled_parallel_engine_release_is_deterministic() {
     };
     let a = release(3);
     let b = release(3);
-    assert_eq!(a.streams(), b.streams(), "same (seed, threads) must reproduce");
+    assert_eq!(a, b, "same (seed, threads) must reproduce");
     let c = release(1);
     let d = release(1);
-    assert_eq!(c.streams(), d.streams());
+    assert_eq!(c, d);
     // The pooled path consumes a different RNG stream than the sequential
     // one; divergence proves the pool actually engaged.
-    assert_ne!(a.streams(), c.streams(), "pooled path did not engage");
+    assert_ne!(a, c, "pooled path did not engage");
 }
 
 #[test]
@@ -126,8 +126,8 @@ fn pooled_engine_release_deterministic_under_shrink_heavy_churn() {
         let mut engine = RetraSyn::population_division(config, grid.clone(), 55);
         engine.run_gridded(&orig)
     };
-    assert_eq!(release(4).streams(), release(4).streams());
-    assert_eq!(release(1).streams(), release(1).streams());
+    assert_eq!(release(4), release(4));
+    assert_eq!(release(1), release(1));
 }
 
 #[test]
@@ -145,6 +145,6 @@ fn engine_seed_isolation_from_dataset_seed() {
     let a1 = run(1);
     let a2 = run(1);
     let b = run(2);
-    assert_eq!(a1.streams(), a2.streams());
-    assert_ne!(a1.streams(), b.streams());
+    assert_eq!(a1, a2);
+    assert_ne!(a1, b);
 }

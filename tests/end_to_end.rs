@@ -32,7 +32,7 @@ fn retrasyn_full_pipeline_on_taxi_data() {
         assert_eq!(syn.active_count(t), orig.active_count(t), "t={t}");
     }
     // Movement respects grid adjacency everywhere.
-    for s in syn.streams() {
+    for s in syn.iter() {
         for w in s.cells.windows(2) {
             assert!(syn.grid().are_adjacent(w[0], w[1]));
         }
@@ -150,7 +150,7 @@ fn budget_and_population_divisions_both_work_on_all_generators() {
             let config = RetraSynConfig::new(1.0, 8).with_lambda(orig.avg_length());
             let mut engine = RetraSyn::new(config, grid.clone(), division, 13);
             let syn = engine.run_gridded(&orig);
-            assert!(!syn.streams().is_empty(), "{name}/{division:?}");
+            assert!(!syn.is_empty(), "{name}/{division:?}");
             engine.ledger().verify().unwrap_or_else(|e| panic!("{name}/{division:?}: {e}"));
         }
     }
