@@ -1,0 +1,121 @@
+//! Collection-round benches: the fused perturb→tally fast path against
+//! the frozen report-buffer reference at the acceptance configuration
+//! (n = 100k reporters, d = 4096, ε = 1), plus the sharded
+//! [`CollectionPool`] thread sweep.
+//!
+//! The reference arm is the pre-fused collection pipeline — one reused
+//! `BitReport` per user, perturbed by geometric skipping and folded into
+//! the tally by word-parallel re-scan. It stays in-tree as the validated
+//! report-materializing path (`Oue::perturb_into` / `Oue::tally_into`),
+//! so the comparison is same-run and same-toolchain by construction.
+//!
+//! Note: this container is 1-vCPU — the thread-sweep arms measure
+//! dispatch overhead, not speedup; the meaningful acceptance pair is
+//! `fused` vs `report_buffer_reference` at equal threads. Re-baseline the
+//! sweep on multi-core hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retrasyn_core::CollectionPool;
+use retrasyn_ldp::{BitReport, Oue, ReportMode};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USERS: usize = 100_000;
+const DOMAIN: usize = 4096;
+
+fn values() -> Vec<usize> {
+    // Skewed but deterministic reporter mix over the domain.
+    (0..USERS).map(|i| (i * i + 31 * i) % DOMAIN).collect()
+}
+
+/// The frozen report-buffer collection round: perturb into a reused
+/// `BitReport`, then word-parallel tally — the PerUser path before the
+/// fused kernel existed.
+fn report_buffer_round(oue: &Oue, values: &[usize], ones: &mut Vec<u64>, rng: &mut StdRng) {
+    ones.clear();
+    ones.resize(oue.domain(), 0);
+    let mut scratch = BitReport::zeros(oue.domain());
+    for &v in values {
+        oue.perturb_into(v, &mut scratch, rng).unwrap();
+        oue.tally_into(ones, &scratch).unwrap();
+    }
+}
+
+fn bench_fused_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection_per_user_100k_d4096");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let oue = Oue::new(1.0, DOMAIN).unwrap();
+    let values = values();
+    let mut ones = Vec::new();
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function("fused", |b| {
+            b.iter(|| {
+                oue.collect_ones_into(black_box(&values), ReportMode::PerUser, &mut ones, &mut rng)
+                    .unwrap();
+                black_box(ones.iter().sum::<u64>())
+            })
+        });
+    }
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function("report_buffer_reference", |b| {
+            b.iter(|| {
+                report_buffer_round(&oue, black_box(&values), &mut ones, &mut rng);
+                black_box(ones.iter().sum::<u64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection_pool_100k_d4096");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let oracle = Arc::new(Oue::new(1.0, DOMAIN).unwrap());
+    let values = values();
+    for threads in [1usize, 2, 4] {
+        let mut pool = CollectionPool::new(threads);
+        let mut ones = Vec::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.collect_ones(
+                    &oracle,
+                    black_box(&values),
+                    ReportMode::PerUser,
+                    &mut ones,
+                    &mut rng,
+                )
+                .unwrap();
+                black_box(ones.iter().sum::<u64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    // Context arm: the O(d) aggregate simulation the experiment harness
+    // uses by default — the in-place binomial round.
+    let mut group = c.benchmark_group("collection_aggregate_100k_d4096");
+    group.sample_size(15).measurement_time(Duration::from_millis(900));
+    let oue = Oue::new(1.0, DOMAIN).unwrap();
+    let values = values();
+    let mut ones = Vec::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    group.bench_function("in_place", |b| {
+        b.iter(|| {
+            oue.collect_ones_into(black_box(&values), ReportMode::Aggregate, &mut ones, &mut rng)
+                .unwrap();
+            black_box(ones.iter().sum::<u64>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_reference, bench_thread_sweep, bench_aggregate);
+criterion_main!(benches);

@@ -132,6 +132,7 @@ impl LdpIds {
         let released = vec![0.0; table.num_moves()];
         let model = GlobalMobilityModel::new(table.len());
         let ledger = WEventLedger::new(config.eps, config.w);
+        let registry = UserRegistry::new(config.w);
         LdpIds {
             kind,
             config,
@@ -142,7 +143,7 @@ impl LdpIds {
             model,
             synthetic: SyntheticDb::new(),
             ledger,
-            registry: UserRegistry::new(),
+            registry,
             rng: StdRng::seed_from_u64(seed),
             next_t: 0,
             fixed_size: None,
@@ -296,7 +297,7 @@ impl LdpIds {
         for &(u, _) in states {
             self.registry.register(u);
         }
-        self.registry.recycle(t, self.config.w);
+        self.registry.recycle(t);
         // The fixed-set assumption: group sizing uses the population seen
         // at the first timestamp with reporters.
         if self.n0.is_none() && !states.is_empty() {

@@ -1,0 +1,224 @@
+//! Sharded LDP collection pipeline (§IV-B user-side computation, §VII
+//! acceleration).
+//!
+//! Per-user OUE perturbation dominates per-timestamp cost (Table V) and is
+//! embarrassingly parallel across users: no reporter's randomness depends
+//! on another's. The [`CollectionPool`] mirrors the proven synthesis-pool
+//! architecture on the task-generic [`WorkerPool`]:
+//!
+//! - the reporter values are sharded into `threads` disjoint contiguous
+//!   ranges (fixed sizes, a pure function of `(n, threads)`);
+//! - one seed per shard is drawn from the caller's RNG *in shard order*,
+//!   whether or not the shard is empty, so RNG consumption depends only on
+//!   the thread count;
+//! - each worker runs the fused perturb→tally round
+//!   ([`Oue::collect_ones_into`]) over its shard into a private
+//!   domain-sized ones accumulator;
+//! - the caller merges accumulators by addition (`u64` addition is exact
+//!   and commutative, so arrival order cannot affect the result).
+//!
+//! Determinism contract — identical to synthesis: a fixed
+//! `(seed, threads)` pair is bit-identical across runs, and the merged
+//! counts are distributionally equivalent to the sequential path (each
+//! position count is a sum of independent per-user Bernoulli/binomial
+//! contributions however the users are partitioned).
+//!
+//! Shard buffers (values and ones) shuttle between the caller and the
+//! workers and keep their capacity, so a steady-state collection round
+//! performs zero heap allocations after warm-up.
+
+use crate::pool::{draw_seeds, PoolJob, WorkerPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retrasyn_ldp::{LdpError, Oue, ReportMode};
+use std::sync::Arc;
+
+/// One worker's owned slice of a collection round plus its private
+/// accumulator.
+#[derive(Debug, Default)]
+struct CollectShard {
+    /// The reporter values assigned to this shard (a contiguous range of
+    /// the round's value slice).
+    values: Vec<usize>,
+    /// Private domain-sized ones accumulator, merged by addition.
+    ones: Vec<u64>,
+}
+
+/// One unit of collection work: the shard plus an `Arc` snapshot of the
+/// oracle and the shard's seed.
+struct CollectJob {
+    shard: CollectShard,
+    oracle: Arc<Oue>,
+    mode: ReportMode,
+    seed: u64,
+    result: Result<(), LdpError>,
+}
+
+impl PoolJob for CollectJob {
+    fn run(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.result = self.oracle.collect_ones_into(
+            &self.shard.values,
+            self.mode,
+            &mut self.shard.ones,
+            &mut rng,
+        );
+    }
+}
+
+/// The collection instantiation of [`WorkerPool`]: a persistent pool of
+/// fused perturb→tally workers plus the reusable shard buffers.
+pub struct CollectionPool {
+    pool: WorkerPool<CollectJob>,
+    /// Reused shard states, indexed by shard; buffer capacity survives the
+    /// worker round-trip.
+    shards: Vec<CollectShard>,
+    /// Reused per-shard seed buffer.
+    seeds: Vec<u64>,
+}
+
+impl std::fmt::Debug for CollectionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectionPool").field("threads", &self.pool.threads()).finish()
+    }
+}
+
+impl CollectionPool {
+    /// Spawn `threads` collection workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let pool = WorkerPool::new(threads, "retrasyn-collect");
+        let shards = (0..pool.threads()).map(|_| CollectShard::default()).collect();
+        CollectionPool { pool, shards, seeds: Vec::new() }
+    }
+
+    /// Number of workers (= shards per round).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Run one sharded collection round over the reporters' true `values`,
+    /// filling `ones` with the merged per-position counts.
+    ///
+    /// Exactly `threads` seeds are drawn from `rng` in shard order
+    /// regardless of shard occupancy; empty shards contribute nothing.
+    /// Zero heap allocations after warm-up. Returns the number of
+    /// reporters.
+    pub fn collect_ones<R: Rng + ?Sized>(
+        &mut self,
+        oracle: &Arc<Oue>,
+        values: &[usize],
+        mode: ReportMode,
+        ones: &mut Vec<u64>,
+        rng: &mut R,
+    ) -> Result<u64, LdpError> {
+        let shard_count = self.pool.threads();
+        draw_seeds(&mut self.seeds, shard_count, rng);
+        let chunk = values.len().div_ceil(shard_count).max(1);
+        let mut outstanding = 0usize;
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            let lo = (idx * chunk).min(values.len());
+            let hi = ((idx + 1) * chunk).min(values.len());
+            shard.values.clear();
+            shard.values.extend_from_slice(&values[lo..hi]);
+            if shard.values.is_empty() {
+                continue;
+            }
+            self.pool.submit(
+                idx,
+                CollectJob {
+                    shard: std::mem::take(shard),
+                    oracle: Arc::clone(oracle),
+                    mode,
+                    seed: self.seeds[idx],
+                    result: Ok(()),
+                },
+            );
+            outstanding += 1;
+        }
+        ones.clear();
+        ones.resize(oracle.domain(), 0);
+        let mut err: Option<(usize, LdpError)> = None;
+        for _ in 0..outstanding {
+            let (idx, job) = self.pool.recv();
+            match job.result {
+                // Addition is exact and commutative: merging in arrival
+                // order is bit-identical to merging in shard order.
+                Ok(()) => {
+                    for (acc, &x) in ones.iter_mut().zip(&job.shard.ones) {
+                        *acc += x;
+                    }
+                }
+                // Keep the lowest-shard error so the reported failure is
+                // scheduling-independent (like the sequential path, which
+                // surfaces the first offending value in input order).
+                Err(e) => {
+                    if err.as_ref().is_none_or(|&(i, _)| idx < i) {
+                        err = Some((idx, e));
+                    }
+                }
+            }
+            self.shards[idx] = job.shard;
+        }
+        match err {
+            Some((_, e)) => Err(e),
+            None => Ok(values.len() as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_spawns_and_shuts_down() {
+        let pool = CollectionPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(CollectionPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn merged_counts_bound_by_reporters() {
+        // Every position count is at most n, and the true-bit position of
+        // each reporter contributes at most one — structural sanity of the
+        // shard merge.
+        let oracle = Arc::new(Oue::new(1.0, 32).unwrap());
+        let values: Vec<usize> = (0..500).map(|i| i % 32).collect();
+        let mut pool = CollectionPool::new(4);
+        let mut ones = Vec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n =
+            pool.collect_ones(&oracle, &values, ReportMode::PerUser, &mut ones, &mut rng).unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(ones.len(), 32);
+        assert!(ones.iter().all(|&c| c <= 500));
+        assert!(ones.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn out_of_domain_value_is_reported() {
+        let oracle = Arc::new(Oue::new(1.0, 8).unwrap());
+        let mut pool = CollectionPool::new(2);
+        let mut ones = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = pool.collect_ones(&oracle, &[1, 2, 8], ReportMode::PerUser, &mut ones, &mut rng);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn empty_round_is_all_zero() {
+        let oracle = Arc::new(Oue::new(1.0, 8).unwrap());
+        let mut pool = CollectionPool::new(2);
+        let mut ones = vec![7u64; 3];
+        let mut rng = StdRng::seed_from_u64(1);
+        let n =
+            pool.collect_ones(&oracle, &[], ReportMode::Aggregate, &mut ones, &mut rng).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(ones, vec![0u64; 8]);
+    }
+}

@@ -46,6 +46,15 @@ pub struct RetraSynConfig {
     /// future-work acceleration). 1 = sequential (default); >1 changes the
     /// random stream but stays deterministic per `(seed, threads)`.
     pub synthesis_threads: usize,
+    /// Worker threads for the LDP collection phase (per-user perturbation
+    /// and tallying). 1 = sequential (default); >1 shards the reporters
+    /// across a persistent collection pool — a different random stream,
+    /// deterministic per `(seed, threads)` and distributionally
+    /// equivalent to the sequential round. Applies to
+    /// [`ReportMode::PerUser`] rounds, where the per-user work is what
+    /// parallelizes; the O(domain) [`ReportMode::Aggregate`] shortcut
+    /// always runs sequentially.
+    pub collection_threads: usize,
 }
 
 impl RetraSynConfig {
@@ -65,6 +74,7 @@ impl RetraSynConfig {
             dmu: true,
             enter_quit: true,
             synthesis_threads: 1,
+            collection_threads: 1,
         }
     }
 
@@ -105,6 +115,13 @@ impl RetraSynConfig {
         self.synthesis_threads = threads;
         self
     }
+
+    /// Parallelize the collection phase over `threads` workers.
+    pub fn with_collection_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.collection_threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -130,12 +147,22 @@ mod tests {
             .with_allocation(AllocationKind::Uniform)
             .all_update()
             .no_eq()
-            .per_user_reports();
+            .per_user_reports()
+            .with_synthesis_threads(2)
+            .with_collection_threads(4);
         assert_eq!(c.lambda, 13.6);
         assert_eq!(c.allocation, AllocationKind::Uniform);
         assert!(!c.dmu);
         assert!(!c.enter_quit);
         assert_eq!(c.report_mode, ReportMode::PerUser);
+        assert_eq!(c.synthesis_threads, 2);
+        assert_eq!(c.collection_threads, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread")]
+    fn rejects_zero_collection_threads() {
+        let _ = RetraSynConfig::new(1.0, 10).with_collection_threads(0);
     }
 
     #[test]

@@ -18,25 +18,29 @@
 //! (Table V).
 
 use crate::allocation::{AllocationKind, Allocator};
+use crate::collect::CollectionPool;
 use crate::config::{Division, RetraSynConfig};
 use crate::dmu;
 use crate::model::GlobalMobilityModel;
 use crate::population::{UserRegistry, UserStatus};
 use crate::synthesis::SyntheticDb;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use retrasyn_geo::{
     EventTimeline, Grid, GriddedDataset, StreamDataset, TransitionState, TransitionTable, UserEvent,
 };
-use retrasyn_ldp::{Estimate, FrequencyOracle, Oue, WEventLedger};
+use retrasyn_ldp::{Estimate, Oue, ReportMode, WEventLedger};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Accumulated component times in seconds (Table V rows).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepTimings {
-    /// User-side computation (perturbation / report simulation).
+    /// User-side computation (perturbation / report simulation): the
+    /// wall-clock of the whole collection round — when
+    /// `collection_threads > 1` this covers shard dispatch, the per-shard
+    /// fused perturb→tally passes and the accumulator merge.
     pub user_side: f64,
     /// Mobility model construction (aggregation, debias, update).
     pub model_construction: f64,
@@ -97,12 +101,28 @@ pub struct RetraSyn {
     report_slots: HashMap<u64, u64>,
     /// Cached collection oracle, rebuilt only when `(ε, domain)` changes —
     /// the collection path runs every timestamp and must not rebuild its
-    /// mechanism per step.
-    oracle: Option<Oue>,
+    /// mechanism per step. `Arc` so pooled collection workers share a
+    /// snapshot without cloning the mechanism's skip table.
+    oracle: Option<Arc<Oue>>,
+    /// Persistent collection worker pool, created lazily on the first
+    /// collection round with `collection_threads > 1`.
+    collector: Option<CollectionPool>,
     timings: StepTimings,
     steps: u64,
     /// Reused reporter-value scratch for the collection path.
     scratch_values: Vec<usize>,
+    /// Reused per-step event scratch: (user, domain index) states.
+    scratch_states: Vec<(u64, usize)>,
+    /// Reused per-step event scratch: users delivering their Quit state.
+    scratch_quitters: Vec<u64>,
+    /// Reused per-step scratch: the eligible (then sampled) report group.
+    scratch_eligible: Vec<(u64, usize)>,
+    /// Reused domain-sized scratch: raw ones counts of the current round.
+    scratch_ones: Vec<u64>,
+    /// Reused estimate of the current round (`freqs` buffer recycled
+    /// across steps — a collection round allocates nothing after
+    /// warm-up).
+    scratch_est: Estimate,
     /// Reused table-sized scratch: full-domain estimate vector.
     scratch_full: Vec<f64>,
     /// Reused table-sized scratch: full-domain selection mask.
@@ -126,13 +146,14 @@ impl RetraSyn {
             );
         }
         let domain = table.len();
+        let w = config.w;
         RetraSyn {
             config,
             division,
             grid,
             table,
             model,
-            registry: UserRegistry::new(),
+            registry: UserRegistry::new(w),
             ledger,
             synthetic: SyntheticDb::new(),
             allocator,
@@ -141,9 +162,15 @@ impl RetraSyn {
             fixed_size: None,
             report_slots: HashMap::new(),
             oracle: None,
+            collector: None,
             timings: StepTimings::default(),
             steps: 0,
             scratch_values: Vec::new(),
+            scratch_states: Vec::new(),
+            scratch_quitters: Vec::new(),
+            scratch_eligible: Vec::new(),
+            scratch_ones: Vec::new(),
+            scratch_est: Estimate::default(),
             scratch_full: vec![0.0; domain],
             scratch_sel: vec![false; domain],
             scratch_dmu: Vec::new(),
@@ -224,14 +251,17 @@ impl RetraSyn {
         self.next_t += 1;
         self.steps += 1;
 
-        // States in domain space; NoEQ drops enter/quit events.
+        // States in domain space; NoEQ drops enter/quit events. The event
+        // scratch buffers are engine fields so the per-step bookkeeping
+        // allocates nothing after warm-up.
         let domain = self.domain_len();
-        let mut states: Vec<(u64, usize)> = Vec::with_capacity(events.len());
-        let mut quitters: Vec<u64> = Vec::new();
+        let mut states = std::mem::take(&mut self.scratch_states);
+        states.clear();
+        self.scratch_quitters.clear();
         let mut target_active = 0usize;
         for e in events {
             if let TransitionState::Quit(_) = e.state {
-                quitters.push(e.user);
+                self.scratch_quitters.push(e.user);
             } else {
                 target_active += 1;
             }
@@ -244,18 +274,21 @@ impl RetraSyn {
             states.push((e.user, idx));
         }
 
-        let estimate = match self.division {
+        match self.division {
             Division::Population => self.collect_population(t, &states),
             Division::Budget => self.collect_budget(t, &states),
-        };
-        for &u in &quitters {
+        }
+        self.scratch_states = states;
+        for &u in &self.scratch_quitters {
             self.registry.mark_quitted(u);
             // A quitted user never reports again: drop its RandomReport
             // slot so the map stays bounded on churning streams.
             self.report_slots.remove(&u);
         }
 
+        let estimate = std::mem::take(&mut self.scratch_est);
         self.update_model(t, &estimate);
+        self.scratch_est = estimate;
 
         // Real-time synthesis (§III-D).
         let timer = Instant::now();
@@ -276,8 +309,9 @@ impl RetraSyn {
         self.timings.synthesis += timer.elapsed().as_secs_f64();
     }
 
-    /// Population-division collection (Algorithm 1 lines 7–14).
-    fn collect_population(&mut self, t: u64, states: &[(u64, usize)]) -> Estimate {
+    /// Population-division collection (Algorithm 1 lines 7–14). Fills
+    /// [`Self::scratch_est`] with the round's estimate.
+    fn collect_population(&mut self, t: u64, states: &[(u64, usize)]) {
         // Line 7: register arrivals (quitters still deliver their farewell
         // state if sampled, so they are registered too).
         for &(u, _) in states {
@@ -290,54 +324,53 @@ impl RetraSyn {
             }
         }
         // Line 9: recycle users that reported at t − w.
-        self.registry.recycle(t, self.config.w);
+        self.registry.recycle(t);
 
-        // Lines 10–12: determine the report group.
+        // Lines 10–12: determine the report group in the reused scratch.
+        // The eligible order is deterministic (event order of the
+        // timeline), so sampling from it directly preserves the fixed-seed
+        // determinism contract.
         let active_count = self.registry.active_count();
-        let mut eligible: Vec<(u64, usize)> = states
-            .iter()
-            .filter(|&&(u, _)| self.registry.status(u) == Some(UserStatus::Active))
-            .copied()
-            .collect();
-        let group: Vec<(u64, usize)> = if self.allocator.kind() == AllocationKind::RandomReport {
+        let mut eligible = std::mem::take(&mut self.scratch_eligible);
+        eligible.clear();
+        eligible.extend(
+            states.iter().filter(|&&(u, _)| self.registry.status(u) == Some(UserStatus::Active)),
+        );
+        if self.allocator.kind() == AllocationKind::RandomReport {
             let w = self.config.w as u64;
-            eligible
-                .into_iter()
-                .filter(|&(u, _)| {
-                    let slot = self.report_slots[&u];
-                    t >= slot && (t - slot).is_multiple_of(w)
-                })
-                .collect()
+            eligible.retain(|&(u, _)| {
+                let slot = self.report_slots[&u];
+                t >= slot && (t - slot).is_multiple_of(w)
+            });
         } else {
             let p = self.allocator.portion(t);
             let n_t = ((p * active_count as f64).round() as usize).min(eligible.len());
-            eligible.sort_unstable_by_key(|&(u, _)| u);
-            eligible.shuffle(&mut self.rng);
+            // Partial Fisher–Yates: place a uniform n_t-subset (in uniform
+            // order) in the first n_t positions — O(n_t) draws instead of
+            // shuffling the entire eligible set to keep a prefix.
+            for i in 0..n_t {
+                let j = self.rng.random_range(i..eligible.len());
+                eligible.swap(i, j);
+            }
             eligible.truncate(n_t);
-            eligible
-        };
+        }
 
         // Lines 13–14: report with the full budget; mark inactive.
         let timer = Instant::now();
         self.scratch_values.clear();
-        self.scratch_values.extend(group.iter().map(|&(_, s)| s));
-        self.ensure_oracle(self.config.eps, self.domain_len().max(2));
-        let estimate = self
-            .oracle
-            .as_ref()
-            .expect("ensured above")
-            .collect(&self.scratch_values, self.config.report_mode, &mut self.rng)
-            .expect("states are in domain");
+        self.scratch_values.extend(eligible.iter().map(|&(_, s)| s));
+        self.run_collection(self.config.eps);
         self.timings.user_side += timer.elapsed().as_secs_f64();
-        for &(u, _) in &group {
+        for &(u, _) in &eligible {
             self.registry.mark_reported(u, t);
             self.ledger.record_user_report(u, t);
         }
-        estimate
+        self.scratch_eligible = eligible;
     }
 
-    /// Budget-division collection: everyone reports with ε_t.
-    fn collect_budget(&mut self, t: u64, states: &[(u64, usize)]) -> Estimate {
+    /// Budget-division collection: everyone reports with ε_t. Fills
+    /// [`Self::scratch_est`] with the round's estimate.
+    fn collect_budget(&mut self, t: u64, states: &[(u64, usize)]) {
         let eps_t = match self.allocator.kind() {
             AllocationKind::Uniform => self.config.eps / self.config.w as f64,
             AllocationKind::Sample => {
@@ -355,21 +388,60 @@ impl RetraSyn {
         };
         let eps_t = eps_t.min(self.ledger.remaining_budget(t));
         if eps_t <= 1e-9 || states.is_empty() {
-            return Estimate::empty(self.domain_len());
+            self.scratch_est.reset_empty(self.domain_len());
+            return;
         }
         self.ledger.record_budget(t, eps_t);
         let timer = Instant::now();
         self.scratch_values.clear();
         self.scratch_values.extend(states.iter().map(|&(_, s)| s));
-        self.ensure_oracle(eps_t, self.domain_len().max(2));
-        let estimate = self
-            .oracle
-            .as_ref()
-            .expect("ensured above")
-            .collect(&self.scratch_values, self.config.report_mode, &mut self.rng)
-            .expect("states are in domain");
+        self.run_collection(eps_t);
         self.timings.user_side += timer.elapsed().as_secs_f64();
-        estimate
+    }
+
+    /// Shared collection tail: run one OUE round over
+    /// [`Self::scratch_values`] with per-report budget `eps`, filling
+    /// [`Self::scratch_est`]. Sharded across the persistent
+    /// [`CollectionPool`] when `collection_threads > 1` *and* the round
+    /// simulates per-user reports — the per-user perturb→tally work is
+    /// what parallelizes; the O(domain) `Aggregate` shortcut would only
+    /// multiply its binomial draws by the shard count, so it always runs
+    /// sequentially. Every buffer involved is engine scratch — zero heap
+    /// allocations after warm-up.
+    fn run_collection(&mut self, eps: f64) {
+        let n = self.scratch_values.len() as u64;
+        if n == 0 {
+            self.scratch_est.reset_empty(self.domain_len());
+            return;
+        }
+        self.ensure_oracle(eps, self.domain_len().max(2));
+        let oracle = Arc::clone(self.oracle.as_ref().expect("ensured above"));
+        let values = std::mem::take(&mut self.scratch_values);
+        if self.config.collection_threads > 1 && self.config.report_mode == ReportMode::PerUser {
+            let threads = self.config.collection_threads;
+            let pool = self.collector.get_or_insert_with(|| CollectionPool::new(threads));
+            pool.collect_ones(
+                &oracle,
+                &values,
+                self.config.report_mode,
+                &mut self.scratch_ones,
+                &mut self.rng,
+            )
+            .expect("states are in domain");
+        } else {
+            oracle
+                .collect_ones_into(
+                    &values,
+                    self.config.report_mode,
+                    &mut self.scratch_ones,
+                    &mut self.rng,
+                )
+                .expect("states are in domain");
+        }
+        self.scratch_values = values;
+        oracle.debias_into(&self.scratch_ones, n, &mut self.scratch_est.freqs);
+        self.scratch_est.n = n;
+        self.scratch_est.variance = oracle.variance(n);
     }
 
     /// Make the cached collection oracle current for `(eps, domain)`. The
@@ -378,7 +450,7 @@ impl RetraSyn {
     fn ensure_oracle(&mut self, eps: f64, domain: usize) {
         let fresh = matches!(&self.oracle, Some(o) if o.eps() == eps && o.domain() == domain);
         if !fresh {
-            self.oracle = Some(Oue::new(eps, domain).expect("validated positive eps"));
+            self.oracle = Some(Arc::new(Oue::new(eps, domain).expect("validated positive eps")));
         }
     }
 

@@ -23,8 +23,12 @@
 //! - [`sampler`]: the alias-table sampler subsystem behind the real-time
 //!   budget (§IV-B) — O(1) movement/enter draws through a [`SamplerCache`]
 //!   owned by the model and rebuilt incrementally after each DMU step.
-//! - [`pool`]: the persistent synthesis worker pool (§VII acceleration)
-//!   with deterministic per-chunk seeding.
+//! - [`pool`]: the task-generic persistent worker pool (§VII
+//!   acceleration) with deterministic per-shard seeding, instantiated by
+//!   both the synthesis and the collection pipelines.
+//! - [`collect`]: the sharded LDP collection pipeline — reporter values
+//!   split into disjoint ranges, fused perturb→tally per worker into
+//!   private accumulators, merged by addition.
 //! - `store` (internal): the columnar [`SyntheticDb`] stream storage —
 //!   SoA head columns, a chunked append-only tail arena, and an O(1)
 //!   finished region feeding the zero-copy release path.
@@ -36,6 +40,7 @@
 
 pub mod allocation;
 pub mod baselines;
+pub mod collect;
 pub mod config;
 pub mod dmu;
 pub mod engine;
@@ -48,6 +53,7 @@ pub mod synthesis;
 
 pub use allocation::AllocationKind;
 pub use baselines::{BaselineKind, LdpIds, LdpIdsConfig};
+pub use collect::CollectionPool;
 pub use config::{Division, RetraSynConfig};
 pub use engine::{RetraSyn, StepTimings, TimingReport};
 pub use model::GlobalMobilityModel;

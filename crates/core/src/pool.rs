@@ -1,22 +1,34 @@
-//! Persistent worker pool for parallel synthesis (§VII acceleration).
+//! Persistent worker pools for the parallel phases (§VII acceleration).
 //!
 //! The seed implementation spawned fresh scoped threads on every timestamp,
-//! paying thread startup on the critical per-step path. This pool keeps the
-//! workers alive for the lifetime of the [`SyntheticDb`] and hands each one
-//! an owned [`ShardState`] plus an `Arc` snapshot of the model's
-//! [`SamplerCache`] per step — no locks, no shared mutable state, and no
-//! `unsafe` lifetime erasure (the crate forbids `unsafe`).
+//! paying thread startup on the critical per-step path. The task-generic
+//! [`WorkerPool`] keeps workers alive for the lifetime of their owner and
+//! shuttles owned job state through channels — no locks, no shared mutable
+//! state, and no `unsafe` lifetime erasure (the crate forbids `unsafe`).
 //!
-//! A shard is a disjoint index range of the store's head columns, copied
-//! into the shard's own [`Columns`] (five contiguous `memcpy`s — the
-//! per-stream `Vec` shuffle of the old layout is gone). Workers append
-//! tail-arena nodes into a private per-shard buffer with shard-local
-//! addresses; the caller's merge relocates each buffer to the end of the
-//! shared arena in shard order and offsets the survivors' links.
+//! A [`PoolJob`] is a self-contained unit of shard work: it owns its input
+//! buffers, its seed and an `Arc` snapshot of whatever read-only state the
+//! pass needs, and is transformed in place by [`PoolJob::run`]. Two
+//! subsystems instantiate the pool:
 //!
-//! The whole synthesis step runs on the pool, not just the extension
-//! phase. A [`ShardTask`] selects the pass a worker performs over its
-//! shard:
+//! - [`SynthesisPool`] (this module) runs the synthesis passes over
+//!   [`ShardState`] column shards;
+//! - [`crate::collect::CollectionPool`] runs fused perturb→tally collection
+//!   rounds over reporter-value shards.
+//!
+//! Determinism contract shared by both: each shard is seeded from the
+//! caller's RNG in shard order, shards are fixed-size disjoint ranges, and
+//! replies are re-assembled by shard index, so a fixed `(seed, threads)`
+//! pair yields identical output regardless of worker scheduling.
+//!
+//! # Synthesis shards
+//!
+//! A synthesis shard is a disjoint index range of the store's head columns,
+//! copied into the shard's own [`Columns`] (five contiguous `memcpy`s).
+//! Workers append tail-arena nodes into a private per-shard buffer with
+//! shard-local addresses; the caller's merge relocates each buffer to the
+//! end of the shared arena in shard order and offsets the survivors' links.
+//! A [`ShardTask`] selects the pass a worker performs over its shard:
 //!
 //! - [`ShardTask::QuitExtend`] — the fused steady-state pass: per stream,
 //!   one cached quit draw; quitters retire into the shard's own finished
@@ -31,11 +43,6 @@
 //! - [`ShardTask::RetireExtend`] — phase two: retire the pre-selected
 //!   victims (positions sorted descending so `swap_remove` stays valid),
 //!   then extend the remaining streams.
-//!
-//! Determinism: each shard is seeded from the caller's RNG in shard order,
-//! shards are fixed-size index ranges of the live columns, and replies are
-//! re-assembled by shard index, so a fixed `(seed, threads)` pair yields an
-//! identical database regardless of worker scheduling.
 //!
 //! [`SyntheticDb`]: crate::synthesis::SyntheticDb
 
@@ -52,7 +59,114 @@ use std::thread::JoinHandle;
 /// ordering (matches the sequential shrink path).
 pub(crate) const MIN_SHRINK_WEIGHT: f64 = 1e-12;
 
-/// Which pass a worker runs over its shard.
+/// A self-contained unit of shard work: owns its inputs and result
+/// buffers, is transformed in place on a worker thread.
+pub(crate) trait PoolJob: Send + 'static {
+    /// Perform the work. Runs on a pool worker; must not panic on valid
+    /// input (a panicking worker fails the whole pool loudly).
+    fn run(&mut self);
+}
+
+/// One queued job, tagged with its shard position so replies re-assemble
+/// deterministically.
+struct Tagged<J> {
+    idx: usize,
+    job: J,
+}
+
+/// A fixed-size pool of persistent workers executing [`PoolJob`]s.
+///
+/// Usage contract: every [`WorkerPool::submit`] must be matched by one
+/// [`WorkerPool::recv`] before the next batch begins; the pool itself
+/// keeps no outstanding-job state.
+pub(crate) struct WorkerPool<J: PoolJob> {
+    senders: Vec<Sender<Tagged<J>>>,
+    replies: Receiver<Tagged<J>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<J: PoolJob> std::fmt::Debug for WorkerPool<J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.senders.len()).finish()
+    }
+}
+
+impl<J: PoolJob> WorkerPool<J> {
+    /// Spawn `threads` workers (at least one), named `{name}-{i}`.
+    pub(crate) fn new(threads: usize, name: &str) -> Self {
+        let threads = threads.max(1);
+        let (reply_tx, replies) = channel::<Tagged<J>>();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let (tx, rx) = channel::<Tagged<J>>();
+            let reply_tx = reply_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-{worker}"))
+                .spawn(move || worker_loop(rx, reply_tx))
+                .expect("failed to spawn pool worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { senders, replies, handles }
+    }
+
+    /// Number of workers.
+    pub(crate) fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Queue `job` for shard `idx` on worker `idx % threads`.
+    pub(crate) fn submit(&self, idx: usize, job: J) {
+        self.senders[idx % self.senders.len()]
+            .send(Tagged { idx, job })
+            .expect("pool worker exited unexpectedly");
+    }
+
+    /// Receive one completed job and its shard index, panicking loudly if
+    /// a worker died instead of hanging forever: a panicked worker never
+    /// sends its reply, and the shared channel only disconnects when
+    /// *every* worker is gone, so a bare `recv` would block permanently on
+    /// the first worker panic.
+    pub(crate) fn recv(&self) -> (usize, J) {
+        use std::sync::mpsc::RecvTimeoutError;
+        loop {
+            match self.replies.recv_timeout(std::time::Duration::from_millis(100)) {
+                Ok(Tagged { idx, job }) => return (idx, job),
+                Err(RecvTimeoutError::Timeout) => {
+                    // Workers only exit when their job channel disconnects
+                    // (pool drop) or they panic; during a batch the senders
+                    // are alive, so a finished worker means a panic.
+                    assert!(!self.handles.iter().any(|h| h.is_finished()), "pool worker panicked");
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("all pool workers exited unexpectedly")
+                }
+            }
+        }
+    }
+}
+
+impl<J: PoolJob> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        // Disconnecting the job channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<J: PoolJob>(rx: Receiver<Tagged<J>>, reply_tx: Sender<Tagged<J>>) {
+    while let Ok(Tagged { idx, mut job }) = rx.recv() {
+        job.run();
+        if reply_tx.send(Tagged { idx, job }).is_err() {
+            return;
+        }
+    }
+}
+
+/// Which pass a synthesis worker runs over its shard.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum ShardTask {
     /// Fused quit + extend (steady state: no downward adjustment possible).
@@ -94,58 +208,82 @@ pub(crate) struct ShardState {
     pub(crate) victims: Vec<u32>,
 }
 
-/// One unit of work for a pool worker. Workers exit when their job channel
-/// disconnects, so shutdown is simply dropping the senders.
-struct Job {
-    idx: usize,
+/// One unit of synthesis work: the shard state plus the pass selector and
+/// an `Arc` snapshot of the sampler cache.
+struct SynthJob {
     state: ShardState,
     cache: Arc<SamplerCache>,
     seed: u64,
     task: ShardTask,
 }
 
-/// A completed shard, tagged with its position.
-struct Reply {
-    idx: usize,
-    state: ShardState,
+impl PoolJob for SynthJob {
+    fn run(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let state = &mut self.state;
+        state.appended.clear();
+        match self.task {
+            ShardTask::QuitExtend { lambda } => {
+                quit_pass_cols(
+                    &mut state.cols,
+                    &mut state.finished,
+                    &mut state.appended,
+                    &self.cache,
+                    lambda,
+                    true,
+                    &mut rng,
+                );
+            }
+            ShardTask::QuitKeys { lambda } => {
+                quit_pass_cols(
+                    &mut state.cols,
+                    &mut state.finished,
+                    &mut state.appended,
+                    &self.cache,
+                    lambda,
+                    false,
+                    &mut rng,
+                );
+                state.keys.clear();
+                for &head in &state.cols.heads {
+                    let w = self.cache.quit_weight(head).max(MIN_SHRINK_WEIGHT);
+                    let u: f64 = rng.random();
+                    state.keys.push(u.ln() / w);
+                }
+            }
+            ShardTask::RetireExtend => {
+                // Victims arrive sorted descending, so each `swap_remove`
+                // moves a row from past the remaining victim positions.
+                for k in 0..state.victims.len() {
+                    state.cols.swap_remove_into(state.victims[k] as usize, &mut state.finished);
+                }
+                state.victims.clear();
+                extend_cols(&mut state.cols, &mut state.appended, &self.cache, &mut rng);
+            }
+        }
+    }
 }
 
-/// A fixed-size pool of synthesis workers.
+/// The synthesis instantiation of [`WorkerPool`].
 pub struct SynthesisPool {
-    senders: Vec<Sender<Job>>,
-    replies: Receiver<Reply>,
-    handles: Vec<JoinHandle<()>>,
+    pool: WorkerPool<SynthJob>,
 }
 
 impl std::fmt::Debug for SynthesisPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SynthesisPool").field("threads", &self.senders.len()).finish()
+        f.debug_struct("SynthesisPool").field("threads", &self.pool.threads()).finish()
     }
 }
 
 impl SynthesisPool {
     /// Spawn `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
-        let (reply_tx, replies) = channel::<Reply>();
-        let mut senders = Vec::with_capacity(threads);
-        let mut handles = Vec::with_capacity(threads);
-        for worker in 0..threads {
-            let (tx, rx) = channel::<Job>();
-            let reply_tx = reply_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("retrasyn-synth-{worker}"))
-                .spawn(move || worker_loop(rx, reply_tx))
-                .expect("failed to spawn synthesis worker");
-            senders.push(tx);
-            handles.push(handle);
-        }
-        SynthesisPool { senders, replies, handles }
+        SynthesisPool { pool: WorkerPool::new(threads, "retrasyn-synth") }
     }
 
     /// Number of workers.
     pub fn threads(&self) -> usize {
-        self.senders.len()
+        self.pool.threads()
     }
 
     /// Run `task` over every non-empty shard, in parallel.
@@ -166,105 +304,20 @@ impl SynthesisPool {
             if state.cols.is_empty() {
                 continue;
             }
-            let job = Job {
+            self.pool.submit(
                 idx,
-                state: std::mem::take(state),
-                cache: Arc::clone(cache),
-                seed: seeds[idx],
-                task,
-            };
-            self.senders[idx % self.senders.len()]
-                .send(job)
-                .expect("synthesis worker exited unexpectedly");
+                SynthJob {
+                    state: std::mem::take(state),
+                    cache: Arc::clone(cache),
+                    seed: seeds[idx],
+                    task,
+                },
+            );
             outstanding += 1;
         }
         for _ in 0..outstanding {
-            let Reply { idx, state } = self.recv_reply();
-            shards[idx] = state;
-        }
-    }
-
-    /// Receive one reply, panicking loudly if a worker died instead of
-    /// hanging forever: a panicked worker never sends its reply, and the
-    /// shared channel only disconnects when *every* worker is gone, so a
-    /// bare `recv` would block permanently on the first worker panic.
-    fn recv_reply(&self) -> Reply {
-        use std::sync::mpsc::RecvTimeoutError;
-        loop {
-            match self.replies.recv_timeout(std::time::Duration::from_millis(100)) {
-                Ok(reply) => return reply,
-                Err(RecvTimeoutError::Timeout) => {
-                    // Workers only exit when their job channel disconnects
-                    // (pool drop) or they panic; during a step the senders
-                    // are alive, so a finished worker means a panic.
-                    assert!(
-                        !self.handles.iter().any(|h| h.is_finished()),
-                        "synthesis worker panicked"
-                    );
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("all synthesis workers exited unexpectedly")
-                }
-            }
-        }
-    }
-}
-
-impl Drop for SynthesisPool {
-    fn drop(&mut self) {
-        // Disconnecting the job channels ends each worker's recv loop.
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn worker_loop(rx: Receiver<Job>, reply_tx: Sender<Reply>) {
-    while let Ok(Job { idx, mut state, cache, seed, task }) = rx.recv() {
-        let mut rng = StdRng::seed_from_u64(seed);
-        state.appended.clear();
-        match task {
-            ShardTask::QuitExtend { lambda } => {
-                quit_pass_cols(
-                    &mut state.cols,
-                    &mut state.finished,
-                    &mut state.appended,
-                    &cache,
-                    lambda,
-                    true,
-                    &mut rng,
-                );
-            }
-            ShardTask::QuitKeys { lambda } => {
-                quit_pass_cols(
-                    &mut state.cols,
-                    &mut state.finished,
-                    &mut state.appended,
-                    &cache,
-                    lambda,
-                    false,
-                    &mut rng,
-                );
-                state.keys.clear();
-                for &head in &state.cols.heads {
-                    let w = cache.quit_weight(head).max(MIN_SHRINK_WEIGHT);
-                    let u: f64 = rng.random();
-                    state.keys.push(u.ln() / w);
-                }
-            }
-            ShardTask::RetireExtend => {
-                // Victims arrive sorted descending, so each `swap_remove`
-                // moves a row from past the remaining victim positions.
-                for k in 0..state.victims.len() {
-                    state.cols.swap_remove_into(state.victims[k] as usize, &mut state.finished);
-                }
-                state.victims.clear();
-                extend_cols(&mut state.cols, &mut state.appended, &cache, &mut rng);
-            }
-        }
-        if reply_tx.send(Reply { idx, state }).is_err() {
-            return;
+            let (idx, job) = self.pool.recv();
+            shards[idx] = job.state;
         }
     }
 }
@@ -291,5 +344,33 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = SynthesisPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    /// The generic pool re-assembles replies by shard index and preserves
+    /// job state across the worker round-trip.
+    #[test]
+    fn generic_pool_round_trips_jobs_by_index() {
+        struct Doubler {
+            xs: Vec<u64>,
+        }
+        impl PoolJob for Doubler {
+            fn run(&mut self) {
+                for x in &mut self.xs {
+                    *x *= 2;
+                }
+            }
+        }
+        let pool: WorkerPool<Doubler> = WorkerPool::new(3, "test-pool");
+        for idx in 0..8 {
+            pool.submit(idx, Doubler { xs: vec![idx as u64; 4] });
+        }
+        let mut seen = [false; 8];
+        for _ in 0..8 {
+            let (idx, job) = pool.recv();
+            assert!(!seen[idx]);
+            seen[idx] = true;
+            assert_eq!(job.xs, vec![2 * idx as u64; 4]);
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

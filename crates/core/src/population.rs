@@ -16,8 +16,26 @@
 //! — long-quitted ids never slow bookkeeping down, no matter how much the
 //! stream churns. The sorted listing is produced lazily into the same
 //! reused buffer, re-sorted only after a mutation.
+//!
+//! Report-time bookkeeping is a *ring buffer* of `w` slots: a user that
+//! reports at `t` lands in slot `t mod w` and is recycled exactly `w`
+//! steps later from the same slot, whose buffer is drained and reused —
+//! recycling allocates nothing in steady state, unlike the former
+//! per-timestamp `HashMap<u64, Vec<u64>>` that allocated one vector per
+//! distinct report time.
 
 use std::collections::HashMap;
+
+/// One ring-buffer slot: the users that reported at `t`, recycled when the
+/// window wraps back around to `t mod w`.
+#[derive(Debug, Clone, Default)]
+struct ReportSlot {
+    /// The timestamp these reporters are from (slots are reused every `w`
+    /// steps; `u64::MAX` marks a never-used slot).
+    t: u64,
+    /// The reporters, drained on recycle with capacity retained.
+    users: Vec<u64>,
+}
 
 /// Lifecycle state of a reporting unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,12 +48,16 @@ pub enum UserStatus {
     Quitted,
 }
 
-/// Registry tracking every observed user's status.
-#[derive(Debug, Clone, Default)]
+/// Registry tracking every observed user's status for a fixed recycling
+/// window `w`.
+#[derive(Debug, Clone)]
 pub struct UserRegistry {
     status: HashMap<u64, UserStatus>,
-    /// users who reported at time t (for recycling at t + w).
-    by_report_time: HashMap<u64, Vec<u64>>,
+    /// Window size `w`: a reporter at `t` is recycled at `t + w`.
+    window: u64,
+    /// Ring of `w` report slots; a reporter at `t` lives in slot
+    /// `t mod w` until recycled.
+    ring: Vec<ReportSlot>,
     /// Dense membership vector of the Active users (unordered; positions
     /// tracked by `active_pos` for O(1) removal).
     active_set: Vec<u64>,
@@ -49,9 +71,18 @@ pub struct UserRegistry {
 }
 
 impl UserRegistry {
-    /// Empty registry.
-    pub fn new() -> Self {
-        Self::default()
+    /// Empty registry for recycling window `w` (≥ 1).
+    pub fn new(w: usize) -> Self {
+        assert!(w >= 1, "window must be >= 1");
+        UserRegistry {
+            status: HashMap::new(),
+            window: w as u64,
+            ring: vec![ReportSlot { t: u64::MAX, users: Vec::new() }; w],
+            active_set: Vec::new(),
+            active_pos: HashMap::new(),
+            sorted_buf: Vec::new(),
+            sorted_valid: false,
+        }
     }
 
     fn add_active(&mut self, user: u64) {
@@ -85,11 +116,26 @@ impl UserRegistry {
     }
 
     /// Mark a user as having reported at `t` (Active → Inactive).
+    ///
+    /// The caller must recycle (`[Self::recycle]` at `t`) before marking
+    /// new reporters at `t`, as Algorithm 1 does: the slot being claimed
+    /// is the one the reporters from `t − w` just vacated.
     pub fn mark_reported(&mut self, user: u64, t: u64) {
         debug_assert_eq!(self.status.get(&user), Some(&UserStatus::Active), "user {user}");
         self.status.insert(user, UserStatus::Inactive);
         self.remove_active(user);
-        self.by_report_time.entry(t).or_default().push(user);
+        let idx = (t % self.window) as usize;
+        let slot = &mut self.ring[idx];
+        if slot.t != t {
+            debug_assert!(
+                slot.users.is_empty(),
+                "slot {idx} still holds unrecycled reporters from t={}",
+                slot.t
+            );
+            slot.users.clear();
+            slot.t = t;
+        }
+        slot.users.push(user);
     }
 
     /// Permanently retire a user.
@@ -100,19 +146,26 @@ impl UserRegistry {
     }
 
     /// Recycle users that reported at `t − w` (Alg. 1 line 9): Inactive →
-    /// Active. Quitted users stay quitted.
-    pub fn recycle(&mut self, t: u64, w: usize) {
-        let Some(report_t) = t.checked_sub(w as u64) else {
+    /// Active. Quitted users stay quitted. Allocation-free: the slot's
+    /// buffer is drained in place and its capacity reused by the
+    /// reporters at `t`.
+    pub fn recycle(&mut self, t: u64) {
+        let Some(report_t) = t.checked_sub(self.window) else {
             return;
         };
-        if let Some(users) = self.by_report_time.remove(&report_t) {
-            for u in users {
-                if self.status.get(&u) == Some(&UserStatus::Inactive) {
-                    self.status.insert(u, UserStatus::Active);
-                    self.add_active(u);
-                }
+        let idx = (report_t % self.window) as usize;
+        if self.ring[idx].t != report_t {
+            return;
+        }
+        let mut users = std::mem::take(&mut self.ring[idx].users);
+        for &u in &users {
+            if self.status.get(&u) == Some(&UserStatus::Inactive) {
+                self.status.insert(u, UserStatus::Active);
+                self.add_active(u);
             }
         }
+        users.clear();
+        self.ring[idx].users = users;
     }
 
     /// All Active users, sorted for determinism. Copies the maintained
@@ -157,23 +210,23 @@ mod tests {
 
     #[test]
     fn lifecycle() {
-        let mut r = UserRegistry::new();
+        let mut r = UserRegistry::new(5);
         r.register(1);
         assert_eq!(r.status(1), Some(UserStatus::Active));
         assert_eq!(r.status(2), None);
         r.mark_reported(1, 5);
         assert_eq!(r.status(1), Some(UserStatus::Inactive));
         // Recycled exactly w steps later.
-        r.recycle(9, 5); // t - w = 4: nothing
+        r.recycle(9); // t - w = 4: nothing
         assert_eq!(r.status(1), Some(UserStatus::Inactive));
-        r.recycle(10, 5); // t - w = 5: user 1
+        r.recycle(10); // t - w = 5: user 1
         assert_eq!(r.status(1), Some(UserStatus::Active));
         check_consistency(&mut r);
     }
 
     #[test]
     fn register_does_not_reset_status() {
-        let mut r = UserRegistry::new();
+        let mut r = UserRegistry::new(5);
         r.register(1);
         r.mark_reported(1, 0);
         r.register(1);
@@ -183,18 +236,18 @@ mod tests {
 
     #[test]
     fn quitted_users_are_not_recycled() {
-        let mut r = UserRegistry::new();
+        let mut r = UserRegistry::new(5);
         r.register(1);
         r.mark_reported(1, 3);
         r.mark_quitted(1);
-        r.recycle(8, 5);
+        r.recycle(8);
         assert_eq!(r.status(1), Some(UserStatus::Quitted));
         assert_eq!(r.active_count(), 0);
     }
 
     #[test]
     fn active_listing_is_sorted_and_counted() {
-        let mut r = UserRegistry::new();
+        let mut r = UserRegistry::new(5);
         for u in [5, 1, 9, 3] {
             r.register(u);
         }
@@ -206,21 +259,52 @@ mod tests {
 
     #[test]
     fn recycle_underflow_is_safe() {
-        let mut r = UserRegistry::new();
+        let mut r = UserRegistry::new(10);
         r.register(1);
-        r.recycle(3, 10); // t < w: no-op
+        r.recycle(3); // t < w: no-op
         assert_eq!(r.status(1), Some(UserStatus::Active));
     }
 
     #[test]
     fn multiple_users_same_report_time() {
-        let mut r = UserRegistry::new();
+        let mut r = UserRegistry::new(5);
         for u in 0..4 {
             r.register(u);
             r.mark_reported(u, 2);
         }
-        r.recycle(7, 5);
+        r.recycle(7);
         assert_eq!(r.active_count(), 4);
+    }
+
+    #[test]
+    fn ring_recycles_across_many_window_wraps() {
+        // Drive the ring through several full wrap-arounds with the
+        // engine's call pattern (recycle at t, then report at t): every
+        // reporter must come back exactly w steps later, never earlier,
+        // and slot reuse must not leak or double-recycle users.
+        let w = 4usize;
+        let mut r = UserRegistry::new(w);
+        for u in 0..8 {
+            r.register(u);
+        }
+        let mut inactive_until: HashMap<u64, u64> = HashMap::new();
+        for t in 0..40u64 {
+            r.recycle(t);
+            for (&u, &until) in &inactive_until {
+                let expect = if t < until { UserStatus::Inactive } else { UserStatus::Active };
+                assert_eq!(r.status(u), Some(expect), "user {u} at t={t}");
+            }
+            // Users 0..w report on a rotating schedule: u reports whenever
+            // t % w == u % w (each exactly once per window).
+            for u in 0..4u64 {
+                if t % w as u64 == u % w as u64 {
+                    assert_eq!(r.status(u), Some(UserStatus::Active), "u={u} t={t}");
+                    r.mark_reported(u, t);
+                    inactive_until.insert(u, t + w as u64);
+                }
+            }
+            check_consistency(&mut r);
+        }
     }
 
     #[test]
@@ -228,7 +312,7 @@ mod tests {
         // A churn-heavy schedule interleaving every transition; the
         // maintained set must agree with a full scan at every point, and
         // listings between mutations must not re-sort (same slice).
-        let mut r = UserRegistry::new();
+        let mut r = UserRegistry::new(5);
         for u in 0..50 {
             r.register(u);
         }
@@ -241,7 +325,7 @@ mod tests {
             r.mark_quitted(u);
         }
         check_consistency(&mut r);
-        r.recycle(6, 5); // reporters at t=1 recycle, quitted stay out
+        r.recycle(6); // reporters at t=1 recycle, quitted stay out
         check_consistency(&mut r);
         // Quitting an Inactive user must not touch the active set.
         r.register(100);

@@ -1,0 +1,226 @@
+//! Distributional and determinism pins for the sharded collection
+//! pipeline: the pooled fused perturb→tally round must produce position
+//! counts from exactly the same distributions as the sequential path in
+//! every `ReportMode`, be bit-identical across runs for a fixed
+//! `(seed, threads)`, and keep full engine runs bit-identical per
+//! `(seed, collection_threads)`.
+
+mod common;
+
+use common::{chi2_crit, two_sample_chi_square};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retrasyn_core::{CollectionPool, RetraSyn, RetraSynConfig};
+use retrasyn_datagen::RandomWalkConfig;
+use retrasyn_geo::Grid;
+use retrasyn_ldp::{Oue, ReportMode};
+use std::sync::Arc;
+
+fn skewed_values(n: usize, domain: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * i + 7 * i) % domain).collect()
+}
+
+/// Sharded and sequential collection must produce per-position counts
+/// from the same distribution in both report modes (sharding a round
+/// only re-partitions independent per-user contributions).
+#[test]
+fn sharded_counts_match_sequential_distribution_across_modes() {
+    let domain = 96;
+    let oracle = Arc::new(Oue::new(1.0, domain).unwrap());
+    let values = skewed_values(1200, domain);
+    for (mode, rounds) in [(ReportMode::PerUser, 8u64), (ReportMode::Aggregate, 30)] {
+        let mut pool = CollectionPool::new(4);
+        let mut seq_hist = vec![0u64; domain];
+        let mut par_hist = vec![0u64; domain];
+        let mut seq_rng = StdRng::seed_from_u64(100);
+        let mut par_rng = StdRng::seed_from_u64(200);
+        let mut ones = Vec::new();
+        for _ in 0..rounds {
+            oracle.collect_ones_into(&values, mode, &mut ones, &mut seq_rng).unwrap();
+            for (acc, &x) in seq_hist.iter_mut().zip(&ones) {
+                *acc += x;
+            }
+            pool.collect_ones(&oracle, &values, mode, &mut ones, &mut par_rng).unwrap();
+            for (acc, &x) in par_hist.iter_mut().zip(&ones) {
+                *acc += x;
+            }
+        }
+        let (sn, pn) = (seq_hist.iter().sum::<u64>(), par_hist.iter().sum::<u64>());
+        assert!(sn > 10_000 && pn > 10_000, "{mode:?}: too few ones: {sn} vs {pn}");
+        let (chi, dof) = two_sample_chi_square(&seq_hist, &par_hist, sn, pn);
+        assert!(
+            chi < chi2_crit(dof),
+            "{mode:?}: sharded counts diverge: chi={chi:.1} dof={dof} (crit {:.1})",
+            chi2_crit(dof)
+        );
+    }
+}
+
+/// A fixed `(seed, threads)` pair must be bit-identical across runs and
+/// across pool instances; a different thread count changes the stream.
+#[test]
+fn pooled_collection_deterministic_per_seed_and_threads() {
+    let domain = 64;
+    let oracle = Arc::new(Oue::new(1.0, domain).unwrap());
+    let values = skewed_values(700, domain);
+    let run = |threads: usize, seed: u64, mode: ReportMode| {
+        let mut pool = CollectionPool::new(threads);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ones = Vec::new();
+        pool.collect_ones(&oracle, &values, mode, &mut ones, &mut rng).unwrap();
+        ones
+    };
+    for mode in [ReportMode::PerUser, ReportMode::Aggregate] {
+        assert_eq!(run(4, 5, mode), run(4, 5, mode), "{mode:?}");
+        assert_ne!(run(4, 5, mode), run(4, 6, mode), "{mode:?}: seed must matter");
+        assert_ne!(run(4, 5, mode), run(2, 5, mode), "{mode:?}: threads shape the stream");
+    }
+    // Reusing one pool across rounds must not perturb determinism
+    // (buffers shuttle, seeds are drawn fresh per round).
+    let mut pool = CollectionPool::new(3);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut first = Vec::new();
+    pool.collect_ones(&oracle, &values, ReportMode::PerUser, &mut first, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut again = Vec::new();
+    pool.collect_ones(&oracle, &values, ReportMode::PerUser, &mut again, &mut rng).unwrap();
+    assert_eq!(first, again);
+}
+
+/// Sharded totals agree with sequential totals to within sampling noise:
+/// each position count has the same mean under any partition of the
+/// reporters.
+#[test]
+fn sharded_estimates_agree_with_truth() {
+    let domain = 10;
+    let oracle = Arc::new(Oue::new(1.0, domain).unwrap());
+    let n = 4000usize;
+    let values = skewed_values(n, domain);
+    let mut truth = vec![0.0; domain];
+    for &v in &values {
+        truth[v] += 1.0 / n as f64;
+    }
+    let mut pool = CollectionPool::new(4);
+    let mut ones = Vec::new();
+    let mut rng = StdRng::seed_from_u64(21);
+    pool.collect_ones(&oracle, &values, ReportMode::PerUser, &mut ones, &mut rng).unwrap();
+    let mut freqs = Vec::new();
+    oracle.debias_into(&ones, n as u64, &mut freqs);
+    let sd = oracle.variance(n as u64).sqrt();
+    for j in 0..domain {
+        assert!(
+            (freqs[j] - truth[j]).abs() < 4.5 * sd,
+            "j={j}: {} vs {} (sd {sd})",
+            freqs[j],
+            truth[j]
+        );
+    }
+}
+
+fn walk_dataset(seed: u64) -> retrasyn_geo::StreamDataset {
+    RandomWalkConfig { users: 400, timestamps: 30, churn: 0.08, ..Default::default() }
+        .generate(&mut StdRng::seed_from_u64(seed))
+}
+
+/// Full engine runs must be bit-identical for a fixed
+/// `(seed, collection_threads)` — the acceptance pin for
+/// `collection_threads ∈ {1, 4}` — in both report modes and divisions.
+/// With `PerUser` reports the pooled stream must actually differ from the
+/// sequential one (proof the pool engaged); with the O(domain)
+/// `Aggregate` shortcut the engine bypasses the pool entirely, so the
+/// thread count must not change the output at all.
+#[test]
+fn engine_bit_identical_per_seed_and_collection_threads() {
+    let ds = walk_dataset(51);
+    let grid = Grid::unit(5);
+    let run = |threads: usize, per_user: bool, seed: u64| {
+        let mut config =
+            RetraSynConfig::new(1.0, 5).with_lambda(10.0).with_collection_threads(threads);
+        if per_user {
+            config = config.per_user_reports();
+        }
+        let mut engine = RetraSyn::population_division(config, grid.clone(), seed);
+        let out = engine.run(&ds);
+        engine.ledger().verify().expect("w-event invariant");
+        out
+    };
+    for per_user in [false, true] {
+        for threads in [1usize, 4] {
+            assert_eq!(
+                run(threads, per_user, 42),
+                run(threads, per_user, 42),
+                "threads={threads} per_user={per_user}"
+            );
+        }
+    }
+    // PerUser: the pooled path consumes a different RNG stream than the
+    // sequential one; divergence proves the pool actually engaged.
+    assert_ne!(run(1, true, 42), run(4, true, 42));
+    // Aggregate: sharding would only multiply the O(domain) binomial
+    // work, so the engine keeps it sequential — identical output.
+    assert_eq!(run(1, false, 42), run(4, false, 42));
+}
+
+/// Budget division shards too (everyone reports, ε_t per step).
+#[test]
+fn budget_division_engine_deterministic_with_pooled_collection() {
+    let ds = walk_dataset(52);
+    let grid = Grid::unit(5);
+    let run = |threads: usize| {
+        let config = RetraSynConfig::new(1.0, 5)
+            .with_lambda(10.0)
+            .with_collection_threads(threads)
+            .per_user_reports();
+        let mut engine = RetraSyn::budget_division(config, grid.clone(), 17);
+        let out = engine.run(&ds);
+        engine.ledger().verify().expect("w-event invariant");
+        out
+    };
+    assert_eq!(run(4), run(4));
+    assert_ne!(run(1), run(4));
+}
+
+/// Pooled collection must not distort what the engine learns: the
+/// sharded engine's released occupancy (summed over all timestamps) may
+/// differ from the sequential engine's only by about as much as two
+/// sequential runs with different seeds differ from each other —
+/// self-calibrated, because within-run occupancy is correlated and a raw
+/// two-sample chi-square bound would reject even seed-to-seed noise.
+#[test]
+fn pooled_engine_releases_similar_occupancy() {
+    let ds = walk_dataset(53);
+    let grid = Grid::unit(4);
+    let occupancy = |threads: usize, seed: u64| {
+        let config = RetraSynConfig::new(2.0, 5)
+            .with_lambda(10.0)
+            .with_collection_threads(threads)
+            .per_user_reports();
+        let mut engine = RetraSyn::population_division(config, grid.clone(), seed);
+        let gridded = ds.discretize(&grid);
+        let timeline = retrasyn_geo::EventTimeline::build(&gridded);
+        let mut acc = vec![0u64; grid.num_cells()];
+        for t in 0..gridded.horizon() {
+            engine.step(t, timeline.at(t));
+            for (a, x) in acc.iter_mut().zip(engine.synthetic_occupancy()) {
+                *a += x;
+            }
+        }
+        acc
+    };
+    let chi_of = |a: &[u64], b: &[u64]| {
+        let (na, nb) = (a.iter().sum::<u64>(), b.iter().sum::<u64>());
+        assert!(na > 1000 && nb > 1000, "populations too small: {na} vs {nb}");
+        two_sample_chi_square(a, b, na, nb)
+    };
+    // Null scale: sequential runs under two different seeds.
+    let seq_a = occupancy(1, 7);
+    let seq_b = occupancy(1, 8);
+    let (chi_null, dof) = chi_of(&seq_a, &seq_b);
+    // Test statistic: sequential vs pooled at the same seed.
+    let par = occupancy(4, 7);
+    let (chi_test, _) = chi_of(&seq_a, &par);
+    assert!(
+        chi_test < 3.0 * chi_null.max(chi2_crit(dof)),
+        "pooled occupancy diverges: chi={chi_test:.1} vs null chi={chi_null:.1} dof={dof}"
+    );
+}

@@ -16,7 +16,7 @@
 use crate::binomial;
 use crate::error::LdpError;
 use crate::grr::Grr;
-use crate::oue::{Oue, OUE_P};
+use crate::oue::Oue;
 use rand::Rng;
 
 /// How to simulate the report collection round.
@@ -46,6 +46,24 @@ impl Estimate {
     /// variance.
     pub fn empty(domain: usize) -> Self {
         Estimate { freqs: vec![0.0; domain], n: 0, variance: f64::INFINITY }
+    }
+
+    /// Reset in place to the empty estimate over `domain` values, reusing
+    /// the frequency buffer — the zero-allocation form of
+    /// [`Self::empty`].
+    pub fn reset_empty(&mut self, domain: usize) {
+        self.freqs.clear();
+        self.freqs.resize(domain, 0.0);
+        self.n = 0;
+        self.variance = f64::INFINITY;
+    }
+}
+
+impl Default for Estimate {
+    /// A zero-length empty estimate, for `std::mem::take`-style scratch
+    /// shuttling.
+    fn default() -> Self {
+        Estimate { freqs: Vec::new(), n: 0, variance: f64::INFINITY }
     }
 }
 
@@ -102,29 +120,12 @@ impl FrequencyOracle for Oue {
         if n == 0 {
             return Ok(Estimate::empty(self.domain()));
         }
-        let ones = match mode {
-            ReportMode::PerUser => {
-                // One reused report buffer folded straight into the tally:
-                // zero allocations per user, O(n·d·q) total work instead of
-                // materializing n full reports.
-                let mut ones = vec![0u64; self.domain()];
-                let mut scratch = crate::oue::BitReport::zeros(self.domain());
-                for &v in values {
-                    self.perturb_into(v, &mut scratch, rng)?;
-                    self.tally_into(&mut ones, &scratch)?;
-                }
-                ones
-            }
-            ReportMode::Aggregate => {
-                let counts = true_counts(values, self.domain())?;
-                counts
-                    .iter()
-                    .map(|&c| {
-                        binomial::sample(c, OUE_P, rng) + binomial::sample(n - c, self.q(), rng)
-                    })
-                    .collect()
-            }
-        };
+        // Both modes run through the zero-allocation round: PerUser takes
+        // the fused perturb→tally kernel (no report materialization),
+        // Aggregate samples the position counts in place with the same
+        // random stream as the historical allocating path.
+        let mut ones = Vec::new();
+        self.collect_ones_into(values, mode, &mut ones, rng)?;
         Ok(Estimate { freqs: self.debias(&ones, n), n, variance: Oue::variance(self, n) })
     }
 }

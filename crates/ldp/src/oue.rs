@@ -14,6 +14,7 @@
 //! (paper Eq. 3). Each user's whole vector satisfies ε-LDP because flipping
 //! the input moves exactly two bits, and `(p/q)·((1−q)/(1−p)) = e^ε`.
 
+use crate::binomial;
 use crate::error::LdpError;
 use rand::Rng;
 
@@ -92,10 +93,24 @@ pub struct Oue {
     eps: f64,
     domain: usize,
     q: f64,
+    /// `1 / ln(1−q)`, precomputed for the geometric-skip draw.
+    inv_ln_1mq: f64,
+    /// `round(q · 2^64)`: `next_u64() < thresh_q` is a Bernoulli(q) draw
+    /// with bias below 2^−64 — finer than the 2^−53 granularity of an
+    /// `f64` comparison.
+    thresh_q: u64,
 }
 
 /// The probability a true 1-bit is reported as 1.
 pub const OUE_P: f64 = 0.5;
+
+/// At or above this `q` the fused kernel uses the dense branchless
+/// Bernoulli pass (one predictable-latency draw per position); below it
+/// reports are sparse enough that geometric skipping (one logarithm per
+/// reported 1, ≈ d·q of them) is cheaper. The crossover is the ratio of
+/// a pipelined `next_u64`+compare+add (~1 ns) to a serial `ln` draw
+/// (~13 ns) — measured in `BENCH_collection.json`.
+const DENSE_MIN_Q: f64 = 0.08;
 
 impl Oue {
     /// Create an OUE mechanism with budget `eps` over `domain` values.
@@ -106,7 +121,10 @@ impl Oue {
         if domain < 2 {
             return Err(LdpError::InvalidDomain(domain));
         }
-        Ok(Oue { eps, domain, q: 1.0 / (eps.exp() + 1.0) })
+        let q = 1.0 / (eps.exp() + 1.0);
+        // q < 1/2, so q·2^64 < 2^63 never saturates the cast.
+        let thresh_q = (q * (u64::MAX as f64 + 1.0)) as u64;
+        Ok(Oue { eps, domain, q, inv_ln_1mq: (1.0 - q).ln().recip(), thresh_q })
     }
 
     /// Privacy budget ε.
@@ -184,6 +202,133 @@ impl Oue {
         Ok(())
     }
 
+    /// Fused perturb→tally for a single user: sample the report's 1s and
+    /// increment the `ones` counters directly — no [`BitReport`]
+    /// materialization, no word re-scan, no heap allocation.
+    ///
+    /// Two regimes, both sampling the exact per-bit OUE process:
+    ///
+    /// - **dense** (`q ≥ 0.08`, e.g. every ε ≤ ~2.4): one branchless
+    ///   threshold compare per position, `ones[i] += (x < q·2^64)`.
+    ///   Reports carry ≈ d·q ones here, so geometric skipping saves few
+    ///   draws while paying an unpredictable branch and a serial `ln` per
+    ///   landing; the dense pass instead pipelines at ~1 ns/position with
+    ///   zero mispredictions and streams the accumulator sequentially.
+    /// - **sparse** (`q < 0.08`, large ε): geometric skipping — the gap
+    ///   to the next reported 1 is `⌊ln(1−u)/ln(1−q)⌋` as in
+    ///   [`Self::perturb_into`], costing O(d·q) logarithms.
+    ///
+    /// Distributionally identical to [`Self::perturb_into`] +
+    /// [`Self::tally_into`] in either regime (independent Bernoulli(q)
+    /// 0-bits, Bernoulli(p) true bit). This is the per-user kernel of the
+    /// sharded collection pipeline: each worker folds its reporters into
+    /// a private domain-sized accumulator and accumulators merge by
+    /// addition.
+    pub fn perturb_tally_into<R: Rng + ?Sized>(
+        &self,
+        value: usize,
+        ones: &mut [u64],
+        rng: &mut R,
+    ) -> Result<(), LdpError> {
+        if value >= self.domain {
+            return Err(LdpError::ValueOutOfDomain { value, domain: self.domain });
+        }
+        if ones.len() != self.domain {
+            return Err(LdpError::MalformedReport(format!(
+                "tally length {} != domain {}",
+                ones.len(),
+                self.domain
+            )));
+        }
+        if self.q >= DENSE_MIN_Q {
+            // Dense branchless pass over the non-true positions (the true
+            // bit gets its own Bernoulli(p) draw below). Split at `value`
+            // so the hot loops carry no per-position `i != value` branch.
+            let (lo, rest) = ones.split_at_mut(value);
+            let (value_slot, hi) = rest.split_first_mut().expect("value < domain");
+            for one in lo.iter_mut() {
+                *one += u64::from(rng.next_u64() < self.thresh_q);
+            }
+            for one in hi.iter_mut() {
+                *one += u64::from(rng.next_u64() < self.thresh_q);
+            }
+            if rng.random::<f64>() < OUE_P {
+                *value_slot += 1;
+            }
+            return Ok(());
+        }
+        // Sparse regime: geometric skips between the rare reported 1s.
+        let mut i = 0usize;
+        while i < self.domain {
+            let u: f64 = rng.random();
+            // Saturating f64→u64 cast; checked_add handles walks that
+            // overshoot the domain.
+            let skip = ((1.0 - u).ln() * self.inv_ln_1mq) as u64;
+            i = match usize::try_from(skip).ok().and_then(|s| i.checked_add(s)) {
+                Some(next) => next,
+                None => break,
+            };
+            if i >= self.domain {
+                break;
+            }
+            // The true position's count comes from its own Bernoulli(p)
+            // draw below, never from the geometric walk.
+            if i != value {
+                ones[i] += 1;
+            }
+            i += 1;
+        }
+        if rng.random::<f64>() < OUE_P {
+            ones[value] += 1;
+        }
+        Ok(())
+    }
+
+    /// Run one full collection round into a reused ones-count buffer —
+    /// zero heap allocations once `ones` has reached domain capacity.
+    ///
+    /// [`crate::ReportMode::PerUser`] folds every reporter through the
+    /// fused [`Self::perturb_tally_into`] kernel.
+    /// [`crate::ReportMode::Aggregate`] counts the true values in place
+    /// and then replaces each count `c_j` with
+    /// `Binomial(c_j, p) + Binomial(n − c_j, q)` — the same sampling order
+    /// as the allocating path, so the random stream is unchanged.
+    pub fn collect_ones_into<R: Rng + ?Sized>(
+        &self,
+        values: &[usize],
+        mode: crate::oracle::ReportMode,
+        ones: &mut Vec<u64>,
+        rng: &mut R,
+    ) -> Result<(), LdpError> {
+        ones.clear();
+        ones.resize(self.domain, 0);
+        let n = values.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        match mode {
+            crate::oracle::ReportMode::PerUser => {
+                for &v in values {
+                    self.perturb_tally_into(v, ones, rng)?;
+                }
+            }
+            crate::oracle::ReportMode::Aggregate => {
+                for &v in values {
+                    if v >= self.domain {
+                        return Err(LdpError::ValueOutOfDomain { value: v, domain: self.domain });
+                    }
+                    ones[v] += 1;
+                }
+                for c in ones.iter_mut() {
+                    let truth = *c;
+                    *c = binomial::sample(truth, OUE_P, rng)
+                        + binomial::sample(n - truth, self.q, rng);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Aggregate per-user reports into raw ones-counts per position.
     ///
     /// Word-parallel: iterates the set bits of each packed 64-bit word via
@@ -225,13 +370,24 @@ impl Oue {
     /// (`f̂(x) = (ones_x/n − q)/(p − q)`, paper §II-A). Estimates may be
     /// negative; see [`crate::postprocess`].
     pub fn debias(&self, ones: &[u64], n: u64) -> Vec<f64> {
+        let mut freqs = Vec::new();
+        self.debias_into(ones, n, &mut freqs);
+        freqs
+    }
+
+    /// Debias into a caller-provided buffer — the zero-allocation form of
+    /// [`Self::debias`] used by the engine's per-timestamp collection
+    /// round.
+    pub fn debias_into(&self, ones: &[u64], n: u64, out: &mut Vec<f64>) {
         assert_eq!(ones.len(), self.domain, "ones-count length mismatch");
+        out.clear();
         if n == 0 {
-            return vec![0.0; self.domain];
+            out.resize(self.domain, 0.0);
+            return;
         }
         let nf = n as f64;
         let denom = OUE_P - self.q;
-        ones.iter().map(|&c| (c as f64 / nf - self.q) / denom).collect()
+        out.extend(ones.iter().map(|&c| (c as f64 / nf - self.q) / denom));
     }
 
     /// The estimator variance `Var(ε, n) = 4e^ε / (n (e^ε − 1)²)` (Eq. 3).
