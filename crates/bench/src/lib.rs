@@ -28,6 +28,6 @@ pub mod runner;
 
 pub use cli::Args;
 pub use datasets::DatasetKind;
-pub use methods::MethodSpec;
+pub use methods::{drive_engine, MethodSpec};
 pub use params::Params;
 pub use runner::{evaluate_method, run_cells, Cell, CellResult};

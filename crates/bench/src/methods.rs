@@ -3,9 +3,23 @@
 
 use retrasyn_core::{
     AllocationKind, BaselineKind, Division, LdpIds, LdpIdsConfig, RetraSyn, RetraSynConfig,
-    TimingReport,
+    StreamingEngine, TimingReport,
 };
 use retrasyn_geo::GriddedDataset;
+
+/// Drive any [`StreamingEngine`] over a discretized dataset and verify its
+/// privacy ledger — the one generic loop every method (RetraSyn in both
+/// divisions, all four baselines) shares. The per-engine `run_gridded`
+/// duplicates of the pre-session API are gone; this is their single
+/// replacement.
+pub fn drive_engine<E: StreamingEngine>(
+    engine: &mut E,
+    dataset: &GriddedDataset,
+) -> GriddedDataset {
+    let syn = engine.run_gridded(dataset);
+    engine.ledger().verify().expect("w-event invariant");
+    syn
+}
 
 /// A fully specified method to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,9 +127,7 @@ impl MethodSpec {
             MethodSpec::Baseline(kind) => {
                 let config = LdpIdsConfig::new(eps, w);
                 let mut engine = LdpIds::new(kind, config, grid, seed);
-                let syn = engine.run_gridded(dataset);
-                engine.ledger().verify().expect("baseline w-event invariant");
-                (syn, None)
+                (drive_engine(&mut engine, dataset), None)
             }
             MethodSpec::RetraSyn { division, allocation, dmu, enter_quit } => {
                 let mut config = RetraSynConfig::new(eps, w)
@@ -124,10 +136,8 @@ impl MethodSpec {
                 config.dmu = dmu;
                 config.enter_quit = enter_quit;
                 let mut engine = RetraSyn::new(config, grid, division, seed);
-                let syn = engine.run_gridded(dataset);
-                engine.ledger().verify().expect("RetraSyn w-event invariant");
-                let timings = engine.timing_report();
-                (syn, Some(timings))
+                let syn = drive_engine(&mut engine, dataset);
+                (syn, Some(engine.timing_report()))
             }
         }
     }

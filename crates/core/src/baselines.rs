@@ -32,13 +32,13 @@
 
 use crate::model::GlobalMobilityModel;
 use crate::population::{UserRegistry, UserStatus};
+use crate::session::{StepOutcome, StreamingEngine};
+use crate::store::SnapshotView;
 use crate::synthesis::SyntheticDb;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use retrasyn_geo::{
-    EventTimeline, Grid, GriddedDataset, StreamDataset, TransitionState, TransitionTable, UserEvent,
-};
+use retrasyn_geo::{Grid, GriddedDataset, TransitionState, TransitionTable, UserEvent};
 use retrasyn_ldp::{oue, FrequencyOracle, Oue, ReportMode, WEventLedger};
 use std::collections::VecDeque;
 
@@ -112,7 +112,12 @@ pub struct LdpIds {
     ledger: WEventLedger,
     registry: UserRegistry,
     rng: StdRng,
+    /// Construction seed, kept so [`Self::reset`] replays identically.
+    seed: u64,
     next_t: u64,
+    /// Set by [`Self::release`]; a released engine refuses to step until
+    /// [`Self::reset`].
+    session_released: bool,
     fixed_size: Option<usize>,
     /// Fixed-population assumption n₀ (population variants).
     n0: Option<usize>,
@@ -145,7 +150,9 @@ impl LdpIds {
             ledger,
             registry,
             rng: StdRng::seed_from_u64(seed),
+            seed,
             next_t: 0,
+            session_released: false,
             fixed_size: None,
             n0: None,
             budget_pubs: VecDeque::new(),
@@ -163,6 +170,16 @@ impl LdpIds {
     /// The privacy ledger.
     pub fn ledger(&self) -> &WEventLedger {
         &self.ledger
+    }
+
+    /// The spatial grid this baseline synthesizes over.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The timestamp the next [`Self::step`] must carry.
+    pub fn next_timestamp(&self) -> u64 {
+        self.next_t
     }
 
     /// Whether `t` falls in a nullified stretch (absorption variants).
@@ -189,7 +206,11 @@ impl LdpIds {
     }
 
     /// Advance one timestamp.
-    pub fn step(&mut self, t: u64, events: &[UserEvent]) {
+    pub fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
+        assert!(
+            !self.session_released,
+            "baseline already released its session; call reset() to start a new stream"
+        );
         assert_eq!(t, self.next_t, "timestamps must be consecutive from 0");
         self.next_t += 1;
 
@@ -214,6 +235,50 @@ impl LdpIds {
 
         let size = *self.fixed_size.get_or_insert(target_active.max(1));
         self.synthetic.step_no_eq(t, &self.model, &self.table, &self.grid, size, &mut self.rng);
+        StepOutcome {
+            t,
+            active: self.synthetic.active_count(),
+            finished: self.synthetic.finished_count(),
+        }
+    }
+
+    /// Borrowed, zero-copy view of the synthetic database as of the last
+    /// completed step (post-processing; no privacy cost).
+    ///
+    /// # Panics
+    ///
+    /// If the session was already released — the streams moved out with
+    /// the release, so an "empty" view here would misread as a population
+    /// collapse.
+    pub fn snapshot(&self) -> SnapshotView<'_> {
+        assert!(
+            !self.session_released,
+            "baseline already released its session; query the released dataset \
+             (or reset() and start a new stream) instead of snapshot()"
+        );
+        self.synthetic.snapshot(self.next_t)
+    }
+
+    /// Close the session and release everything synthesized over
+    /// `0..next_timestamp()`. Zero-copy and callable mid-stream;
+    /// afterwards the engine refuses to step until [`Self::reset`].
+    ///
+    /// # Panics
+    ///
+    /// If the session was already released.
+    pub fn release(&mut self) -> GriddedDataset {
+        assert!(
+            !self.session_released,
+            "baseline already released its session; call reset() to start a new stream"
+        );
+        self.session_released = true;
+        self.synthetic.release(&self.grid, self.next_t)
+    }
+
+    /// Start a new session: restore the freshly-constructed state,
+    /// re-seeded with the construction seed.
+    pub fn reset(&mut self) {
+        *self = LdpIds::new(self.kind, self.config.clone(), self.grid.clone(), self.seed);
     }
 
     /// LBD / LBA: two-phase budget division.
@@ -380,22 +445,35 @@ impl LdpIds {
             }
         }
     }
+}
 
-    /// Run over a raw dataset.
-    pub fn run(&mut self, dataset: &StreamDataset) -> GriddedDataset {
-        let gridded = dataset.discretize(&self.grid);
-        self.run_gridded(&gridded)
+impl StreamingEngine for LdpIds {
+    fn grid(&self) -> &Grid {
+        LdpIds::grid(self)
     }
 
-    /// Run over an already-discretized dataset.
-    pub fn run_gridded(&mut self, dataset: &GriddedDataset) -> GriddedDataset {
-        assert_eq!(dataset.grid(), &self.grid, "dataset grid mismatch");
-        let timeline = EventTimeline::build(dataset);
-        for t in 0..dataset.horizon() {
-            self.step(t, timeline.at(t));
-        }
-        let horizon = dataset.horizon();
-        std::mem::take(&mut self.synthetic).finish(&self.grid, horizon)
+    fn next_timestamp(&self) -> u64 {
+        LdpIds::next_timestamp(self)
+    }
+
+    fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
+        LdpIds::step(self, t, events)
+    }
+
+    fn snapshot(&self) -> SnapshotView<'_> {
+        LdpIds::snapshot(self)
+    }
+
+    fn release(&mut self) -> GriddedDataset {
+        LdpIds::release(self)
+    }
+
+    fn ledger(&self) -> &WEventLedger {
+        LdpIds::ledger(self)
+    }
+
+    fn reset(&mut self) {
+        LdpIds::reset(self);
     }
 }
 
@@ -403,6 +481,7 @@ impl LdpIds {
 mod tests {
     use super::*;
     use retrasyn_datagen::RandomWalkConfig;
+    use retrasyn_geo::StreamDataset;
 
     fn dataset(seed: u64) -> StreamDataset {
         RandomWalkConfig { users: 300, timestamps: 25, churn: 0.05, ..Default::default() }

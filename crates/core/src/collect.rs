@@ -4,7 +4,7 @@
 //! Per-user OUE perturbation dominates per-timestamp cost (Table V) and is
 //! embarrassingly parallel across users: no reporter's randomness depends
 //! on another's. The [`CollectionPool`] mirrors the proven synthesis-pool
-//! architecture on the task-generic [`WorkerPool`]:
+//! architecture on the task-generic `WorkerPool`:
 //!
 //! - the reporter values are sharded into `threads` disjoint contiguous
 //!   ranges (fixed sizes, a pure function of `(n, threads)`);
@@ -66,7 +66,7 @@ impl PoolJob for CollectJob {
     }
 }
 
-/// The collection instantiation of [`WorkerPool`]: a persistent pool of
+/// The collection instantiation of `WorkerPool`: a persistent pool of
 /// fused perturb→tally workers plus the reusable shard buffers.
 pub struct CollectionPool {
     pool: WorkerPool<CollectJob>,

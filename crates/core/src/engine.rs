@@ -16,6 +16,14 @@
 //! The engine enforces w-event ε-LDP at runtime through a
 //! [`WEventLedger`] and accumulates per-component wall-clock timings
 //! (Table V).
+//!
+//! The engine is driven as a **streaming session** (see
+//! [`crate::session`]): [`RetraSyn::step`] per timestamp,
+//! [`RetraSyn::snapshot`] for the borrowed per-timestamp view in between,
+//! [`RetraSyn::release`] to close the session (mid-stream or at the
+//! horizon), [`RetraSyn::reset`] to start the next one. Batch mode
+//! (`run(&dataset)`) comes from the [`StreamingEngine`] trait and is just
+//! a session driven by a [`crate::TimelineSource`].
 
 use crate::allocation::{AllocationKind, Allocator};
 use crate::collect::CollectionPool;
@@ -23,12 +31,12 @@ use crate::config::{Division, RetraSynConfig};
 use crate::dmu;
 use crate::model::GlobalMobilityModel;
 use crate::population::{UserRegistry, UserStatus};
+use crate::session::{StepOutcome, StreamingEngine};
+use crate::store::SnapshotView;
 use crate::synthesis::SyntheticDb;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use retrasyn_geo::{
-    EventTimeline, Grid, GriddedDataset, StreamDataset, TransitionState, TransitionTable, UserEvent,
-};
+use retrasyn_geo::{Grid, GriddedDataset, TransitionState, TransitionTable, UserEvent};
 use retrasyn_ldp::{Estimate, Oue, ReportMode, WEventLedger};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,7 +98,12 @@ pub struct RetraSyn {
     synthetic: SyntheticDb,
     allocator: Allocator,
     rng: StdRng,
+    /// Construction seed, kept so [`Self::reset`] replays identically.
+    seed: u64,
     next_t: u64,
+    /// Set by [`Self::release`]; a released engine refuses to step until
+    /// [`Self::reset`].
+    released: bool,
     /// Fixed synthetic size for the NoEQ ablation (captured at the first
     /// step).
     fixed_size: Option<usize>,
@@ -158,7 +171,9 @@ impl RetraSyn {
             synthetic: SyntheticDb::new(),
             allocator,
             rng: StdRng::seed_from_u64(seed),
+            seed,
             next_t: 0,
+            released: false,
             fixed_size: None,
             report_slots: HashMap::new(),
             oracle: None,
@@ -207,16 +222,35 @@ impl RetraSyn {
         self.division
     }
 
+    /// The spatial grid this engine synthesizes over.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The timestamp the next [`Self::step`] must carry.
+    pub fn next_timestamp(&self) -> u64 {
+        self.next_t
+    }
+
     /// Number of live synthetic streams.
+    ///
+    /// # Panics
+    ///
+    /// If the session was already released (the streams moved out with the
+    /// release — a silent 0 here would misread as a population collapse).
     pub fn synthetic_active(&self) -> usize {
-        self.synthetic.active_count()
+        self.snapshot().active_count()
     }
 
     /// Per-cell occupancy of the live synthetic population — the real-time
     /// release a downstream monitor consumes (post-processing; no
     /// additional privacy cost by Theorem 2).
+    ///
+    /// # Panics
+    ///
+    /// If the session was already released (see [`Self::snapshot`]).
     pub fn synthetic_occupancy(&self) -> Vec<u64> {
-        self.synthetic.occupancy(self.grid.num_cells())
+        self.snapshot().occupancy(self.grid.num_cells())
     }
 
     /// Collection domain: the full transition domain, or the movement
@@ -244,9 +278,15 @@ impl RetraSyn {
     }
 
     /// Advance one timestamp. `events` are the transition states held by
-    /// the participating streams at `t` (from [`EventTimeline::at`]).
-    /// Timestamps must be fed in order starting from 0.
-    pub fn step(&mut self, t: u64, events: &[UserEvent]) {
+    /// the participating streams at `t` (from
+    /// [`retrasyn_geo::EventTimeline::at`] or any
+    /// [`crate::EventSource`]). Timestamps must be fed in order starting
+    /// from 0.
+    pub fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
+        assert!(
+            !self.released,
+            "engine already released its session; call reset() to start a new stream"
+        );
         assert_eq!(t, self.next_t, "timestamps must be consecutive from 0");
         self.next_t += 1;
         self.steps += 1;
@@ -307,6 +347,56 @@ impl RetraSyn {
             self.synthetic.step_no_eq(t, &self.model, &self.table, &self.grid, size, &mut self.rng);
         }
         self.timings.synthesis += timer.elapsed().as_secs_f64();
+        StepOutcome {
+            t,
+            active: self.synthetic.active_count(),
+            finished: self.synthetic.finished_count(),
+        }
+    }
+
+    /// Borrowed, zero-copy view of the synthetic database as of the last
+    /// completed step (Algorithm 1's per-timestamp release; reading it is
+    /// post-processing and costs no privacy budget).
+    ///
+    /// # Panics
+    ///
+    /// If the session was already released — the streams moved out with
+    /// the release, so an "empty" view here would misread as a population
+    /// collapse.
+    pub fn snapshot(&self) -> SnapshotView<'_> {
+        assert!(
+            !self.released,
+            "engine already released its session; query the released dataset \
+             (or reset() and start a new stream) instead of snapshot()"
+        );
+        self.synthetic.snapshot(self.next_t)
+    }
+
+    /// Close the session and release everything synthesized over
+    /// `0..next_timestamp()` as an id-sorted [`GriddedDataset`].
+    /// Zero-copy (the store's cells move into the dataset) and callable
+    /// mid-stream. Afterwards the engine refuses to step until
+    /// [`Self::reset`]; accessors (ledger, model, timings) keep reporting
+    /// the closed session.
+    ///
+    /// # Panics
+    ///
+    /// If the session was already released.
+    pub fn release(&mut self) -> GriddedDataset {
+        assert!(
+            !self.released,
+            "engine already released its session; call reset() to start a new stream"
+        );
+        self.released = true;
+        self.synthetic.release(&self.grid, self.next_t)
+    }
+
+    /// Start a new session: restore the freshly-constructed state,
+    /// re-seeded with the construction seed — replaying the same events
+    /// yields a bit-identical release. Worker pools and cached oracles are
+    /// dropped and re-created lazily.
+    pub fn reset(&mut self) {
+        *self = RetraSyn::new(self.config.clone(), self.grid.clone(), self.division, self.seed);
     }
 
     /// Population-division collection (Algorithm 1 lines 7–14). Fills
@@ -499,24 +589,35 @@ impl RetraSyn {
         self.timings.model_construction += timer.elapsed().as_secs_f64();
         self.allocator.observe(&self.model.freqs()[..domain], sig_ratio);
     }
+}
 
-    /// Run the engine over a raw dataset: discretize, derive the event
-    /// timeline, step through every timestamp and assemble the released
-    /// synthetic database.
-    pub fn run(&mut self, dataset: &StreamDataset) -> GriddedDataset {
-        let gridded = dataset.discretize(&self.grid);
-        self.run_gridded(&gridded)
+impl StreamingEngine for RetraSyn {
+    fn grid(&self) -> &Grid {
+        RetraSyn::grid(self)
     }
 
-    /// Run over an already-discretized dataset.
-    pub fn run_gridded(&mut self, dataset: &GriddedDataset) -> GriddedDataset {
-        assert_eq!(dataset.grid(), &self.grid, "dataset grid mismatch");
-        let timeline = EventTimeline::build(dataset);
-        for t in 0..dataset.horizon() {
-            self.step(t, timeline.at(t));
-        }
-        let horizon = dataset.horizon();
-        std::mem::take(&mut self.synthetic).finish(&self.grid, horizon)
+    fn next_timestamp(&self) -> u64 {
+        RetraSyn::next_timestamp(self)
+    }
+
+    fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
+        RetraSyn::step(self, t, events)
+    }
+
+    fn snapshot(&self) -> SnapshotView<'_> {
+        RetraSyn::snapshot(self)
+    }
+
+    fn release(&mut self) -> GriddedDataset {
+        RetraSyn::release(self)
+    }
+
+    fn ledger(&self) -> &WEventLedger {
+        RetraSyn::ledger(self)
+    }
+
+    fn reset(&mut self) {
+        RetraSyn::reset(self);
     }
 }
 
@@ -524,6 +625,7 @@ impl RetraSyn {
 mod tests {
     use super::*;
     use retrasyn_datagen::{RandomWalkConfig, RegimeShiftConfig};
+    use retrasyn_geo::{EventTimeline, StreamDataset};
 
     fn walk_dataset(seed: u64) -> StreamDataset {
         RandomWalkConfig { users: 300, timestamps: 30, churn: 0.05, ..Default::default() }
@@ -640,7 +742,7 @@ mod tests {
             assert_eq!(engine.synthetic_active(), init, "t={t}");
         }
         // NoEQ synthetic streams never terminate.
-        let syn = std::mem::take(&mut engine.synthetic).finish(&Grid::unit(5), 30);
+        let syn = engine.release();
         for s in syn.iter() {
             assert_eq!(s.start, 0);
             assert_eq!(s.len(), 30);

@@ -29,9 +29,18 @@
 //! - [`collect`]: the sharded LDP collection pipeline — reporter values
 //!   split into disjoint ranges, fused perturb→tally per worker into
 //!   private accumulators, merged by addition.
-//! - `store` (internal): the columnar [`SyntheticDb`] stream storage —
-//!   SoA head columns, a chunked append-only tail arena, and an O(1)
-//!   finished region feeding the zero-copy release path.
+//! - [`session`]: the streaming session API — the [`StreamingEngine`]
+//!   trait unifying [`RetraSyn`] and the [`LdpIds`] baselines
+//!   (`step` / `snapshot` / `release` / `ledger`), plus pluggable
+//!   [`EventSource`]s (timeline replay, iterator / closure feeds, bounded
+//!   channels) so an engine can be driven live without ever materializing
+//!   a dataset; batch `run(&dataset)` is the special case of driving a
+//!   [`TimelineSource`].
+//! - [`store`]: the columnar [`SyntheticDb`] stream storage — SoA head
+//!   columns, a chunked append-only tail arena, and an O(1) finished
+//!   region feeding the zero-copy release path — and its public read-only
+//!   view layer: the borrowed per-timestamp [`SnapshotView`] the session
+//!   API publishes between steps.
 //!
 //! Ablation variants are configuration flags: `dmu: false` reproduces
 //! *AllUpdate*, `enter_quit: false` reproduces *NoEQ* (Table IV).
@@ -48,7 +57,8 @@ pub mod model;
 pub mod pool;
 pub mod population;
 pub mod sampler;
-mod store;
+pub mod session;
+pub mod store;
 pub mod synthesis;
 
 pub use allocation::AllocationKind;
@@ -60,4 +70,8 @@ pub use model::GlobalMobilityModel;
 pub use pool::SynthesisPool;
 pub use population::{UserRegistry, UserStatus};
 pub use sampler::{AliasTable, SamplerCache};
+pub use session::{
+    ChannelSource, EventSource, FnSource, IterSource, StepOutcome, StreamingEngine, TimelineSource,
+};
+pub use store::{SnapshotStream, SnapshotView};
 pub use synthesis::SyntheticDb;

@@ -2,17 +2,17 @@
 //!
 //! The seed implementation spawned fresh scoped threads on every timestamp,
 //! paying thread startup on the critical per-step path. The task-generic
-//! [`WorkerPool`] keeps workers alive for the lifetime of their owner and
+//! `WorkerPool` keeps workers alive for the lifetime of their owner and
 //! shuttles owned job state through channels — no locks, no shared mutable
 //! state, and no `unsafe` lifetime erasure (the crate forbids `unsafe`).
 //!
-//! A [`PoolJob`] is a self-contained unit of shard work: it owns its input
+//! A `PoolJob` is a self-contained unit of shard work: it owns its input
 //! buffers, its seed and an `Arc` snapshot of whatever read-only state the
-//! pass needs, and is transformed in place by [`PoolJob::run`]. Two
+//! pass needs, and is transformed in place by `PoolJob::run`. Two
 //! subsystems instantiate the pool:
 //!
 //! - [`SynthesisPool`] (this module) runs the synthesis passes over
-//!   [`ShardState`] column shards;
+//!   `ShardState` column shards;
 //! - [`crate::collect::CollectionPool`] runs fused perturb→tally collection
 //!   rounds over reporter-value shards.
 //!
@@ -24,23 +24,23 @@
 //! # Synthesis shards
 //!
 //! A synthesis shard is a disjoint index range of the store's head columns,
-//! copied into the shard's own [`Columns`] (five contiguous `memcpy`s).
+//! copied into the shard's own `Columns` (five contiguous `memcpy`s).
 //! Workers append tail-arena nodes into a private per-shard buffer with
 //! shard-local addresses; the caller's merge relocates each buffer to the
 //! end of the shared arena in shard order and offsets the survivors' links.
-//! A [`ShardTask`] selects the pass a worker performs over its shard:
+//! A `ShardTask` selects the pass a worker performs over its shard:
 //!
-//! - [`ShardTask::QuitExtend`] — the fused steady-state pass: per stream,
+//! - `ShardTask::QuitExtend` — the fused steady-state pass: per stream,
 //!   one cached quit draw; quitters retire into the shard's own finished
 //!   columns, survivors extend by one alias draw.
-//! - [`ShardTask::QuitKeys`] — phase one of the two-phase parallel
+//! - `ShardTask::QuitKeys` — phase one of the two-phase parallel
 //!   downward adjustment: quit draws as above, then one log-domain
 //!   Efraimidis–Spirakis key `ln(u)/w` per survivor (weight `w` = the
 //!   cached quitting-distribution mass at the stream's last cell; the log
 //!   form orders identically to `u^{1/w}` without underflowing for tiny
 //!   weights). The caller performs the global top-`excess` cut over all
 //!   shards' keys.
-//! - [`ShardTask::RetireExtend`] — phase two: retire the pre-selected
+//! - `ShardTask::RetireExtend` — phase two: retire the pre-selected
 //!   victims (positions sorted descending so `swap_remove` stays valid),
 //!   then extend the remaining streams.
 //!
@@ -74,7 +74,7 @@ struct Tagged<J> {
     job: J,
 }
 
-/// A fixed-size pool of persistent workers executing [`PoolJob`]s.
+/// A fixed-size pool of persistent workers executing `PoolJob`s.
 ///
 /// Usage contract: every [`WorkerPool::submit`] must be matched by one
 /// [`WorkerPool::recv`] before the next batch begins; the pool itself
@@ -202,9 +202,9 @@ pub(crate) struct ShardState {
     /// arena and offsets the survivors' links.
     pub(crate) appended: Vec<TailNode>,
     /// Efraimidis–Spirakis keys, parallel to `cols` after a
-    /// [`ShardTask::QuitKeys`] pass.
+    /// `ShardTask::QuitKeys` pass.
     pub(crate) keys: Vec<f64>,
-    /// Victim positions for [`ShardTask::RetireExtend`], sorted descending.
+    /// Victim positions for `ShardTask::RetireExtend`, sorted descending.
     pub(crate) victims: Vec<u32>,
 }
 
@@ -264,7 +264,7 @@ impl PoolJob for SynthJob {
     }
 }
 
-/// The synthesis instantiation of [`WorkerPool`].
+/// The synthesis instantiation of `WorkerPool`.
 pub struct SynthesisPool {
     pool: WorkerPool<SynthJob>,
 }

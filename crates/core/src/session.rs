@@ -1,0 +1,383 @@
+//! The streaming session API: pluggable event sources and the unified
+//! engine trait.
+//!
+//! The paper's defining property is that a synthetic database is published
+//! **at every timestamp** of an infinite stream (§III-D, Algorithm 1).
+//! This module shapes the public API around that deployment pattern:
+//!
+//! - an [`EventSource`] hands the engine one batch of [`UserEvent`]s per
+//!   timestamp — from a prebuilt [`EventTimeline`], an iterator, a
+//!   closure, or a bounded channel fed by a live producer thread;
+//! - a [`StreamingEngine`] ingests each batch with
+//!   [`step`](StreamingEngine::step), exposes the current synthetic
+//!   database between steps as a borrowed, zero-copy
+//!   [`snapshot`](StreamingEngine::snapshot), and
+//!   [`release`](StreamingEngine::release)s the accumulated database —
+//!   mid-stream or at the horizon — without consuming the engine;
+//! - [`drive`](StreamingEngine::drive) wires a source to an engine, so
+//!   batch mode (`run(&dataset)`) is just the special case of driving a
+//!   [`TimelineSource`] derived from a recorded dataset.
+//!
+//! Both [`RetraSyn`](crate::RetraSyn) and the
+//! [`LdpIds`](crate::baselines::LdpIds) baselines implement
+//! [`StreamingEngine`], so benchmarks, metrics and deployment glue are
+//! written once, generically.
+//!
+//! ```
+//! use retrasyn_core::{RetraSyn, RetraSynConfig, StreamingEngine, TimelineSource};
+//! use retrasyn_geo::Grid;
+//! use rand::{rngs::StdRng, SeedableRng};
+//! # use retrasyn_datagen::RandomWalkConfig;
+//! # let dataset = RandomWalkConfig { users: 50, timestamps: 10, ..Default::default() }
+//! #     .generate(&mut StdRng::seed_from_u64(1));
+//! let grid = Grid::unit(4);
+//! let gridded = dataset.discretize(&grid);
+//! let mut engine =
+//!     RetraSyn::population_division(RetraSynConfig::new(1.0, 5), grid, 7);
+//! let mut source = TimelineSource::from_gridded(&gridded);
+//! // Ingest one timestamp at a time; observe the live database in between.
+//! use retrasyn_core::EventSource;
+//! while let Some(batch) = source.next_batch() {
+//!     let outcome = engine.step(engine.next_timestamp(), batch);
+//!     let snapshot = engine.snapshot(); // borrowed, zero-copy
+//!     assert_eq!(snapshot.active_count(), outcome.active);
+//! }
+//! let released = engine.release();
+//! assert_eq!(released.horizon(), gridded.horizon());
+//! ```
+
+use crate::store::SnapshotView;
+use retrasyn_geo::{EventTimeline, Grid, GriddedDataset, StreamDataset, UserEvent};
+use retrasyn_ldp::WEventLedger;
+use std::sync::mpsc::{Receiver, SyncSender};
+
+/// What one completed [`StreamingEngine::step`] reports back to the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The timestamp that was just ingested.
+    pub t: u64,
+    /// Live synthetic streams after the step.
+    pub active: usize,
+    /// Synthetic streams terminated so far (live + finished is the size of
+    /// the database a release at this point would contain).
+    pub finished: usize,
+}
+
+/// A per-timestamp feed of transition events — the engine-facing shape of
+/// "users report their states at every timestamp" (Algorithm 1 line 1).
+///
+/// A source yields batches for *consecutive* timestamps: the `n`-th call to
+/// [`next_batch`](EventSource::next_batch) is the event batch the driving
+/// engine ingests at its `n`-th step. `None` ends the stream. Sources may
+/// block (e.g. [`ChannelSource`] waits for a live producer), so the engine
+/// never needs a materialized dataset.
+pub trait EventSource {
+    /// The next timestamp's batch, or `None` when the stream ends. The
+    /// returned slice borrows the source's internal buffer and is valid
+    /// until the next call.
+    fn next_batch(&mut self) -> Option<&[UserEvent]>;
+}
+
+/// Forwarding impl so `drive(&mut source)` can resume the same source later
+/// (e.g. alternate between driving and manual stepping).
+impl<S: EventSource + ?Sized> EventSource for &mut S {
+    fn next_batch(&mut self) -> Option<&[UserEvent]> {
+        (**self).next_batch()
+    }
+}
+
+/// [`EventSource`] over a prebuilt [`EventTimeline`] — the batch-mode
+/// adapter: replays a recorded dataset one timestamp at a time.
+#[derive(Debug, Clone)]
+pub struct TimelineSource {
+    timeline: EventTimeline,
+    next: u64,
+}
+
+impl TimelineSource {
+    /// Replay `timeline` from timestamp 0.
+    pub fn new(timeline: EventTimeline) -> Self {
+        TimelineSource { timeline, next: 0 }
+    }
+
+    /// Derive the timeline of a discretized dataset and replay it.
+    pub fn from_gridded(dataset: &GriddedDataset) -> Self {
+        Self::new(EventTimeline::build(dataset))
+    }
+}
+
+impl EventSource for TimelineSource {
+    fn next_batch(&mut self) -> Option<&[UserEvent]> {
+        if self.next >= self.timeline.horizon() {
+            return None;
+        }
+        let batch = self.timeline.at(self.next);
+        self.next += 1;
+        Some(batch)
+    }
+}
+
+/// [`EventSource`] over any iterator of per-timestamp batches (e.g. a
+/// decoder yielding one `Vec<UserEvent>` per tick).
+#[derive(Debug)]
+pub struct IterSource<I> {
+    iter: I,
+    buf: Vec<UserEvent>,
+}
+
+impl<I> IterSource<I>
+where
+    I: Iterator<Item = Vec<UserEvent>>,
+{
+    /// Wrap an iterator of batches.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter, buf: Vec::new() }
+    }
+}
+
+impl<I> EventSource for IterSource<I>
+where
+    I: Iterator<Item = Vec<UserEvent>>,
+{
+    fn next_batch(&mut self) -> Option<&[UserEvent]> {
+        self.buf = self.iter.next()?;
+        Some(&self.buf)
+    }
+}
+
+/// [`EventSource`] backed by a closure `FnMut(u64) -> Option<Vec<UserEvent>>`
+/// called with the 0-based batch index — the lightest way to synthesize a
+/// live feed ("at tick `t`, these users report …").
+#[derive(Debug)]
+pub struct FnSource<F> {
+    f: F,
+    t: u64,
+    buf: Vec<UserEvent>,
+}
+
+impl<F> FnSource<F>
+where
+    F: FnMut(u64) -> Option<Vec<UserEvent>>,
+{
+    /// Wrap a batch-producing closure.
+    pub fn new(f: F) -> Self {
+        FnSource { f, t: 0, buf: Vec::new() }
+    }
+}
+
+impl<F> EventSource for FnSource<F>
+where
+    F: FnMut(u64) -> Option<Vec<UserEvent>>,
+{
+    fn next_batch(&mut self) -> Option<&[UserEvent]> {
+        self.buf = (self.f)(self.t)?;
+        self.t += 1;
+        Some(&self.buf)
+    }
+}
+
+/// [`EventSource`] over a bounded channel: a producer thread (collector
+/// frontend, network ingest, simulator) sends one `Vec<UserEvent>` per
+/// timestamp and the engine consumes them in order, blocking when the
+/// producer is slower and back-pressuring it when the engine is. Dropping
+/// the sender ends the stream.
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: Receiver<Vec<UserEvent>>,
+    buf: Vec<UserEvent>,
+}
+
+impl ChannelSource {
+    /// A bounded channel holding at most `capacity` in-flight batches;
+    /// returns the producer handle and the source.
+    pub fn bounded(capacity: usize) -> (SyncSender<Vec<UserEvent>>, ChannelSource) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        (tx, ChannelSource { rx, buf: Vec::new() })
+    }
+}
+
+impl EventSource for ChannelSource {
+    fn next_batch(&mut self) -> Option<&[UserEvent]> {
+        self.buf = self.rx.recv().ok()?;
+        Some(&self.buf)
+    }
+}
+
+/// The unified streaming interface of every synthesis engine
+/// ([`RetraSyn`](crate::RetraSyn) and the four
+/// [`LdpIds`](crate::baselines::LdpIds) baselines).
+///
+/// A session is: zero or more [`step`](Self::step)s at consecutive
+/// timestamps, with [`snapshot`](Self::snapshot) available between any two
+/// of them, ended by one [`release`](Self::release). After a release the
+/// engine refuses further steps with a descriptive panic until
+/// [`reset`](Self::reset) begins a new session (re-seeded, so an identical
+/// replay produces an identical release).
+///
+/// Batch mode is a special case: [`run`](Self::run) /
+/// [`run_gridded`](Self::run_gridded) replay a recorded dataset through
+/// [`drive`](Self::drive) with a [`TimelineSource`].
+pub trait StreamingEngine {
+    /// The spatial discretization this engine synthesizes over.
+    fn grid(&self) -> &Grid;
+
+    /// The timestamp the next [`step`](Self::step) must carry (0 for a
+    /// fresh engine; timestamps are consecutive within a session).
+    fn next_timestamp(&self) -> u64;
+
+    /// Ingest the event batch of timestamp `t` and advance the synthetic
+    /// database by one timestamp.
+    ///
+    /// # Panics
+    ///
+    /// If `t` is not [`next_timestamp`](Self::next_timestamp), or if the
+    /// session was already released (call [`reset`](Self::reset) first).
+    fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome;
+
+    /// Borrowed, zero-copy view of the synthetic database as of the last
+    /// completed step — the per-timestamp release of Algorithm 1. Reading
+    /// it is post-processing (Theorem 2): no additional privacy cost.
+    ///
+    /// # Panics
+    ///
+    /// If the session was already released — the streams moved out with
+    /// the release, so an empty view here would misread as a population
+    /// collapse.
+    fn snapshot(&self) -> SnapshotView<'_>;
+
+    /// Terminate the session and hand out everything synthesized so far as
+    /// an id-sorted [`GriddedDataset`] with horizon
+    /// [`next_timestamp`](Self::next_timestamp). Zero-copy (the cells move
+    /// out of the engine's store) and callable mid-stream; afterwards the
+    /// engine is in the *released* state: `step`/`snapshot`/`release`
+    /// panic until [`reset`](Self::reset), while plain accessors (ledger,
+    /// grid, timings) keep reporting the closed session.
+    ///
+    /// # Panics
+    ///
+    /// If the session was already released.
+    fn release(&mut self) -> GriddedDataset;
+
+    /// The runtime w-event privacy ledger of the current session.
+    fn ledger(&self) -> &WEventLedger;
+
+    /// Begin a new session: restore the engine to its freshly-constructed
+    /// state, re-seeded with the construction seed (an identical replay
+    /// yields a bit-identical release).
+    fn reset(&mut self);
+
+    /// Drive this engine from `source` until it is exhausted, then
+    /// [`release`](Self::release). Pass `&mut source` to keep the source
+    /// (and continue it later); pass by value to consume it.
+    fn drive<S: EventSource>(&mut self, mut source: S) -> GriddedDataset
+    where
+        Self: Sized,
+    {
+        while let Some(batch) = source.next_batch() {
+            self.step(self.next_timestamp(), batch);
+        }
+        self.release()
+    }
+
+    /// Batch mode over a raw dataset: discretize against
+    /// [`grid`](Self::grid), derive the event timeline, drive every
+    /// timestamp and release.
+    ///
+    /// # Panics
+    ///
+    /// If the engine is mid-session (a dataset replay starts at `t = 0`,
+    /// so the engine must be fresh — [`reset`](Self::reset) first).
+    fn run(&mut self, dataset: &StreamDataset) -> GriddedDataset
+    where
+        Self: Sized,
+    {
+        let gridded = dataset.discretize(self.grid());
+        self.run_gridded(&gridded)
+    }
+
+    /// Batch mode over an already-discretized dataset.
+    ///
+    /// # Panics
+    ///
+    /// If the engine is mid-session (a dataset replay starts at `t = 0`,
+    /// so the engine must be fresh — [`reset`](Self::reset) first).
+    fn run_gridded(&mut self, dataset: &GriddedDataset) -> GriddedDataset
+    where
+        Self: Sized,
+    {
+        assert_eq!(dataset.grid(), self.grid(), "dataset grid mismatch");
+        assert_eq!(
+            self.next_timestamp(),
+            0,
+            "run replays a dataset from t = 0 but the engine is mid-session or \
+             already released; call reset() to start a fresh session (or feed \
+             the remaining batches through drive())"
+        );
+        self.drive(TimelineSource::from_gridded(dataset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retrasyn_geo::{CellId, TransitionState};
+
+    fn batch(users: &[u64]) -> Vec<UserEvent> {
+        users
+            .iter()
+            .map(|&u| UserEvent { user: u, state: TransitionState::Enter(CellId(0)) })
+            .collect()
+    }
+
+    #[test]
+    fn iter_source_yields_batches_in_order() {
+        let batches = vec![batch(&[1, 2]), batch(&[3])];
+        let mut src = IterSource::new(batches.into_iter());
+        assert_eq!(src.next_batch().unwrap().len(), 2);
+        assert_eq!(src.next_batch().unwrap()[0].user, 3);
+        assert!(src.next_batch().is_none());
+    }
+
+    #[test]
+    fn fn_source_counts_timestamps() {
+        let mut src = FnSource::new(|t| if t < 3 { Some(batch(&[t])) } else { None });
+        let mut seen = Vec::new();
+        while let Some(b) = src.next_batch() {
+            seen.push(b[0].user);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn channel_source_ends_on_disconnect() {
+        let (tx, mut src) = ChannelSource::bounded(2);
+        let producer = std::thread::spawn(move || {
+            for t in 0..4u64 {
+                tx.send(batch(&[t])).unwrap();
+            }
+            // Dropping tx ends the stream.
+        });
+        let mut seen = Vec::new();
+        while let Some(b) = src.next_batch() {
+            seen.push(b[0].user);
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mut_ref_source_forwards() {
+        // A `&mut S` is itself a source (S = &mut IterSource here), so
+        // generic drivers can borrow a source instead of consuming it.
+        fn drain<S: EventSource>(mut s: S) -> Vec<u64> {
+            let mut out = Vec::new();
+            while let Some(b) = s.next_batch() {
+                out.extend(b.iter().map(|e| e.user));
+            }
+            out
+        }
+        let mut src = IterSource::new(vec![batch(&[9]), batch(&[4])].into_iter());
+        assert_eq!(drain(&mut src), vec![9, 4]);
+        assert!(src.next_batch().is_none(), "the borrowed source was fully drained");
+    }
+}

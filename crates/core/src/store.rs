@@ -4,34 +4,43 @@
 //! The Vec-of-structs layout this replaces (`OpenStream { cells: Vec }`)
 //! paid one heap pointer chase per live stream per timestamp in the fused
 //! quit+extend pass, and `finish()` copied every stream into a fresh
-//! per-stream `Vec` before metrics could run. The [`StreamStore`] keeps the
+//! per-stream `Vec` before metrics could run. The `StreamStore` keeps the
 //! per-step state in structure-of-arrays form instead:
 //!
-//! - **Head columns** ([`Columns`]): the fields the fused pass actually
+//! - **Head columns** (`Columns`): the fields the fused pass actually
 //!   touches — current cell (`heads`), `lens`, plus `ids`/`starts`/`links`
 //!   bookkeeping — live in parallel vectors, so advancing `n` streams reads
 //!   and writes contiguous memory.
-//! - **Tail arena** ([`TailArena`]): historical cells are append-only
-//!   [`TailNode`]s in fixed-size chunks, each linking backward to the
+//! - **Tail arena** (`TailArena`): historical cells are append-only
+//!   `TailNode`s in fixed-size chunks, each linking backward to the
 //!   stream's previous node. Extending a stream appends one node
 //!   (sequential writes within a step) and never moves old cells; chunks
 //!   mean growth never reallocates or copies the arena.
 //! - **Finished region**: retiring a stream moves its five column entries
-//!   into a second [`Columns`] — O(1), cells stay where they are in the
+//!   into a second `Columns` — O(1), cells stay where they are in the
 //!   arena.
 //!
-//! Release ([`StreamStore::into_dataset`]) walks each chain once, backward,
+//! Release (`StreamStore::into_dataset`) walks each chain once, backward,
 //! into a single flat cell column sorted by stream id and hands the result
 //! to [`GriddedDataset::from_columns`] — no per-stream `Vec` is ever
 //! allocated on the release path.
 //!
 //! Sharded synthesis copies disjoint index ranges of the head columns into
-//! per-worker [`Columns`] (a handful of `memcpy`s, not a per-stream
+//! per-worker `Columns` (a handful of `memcpy`s, not a per-stream
 //! shuffle); workers append tail nodes into private buffers with
 //! shard-local addresses, and the merge relocates each buffer to the end of
 //! the shared arena in shard order, offsetting the survivors' links — which
 //! keeps the fixed-`(seed, threads)` output bit-identical to the sequential
 //! ordering semantics.
+//!
+//! **Read-only view layer.** The streaming session API observes the store
+//! *between* steps through a [`SnapshotView`]: a borrowed, zero-copy
+//! per-timestamp view over the live head columns plus the finished region.
+//! Iterating a snapshot yields [`SnapshotStream`]s whose cells are read
+//! straight out of the arena chains — no per-stream `Vec` is ever
+//! materialized, so publishing the synthetic database at every timestamp
+//! (the paper's defining property, §III-D) costs nothing beyond what the
+//! consumer actually reads.
 
 use retrasyn_geo::{CellId, Grid, GriddedDataset};
 
@@ -51,7 +60,7 @@ pub(crate) struct TailNode {
     pub(crate) prev: u32,
 }
 
-/// Chunked append-only arena of [`TailNode`]s. Addresses are dense `u32`
+/// Chunked append-only arena of `TailNode`s. Addresses are dense `u32`
 /// indices; fixed-size chunks keep them stable and make growth O(1) —
 /// no reallocation ever copies existing nodes.
 #[derive(Debug, Clone, Default)]
@@ -250,6 +259,12 @@ impl StreamStore {
         self.live.push(id, start, cell, 1, NO_LINK);
     }
 
+    /// Borrow the store as a read-only per-timestamp view covering
+    /// `0..horizon`.
+    pub(crate) fn snapshot(&self, horizon: u64) -> SnapshotView<'_> {
+        SnapshotView { store: self, horizon }
+    }
+
     /// Materialize the cells of a stream described by `(head, len, link)`
     /// into `out`, oldest first, by walking its chain backward.
     fn write_cells(&self, head: CellId, len: usize, link: u32, out: &mut [CellId]) {
@@ -301,6 +316,198 @@ impl StreamStore {
     }
 }
 
+/// A borrowed, zero-copy view of the synthetic database at one timestamp —
+/// what a streaming consumer observes *between* engine steps (the paper's
+/// per-timestamp release, §III-D; reading it is post-processing and costs
+/// no additional privacy budget).
+///
+/// The view borrows the store's live head columns and finished region
+/// directly: constructing it allocates nothing, and iterating it yields
+/// [`SnapshotStream`]s whose cells are read straight out of the tail-arena
+/// chains. A snapshot taken after step `t` is bit-for-bit the length-`t+1`
+/// prefix of the final release: every stream it contains reappears in the
+/// released [`GriddedDataset`] with the snapshot's cells as a prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'a> {
+    store: &'a StreamStore,
+    horizon: u64,
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Number of timestamps this snapshot covers (`0..horizon`): the number
+    /// of engine steps completed when it was taken.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Number of live synthetic streams.
+    pub fn active_count(&self) -> usize {
+        self.store.live.len()
+    }
+
+    /// Number of synthetic streams already terminated.
+    pub fn finished_count(&self) -> usize {
+        self.store.finished.len()
+    }
+
+    /// Total number of streams (live + finished).
+    pub fn num_streams(&self) -> usize {
+        self.store.live.len() + self.store.finished.len()
+    }
+
+    /// Whether the snapshot holds no streams.
+    pub fn is_empty(&self) -> bool {
+        self.num_streams() == 0
+    }
+
+    /// Borrowed iteration over every stream: the finished region first,
+    /// then the live population. Order within each region is the store's
+    /// internal (retirement / spawn-and-swap) order, not id order — map by
+    /// [`SnapshotStream::id`] to correlate snapshots across timestamps.
+    pub fn streams(&self) -> impl ExactSizeIterator<Item = SnapshotStream<'a>> + Clone + '_ {
+        let store = self.store;
+        let finished = store.finished.len();
+        (0..self.num_streams()).map(move |i| {
+            let (cols, row) =
+                if i < finished { (&store.finished, i) } else { (&store.live, i - finished) };
+            SnapshotStream {
+                arena: &store.tail,
+                id: cols.ids[row],
+                start: cols.starts[row],
+                head: cols.heads[row],
+                len: cols.lens[row],
+                link: cols.links[row],
+            }
+        })
+    }
+
+    /// Borrowed iteration over the live streams only (the population a
+    /// real-time monitor watches).
+    pub fn live(&self) -> impl ExactSizeIterator<Item = SnapshotStream<'a>> + Clone + '_ {
+        let store = self.store;
+        (0..store.live.len()).map(move |row| SnapshotStream {
+            arena: &store.tail,
+            id: store.live.ids[row],
+            start: store.live.starts[row],
+            head: store.live.heads[row],
+            len: store.live.lens[row],
+            link: store.live.links[row],
+        })
+    }
+
+    /// Per-cell occupancy of the live population into a reused buffer
+    /// (resized and zeroed here): one contiguous scan of the head column,
+    /// no allocation after warm-up.
+    pub fn occupancy_into(&self, num_cells: usize, counts: &mut Vec<u64>) {
+        counts.clear();
+        counts.resize(num_cells, 0);
+        for head in &self.store.live.heads {
+            counts[head.index()] += 1;
+        }
+    }
+
+    /// Per-cell occupancy of the live population (allocating convenience
+    /// wrapper over [`Self::occupancy_into`]).
+    pub fn occupancy(&self, num_cells: usize) -> Vec<u64> {
+        let mut counts = Vec::new();
+        self.occupancy_into(num_cells, &mut counts);
+        counts
+    }
+}
+
+/// One synthetic stream inside a [`SnapshotView`]: five copied scalars plus
+/// a borrow of the tail arena — `Copy`, allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotStream<'a> {
+    arena: &'a TailArena,
+    id: u64,
+    start: u64,
+    head: CellId,
+    len: u32,
+    link: u32,
+}
+
+impl<'a> SnapshotStream<'a> {
+    /// Stream id (stable across snapshots and into the final release).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Entering timestamp.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Number of cells reported so far.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Streams are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Last timestamp (inclusive) this stream has reported for.
+    pub fn end(&self) -> u64 {
+        self.start + self.len as u64 - 1
+    }
+
+    /// The current (most recent) cell — an O(1) read of the head column.
+    pub fn head(&self) -> CellId {
+        self.head
+    }
+
+    /// The stream's cells in *reverse* chronological order (newest first):
+    /// the natural zero-allocation traversal, since historical cells are a
+    /// backward-linked chain in the arena.
+    pub fn cells_rev(&self) -> CellsRev<'a> {
+        CellsRev { arena: self.arena, next: Some((self.head, self.link)), remaining: self.len }
+    }
+
+    /// Materialize the cells oldest-first into a reused buffer (cleared and
+    /// filled here). For consumers that need forward order; costs one
+    /// backward chain walk and no allocation once `out` has capacity.
+    pub fn cells_into(&self, out: &mut Vec<CellId>) {
+        out.clear();
+        out.extend(self.cells_rev());
+        out.reverse();
+    }
+}
+
+/// Zero-allocation iterator over a [`SnapshotStream`]'s cells, newest
+/// first. Created by [`SnapshotStream::cells_rev`].
+#[derive(Debug, Clone)]
+pub struct CellsRev<'a> {
+    arena: &'a TailArena,
+    /// The next cell to yield and the arena link *behind* it.
+    next: Option<(CellId, u32)>,
+    remaining: u32,
+}
+
+impl Iterator for CellsRev<'_> {
+    type Item = CellId;
+
+    fn next(&mut self) -> Option<CellId> {
+        let (cell, link) = self.next?;
+        self.remaining -= 1;
+        self.next = if self.remaining == 0 {
+            debug_assert_eq!(link, NO_LINK, "chain length disagrees with len column");
+            None
+        } else {
+            let node = self.arena.get(link);
+            Some((node.cell, node.prev))
+        };
+        Some(cell)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for CellsRev<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +557,78 @@ mod tests {
             ds.stream(1).cells,
             &[grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(1, 1)]
         );
+    }
+
+    #[test]
+    fn snapshot_views_live_and_finished_without_copying() {
+        let grid = Grid::unit(4);
+        let mut store = StreamStore::default();
+        store.spawn(1, 0, grid.cell_at(0, 0));
+        store.spawn(0, 1, grid.cell_at(3, 3));
+        let StreamStore { live, tail, .. } = &mut store;
+        live.extend_row(0, grid.cell_at(1, 0), tail);
+        live.extend_row(1, grid.cell_at(2, 3), tail);
+        live.extend_row(0, grid.cell_at(1, 1), tail);
+        let StreamStore { live, finished, .. } = &mut store;
+        live.swap_remove_into(0, finished);
+
+        let snap = store.snapshot(3);
+        assert_eq!(snap.horizon(), 3);
+        assert_eq!(snap.active_count(), 1);
+        assert_eq!(snap.finished_count(), 1);
+        assert_eq!(snap.num_streams(), 2);
+        assert!(!snap.is_empty());
+
+        // Finished region first: stream 1 with its full chain.
+        let streams: Vec<_> = snap.streams().collect();
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].id(), 1);
+        assert_eq!(streams[0].start(), 0);
+        assert_eq!(streams[0].len(), 3);
+        assert_eq!(streams[0].end(), 2);
+        assert_eq!(streams[0].head(), grid.cell_at(1, 1));
+        let rev: Vec<CellId> = streams[0].cells_rev().collect();
+        assert_eq!(rev, vec![grid.cell_at(1, 1), grid.cell_at(1, 0), grid.cell_at(0, 0)]);
+        let mut fwd = Vec::new();
+        streams[0].cells_into(&mut fwd);
+        assert_eq!(fwd, vec![grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(1, 1)]);
+
+        // Live stream 0.
+        assert_eq!(streams[1].id(), 0);
+        assert_eq!(streams[1].start(), 1);
+        streams[1].cells_into(&mut fwd);
+        assert_eq!(fwd, vec![grid.cell_at(3, 3), grid.cell_at(2, 3)]);
+        assert_eq!(snap.live().len(), 1);
+        assert_eq!(snap.live().next().unwrap().id(), 0);
+
+        // Live-only occupancy through a reused buffer.
+        let mut counts = vec![99u64; 1];
+        snap.occupancy_into(grid.num_cells(), &mut counts);
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+        assert_eq!(counts[grid.cell_at(2, 3).index()], 1);
+        assert_eq!(snap.occupancy(grid.num_cells()), counts);
+
+        // The view is read-only: releasing afterwards still works and
+        // matches what the snapshot showed.
+        let ds = store.into_dataset(grid.clone(), 3);
+        assert_eq!(
+            ds.stream(1).cells,
+            &[grid.cell_at(0, 0), grid.cell_at(1, 0), grid.cell_at(1, 1)]
+        );
+    }
+
+    #[test]
+    fn cells_rev_is_exact_size() {
+        let grid = Grid::unit(4);
+        let mut store = StreamStore::default();
+        store.spawn(7, 2, grid.cell_at(0, 0));
+        let snap = store.snapshot(3);
+        let s = snap.streams().next().unwrap();
+        let mut it = s.cells_rev();
+        assert_eq!(it.len(), 1);
+        assert_eq!(it.next(), Some(grid.cell_at(0, 0)));
+        assert_eq!(it.len(), 0);
+        assert_eq!(it.next(), None);
     }
 
     #[test]

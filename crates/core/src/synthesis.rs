@@ -11,7 +11,7 @@
 //!    distribution `E`; excess streams are terminated with probability
 //!    proportional to the quitting distribution `Q` at their last location.
 //!
-//! **Storage.** Live streams are columnar ([`StreamStore`]): the fused
+//! **Storage.** Live streams are columnar (`StreamStore`): the fused
 //! pass walks the contiguous head/len columns and appends one tail-arena
 //! node per survivor — no per-stream heap pointer chase, O(1) retirement,
 //! and a release path that never materializes a per-stream `Vec`.
@@ -26,7 +26,7 @@
 //! **Parallelism.** [`SyntheticDb::step_parallel`] runs the *entire* step
 //! on a persistent [`SynthesisPool`] owned by the database: disjoint index
 //! ranges of the store's head columns are copied into per-worker
-//! [`ShardState`]s (five `memcpy`s per shard, reused across steps), each
+//! `ShardState`s (five `memcpy`s per shard, reused across steps), each
 //! worker runs the fused quit+extend pass over its columns with a
 //! per-shard finished region and a private tail buffer, and downward size
 //! adjustment is a two-phase parallel selection — workers compute
@@ -43,7 +43,7 @@
 use crate::model::GlobalMobilityModel;
 use crate::pool::{draw_seeds, ShardState, ShardTask, SynthesisPool, MIN_SHRINK_WEIGHT};
 use crate::sampler::{sample_weighted, SamplerCache};
-use crate::store::{Columns, StreamStore, TailSink};
+use crate::store::{Columns, SnapshotView, StreamStore, TailSink};
 use rand::Rng;
 use retrasyn_geo::{CellId, Grid, GriddedDataset, TransitionTable};
 use std::cmp::Ordering;
@@ -592,11 +592,28 @@ impl SyntheticDb {
         }
     }
 
+    /// Borrow the current synthetic database as a read-only per-timestamp
+    /// view covering `0..horizon` — the streaming release surface.
+    /// Zero-copy: the view walks the live head columns, the finished
+    /// region and the tail arena in place.
+    pub fn snapshot(&self, horizon: u64) -> SnapshotView<'_> {
+        self.store.snapshot(horizon)
+    }
+
     /// Close all live streams and assemble the released synthetic
     /// database: one id-sorted columnar [`GriddedDataset`] built straight
-    /// from the store — no per-stream `Vec` copies.
-    pub fn finish(self, grid: &Grid, horizon: u64) -> GriddedDataset {
-        self.store.into_dataset(grid.clone(), horizon)
+    /// from the store — no per-stream `Vec` copies (the store's cells move
+    /// into the dataset).
+    ///
+    /// Non-consuming: afterwards the database is reset to a fresh,
+    /// uninitialized session (ids restart at 0) while the worker pool and
+    /// every scratch buffer keep their capacity, so a long-lived service
+    /// can release one stream and immediately begin the next.
+    pub fn release(&mut self, grid: &Grid, horizon: u64) -> GriddedDataset {
+        let store = std::mem::take(&mut self.store);
+        self.initialized = false;
+        self.next_id = 0;
+        store.into_dataset(grid.clone(), horizon)
     }
 }
 
@@ -651,7 +668,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         db.step(0, &model, &table, 50, 10.0, &mut rng);
         assert_eq!(db.active_count(), 50);
-        let released = db.finish(&grid, 1);
+        let released = db.release(&grid, 1);
         for s in released.iter() {
             assert_eq!(s.first_cell(), grid.cell_at(0, 0));
             assert_eq!(s.start, 0);
@@ -666,7 +683,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         db.step(0, &model, &table, 50, 10.0, &mut rng);
         assert_eq!(db.active_count(), 50);
-        let released = db.finish(&grid, 1);
+        let released = db.release(&grid, 1);
         for s in released.iter() {
             assert_eq!(s.first_cell(), grid.cell_at(0, 0));
         }
@@ -705,7 +722,7 @@ mod tests {
             for t in 0..4 {
                 db.step(t, &model, &table, 40, 1000.0, &mut rng);
             }
-            let released = db.finish(&grid, 4);
+            let released = db.release(&grid, 4);
             // Every move in every stream is rightward (the only nonzero
             // moves).
             for s in released.iter() {
@@ -757,7 +774,7 @@ mod tests {
         }
         assert_eq!(db.active_count(), 25);
         assert_eq!(db.finished_count(), 0);
-        let released = db.finish(&grid, 20);
+        let released = db.release(&grid, 20);
         for s in released.iter() {
             assert_eq!(s.len(), 20);
             assert_eq!(s.start, 0);
@@ -774,7 +791,7 @@ mod tests {
         for t in 0..6 {
             db.step(t, &model, &table, 15, 10.0, &mut rng);
         }
-        let released = db.finish(&grid, 6);
+        let released = db.release(&grid, 6);
         for s in released.iter() {
             for w in s.cells.windows(2) {
                 assert!(grid.are_adjacent(w[0], w[1]));
@@ -792,7 +809,7 @@ mod tests {
             db.step(t, &model, &table, 10, 2.0, &mut rng);
         }
         let total_streams = db.finished_count() + db.active_count();
-        let released = db.finish(&grid, 5);
+        let released = db.release(&grid, 5);
         assert_eq!(released.num_streams(), total_streams);
         assert_eq!(released.horizon(), 5);
         let ids: Vec<u64> = released.iter().map(|s| s.id).collect();
@@ -813,7 +830,7 @@ mod tests {
             db.step_parallel(t, &model, &table, target, 50.0, &mut rng, 2);
             assert_eq!(db.active_count(), target, "t={t}");
         }
-        let released = db.finish(&grid, 5);
+        let released = db.release(&grid, 5);
         for s in released.iter() {
             for w in s.cells.windows(2) {
                 assert!(grid.are_adjacent(w[0], w[1]));
@@ -835,7 +852,7 @@ mod tests {
                     db.step(t, &model, &table, 50, 10.0, &mut rng);
                 }
             }
-            db.finish(&grid, 6)
+            db.release(&grid, 6)
         };
         // threads = 1 delegates to the sequential path: identical output.
         assert_eq!(run(true), run(false));
@@ -851,7 +868,7 @@ mod tests {
             for t in 0..4 {
                 db.step_parallel(t, &model, &table, 3000, 50.0, &mut rng, 3);
             }
-            db.finish(&grid, 4)
+            db.release(&grid, 4)
         };
         assert_eq!(run(), run());
     }
@@ -870,7 +887,7 @@ mod tests {
         // Changing the thread count re-creates the pool at the new size.
         db.step_parallel(5, &model, &table, 5000, 50.0, &mut rng, 4);
         assert_eq!(db.pool.as_ref().unwrap().threads(), 4);
-        let released = db.finish(&grid, 6);
+        let released = db.release(&grid, 6);
         for s in released.iter() {
             for w in s.cells.windows(2) {
                 assert!(grid.are_adjacent(w[0], w[1]));

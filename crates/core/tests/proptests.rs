@@ -122,7 +122,7 @@ proptest! {
             prop_assert_eq!(db.active_count(), target, "t={}", t);
         }
         let horizon = targets.len() as u64;
-        let released = db.finish(&grid, horizon);
+        let released = db.release(&grid, horizon);
         for s in released.iter() {
             prop_assert!(!s.cells.is_empty());
             prop_assert!(s.end() < horizon);

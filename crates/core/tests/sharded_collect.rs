@@ -10,7 +10,7 @@ mod common;
 use common::{chi2_crit, two_sample_chi_square};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use retrasyn_core::{CollectionPool, RetraSyn, RetraSynConfig};
+use retrasyn_core::{CollectionPool, RetraSyn, RetraSynConfig, StreamingEngine};
 use retrasyn_datagen::RandomWalkConfig;
 use retrasyn_geo::Grid;
 use retrasyn_ldp::{Oue, ReportMode};

@@ -64,7 +64,7 @@ fn sharded_quit_decisions_match_sequential_distribution() {
         for t in 1..steps {
             seq_db.step(t, &model, &table, target, 6.0, &mut rng);
         }
-        let (h, n) = early_end_histogram(&seq_db.finish(&grid, steps), steps, num_cells);
+        let (h, n) = early_end_histogram(&seq_db.release(&grid, steps), steps, num_cells);
         seq_hist.iter_mut().zip(&h).for_each(|(acc, &x)| *acc += x);
         seq_n += n;
 
@@ -73,7 +73,7 @@ fn sharded_quit_decisions_match_sequential_distribution() {
         for t in 1..steps {
             par_db.step_parallel(t, &model, &table, target, 6.0, &mut rng, 4);
         }
-        let (h, n) = early_end_histogram(&par_db.finish(&grid, steps), steps, num_cells);
+        let (h, n) = early_end_histogram(&par_db.release(&grid, steps), steps, num_cells);
         par_hist.iter_mut().zip(&h).for_each(|(acc, &x)| *acc += x);
         par_n += n;
     }
@@ -112,7 +112,7 @@ fn sharded_shrink_selection_matches_sequential_distribution() {
         let mut rng = StdRng::seed_from_u64(500 + seed);
         seq_db.step(3, &model, &table, to, 1e12, &mut rng);
         assert_eq!(seq_db.active_count(), to);
-        let (h, n) = early_end_histogram(&seq_db.finish(&grid, 4), 4, num_cells);
+        let (h, n) = early_end_histogram(&seq_db.release(&grid, 4), 4, num_cells);
         seq_hist.iter_mut().zip(&h).for_each(|(acc, &x)| *acc += x);
         seq_n += n;
 
@@ -120,7 +120,7 @@ fn sharded_shrink_selection_matches_sequential_distribution() {
         let mut rng = StdRng::seed_from_u64(600 + seed);
         par_db.step_parallel(3, &model, &table, to, 1e12, &mut rng, 4);
         assert_eq!(par_db.active_count(), to);
-        let (h, n) = early_end_histogram(&par_db.finish(&grid, 4), 4, num_cells);
+        let (h, n) = early_end_histogram(&par_db.release(&grid, 4), 4, num_cells);
         par_hist.iter_mut().zip(&h).for_each(|(acc, &x)| *acc += x);
         par_n += n;
     }
@@ -148,7 +148,7 @@ fn fully_sharded_step_bit_identical_per_seed_and_threads() {
             db.step_parallel(t as u64, &model, &table, target, 8.0, &mut rng, threads);
             assert_eq!(db.active_count(), target, "t={t}");
         }
-        db.finish(&grid, targets.len() as u64)
+        db.release(&grid, targets.len() as u64)
     };
     let run_sequential = || {
         let mut db = SyntheticDb::new();
@@ -156,7 +156,7 @@ fn fully_sharded_step_bit_identical_per_seed_and_threads() {
         for (t, &target) in targets.iter().enumerate() {
             db.step(t as u64, &model, &table, target, 8.0, &mut rng);
         }
-        db.finish(&grid, targets.len() as u64)
+        db.release(&grid, targets.len() as u64)
     };
     // Bit-identical across runs for a fixed (seed, threads).
     assert_eq!(run_parallel(4), run_parallel(4));
@@ -191,7 +191,7 @@ fn shrink_selection_survives_key_underflow_regime() {
     db.step_parallel(0, &model, &table, 4096, 1e12, &mut rng, 4);
     db.step_parallel(1, &model, &table, 1024, 1e12, &mut rng, 4);
     assert_eq!(db.active_count(), 1024);
-    let released = db.finish(&grid, 2);
+    let released = db.release(&grid, 2);
     // Streams were spawned with ids 0..4096 in order and never reordered
     // before the shrink, so id / 1024 is the stream's shard.
     let mut kept = [0u32; 4];

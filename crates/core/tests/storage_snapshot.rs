@@ -71,7 +71,7 @@ fn run_scenario(name: &str) -> GriddedDataset {
             for (t, &target) in targets.iter().enumerate() {
                 db.step(t as u64, &model, &table, target, 8.0, &mut rng);
             }
-            db.finish(&grid, targets.len() as u64)
+            db.release(&grid, targets.len() as u64)
         }
         // Sequential scan fallback (no sampler cache built).
         "seq_uncached" => {
@@ -82,7 +82,7 @@ fn run_scenario(name: &str) -> GriddedDataset {
             for (t, &target) in targets.iter().enumerate() {
                 db.step(t as u64, &model, &table, target, 8.0, &mut rng);
             }
-            db.finish(&grid, targets.len() as u64)
+            db.release(&grid, targets.len() as u64)
         }
         // Fully sharded pooled path, 3 workers, mixed schedule.
         "par_t3" => {
@@ -93,7 +93,7 @@ fn run_scenario(name: &str) -> GriddedDataset {
             for (t, &target) in targets.iter().enumerate() {
                 db.step_parallel(t as u64, &model, &table, target, 8.0, &mut rng, 3);
             }
-            db.finish(&grid, targets.len() as u64)
+            db.release(&grid, targets.len() as u64)
         }
         // Pooled path under shrink-heavy swings (λ → ∞ disables natural
         // quits; every retirement is a two-phase shrink selection).
@@ -105,7 +105,7 @@ fn run_scenario(name: &str) -> GriddedDataset {
             for (t, &target) in targets.iter().enumerate() {
                 db.step_parallel(t as u64, &model, &table, target, 1e12, &mut rng, 4);
             }
-            db.finish(&grid, targets.len() as u64)
+            db.release(&grid, targets.len() as u64)
         }
         // NoEQ ablation mode: fixed size, no termination.
         "noeq" => {
@@ -115,7 +115,7 @@ fn run_scenario(name: &str) -> GriddedDataset {
             for t in 0..10 {
                 db.step_no_eq(t, &model, &table, &grid, 500, &mut rng);
             }
-            db.finish(&grid, 10)
+            db.release(&grid, 10)
         }
         other => panic!("unknown scenario {other}"),
     }

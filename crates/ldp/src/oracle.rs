@@ -3,7 +3,7 @@
 //!
 //! The curator-side pipeline in the paper is: users perturb their transition
 //! state (② and ③ in Fig. 2), the curator tallies and debiases (④). The
-//! [`FrequencyOracle`] trait captures that pipeline; [`collect`] runs it
+//! [`FrequencyOracle`] trait captures that pipeline; [`FrequencyOracle::collect`] runs it
 //! end-to-end for a batch of users in either of two statistically equivalent
 //! modes:
 //!

@@ -24,6 +24,12 @@
 //! `ln 2 ≈ 0.6931` — the value the paper reports for baselines whose
 //! synthetic length distributions have disjoint support from the real ones.
 //!
+//! Live (streaming-session) monitors:
+//! - [`live`] — per-timestamp scores over the engine's borrowed
+//!   `SnapshotView` (occupancy JSD, population error, region counts), for
+//!   consumers that watch the synthetic database between steps instead of
+//!   waiting for the released dataset.
+//!
 //! [`MetricSuite`] bundles everything with seeded query/range workloads so a
 //! whole Table-III row is one call.
 #![forbid(unsafe_code)]
@@ -35,6 +41,7 @@ pub mod divergence;
 pub mod hotspot;
 pub mod kendall;
 pub mod length;
+pub mod live;
 pub mod pattern;
 pub mod query;
 pub mod suite;

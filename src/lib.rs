@@ -10,8 +10,27 @@
 //! - [`datagen`] — road-network and taxi stream generators (the evaluation
 //!   substrates: Brinkhoff-style Oldenburg/SanJoaquin, T-Drive-like).
 //! - [`core`] — the RetraSyn engine (global mobility model, DMU, real-time
-//!   synthesis, adaptive allocation) plus the LDP-IDS baselines.
-//! - [`metrics`] — every utility metric from the paper's evaluation.
+//!   synthesis, adaptive allocation), the LDP-IDS baselines, and the
+//!   streaming session API that unifies them.
+//! - [`metrics`] — every utility metric from the paper's evaluation, plus
+//!   live per-snapshot monitors.
+//!
+//! ## The streaming session model
+//!
+//! The paper's defining property is that a synthetic database is published
+//! at **every timestamp** of an unbounded stream. The API mirrors that: an
+//! [`EventSource`](prelude::EventSource) feeds one batch of events per
+//! timestamp (from a recorded timeline, an iterator/closure, or a bounded
+//! channel fed by a live producer), the engine ingests each batch with
+//! `step`, exposes the current synthetic database between steps as a
+//! borrowed zero-copy `snapshot()`, and `release()`s the accumulated
+//! database — mid-stream or at the horizon — without consuming the engine.
+//! Both `RetraSyn` and the `LdpIds` baselines implement
+//! [`StreamingEngine`](prelude::StreamingEngine), so drivers, benchmarks
+//! and metrics are written once, generically. Batch mode is a special
+//! case: `run(&dataset)` just drives a
+//! [`TimelineSource`](prelude::TimelineSource) derived from the recorded
+//! data.
 //!
 //! ## Quickstart
 //!
@@ -27,14 +46,27 @@
 //! // 2. Configure RetraSyn: 6x6 grid, eps = 1.0, window w = 10.
 //! let grid = Grid::unit(6);
 //! let config = RetraSynConfig::new(1.0, 10).with_lambda(dataset.stats(&grid).avg_length);
-//!
-//! // 3. Run the private streaming synthesis.
 //! let mut engine = RetraSyn::population_division(config, grid.clone(), 7);
-//! let synthetic = engine.run(&dataset);
 //!
-//! // 4. The synthetic stream is a drop-in substitute for the raw one.
+//! // 3. Stream: ingest one timestamp at a time, observing the live
+//! //    synthetic database in between (post-processing — no extra budget).
+//! let gridded = dataset.discretize(&grid);
+//! let mut source = TimelineSource::from_gridded(&gridded);
+//! while let Some(batch) = source.next_batch() {
+//!     let outcome = engine.step(engine.next_timestamp(), batch);
+//!     let live = engine.snapshot(); // borrowed, zero-copy
+//!     assert_eq!(live.active_count(), outcome.active);
+//! }
+//!
+//! // 4. Release the accumulated synthetic database (also fine mid-stream).
+//! let synthetic = engine.release();
 //! assert_eq!(synthetic.horizon(), dataset.horizon());
 //! engine.ledger().verify().expect("w-event LDP accounting holds");
+//!
+//! // 5. Batch mode is the same thing in one call (on a fresh session).
+//! engine.reset();
+//! let again = engine.run(&dataset);
+//! assert_eq!(again, synthetic);
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,12 +80,16 @@ pub use retrasyn_metrics as metrics;
 /// Convenience re-exports of the most common types.
 pub mod prelude {
     pub use retrasyn_core::{
-        AllocationKind, BaselineKind, Division, LdpIds, LdpIdsConfig, RetraSyn, RetraSynConfig,
+        AllocationKind, BaselineKind, ChannelSource, Division, EventSource, FnSource, IterSource,
+        LdpIds, LdpIdsConfig, RetraSyn, RetraSynConfig, SnapshotStream, SnapshotView, StepOutcome,
+        StreamingEngine, TimelineSource,
     };
     pub use retrasyn_datagen::{
         BrinkhoffConfig, RandomWalkConfig, RegimeShiftConfig, RoadNetwork, TDriveConfig,
     };
-    pub use retrasyn_geo::{CellId, Grid, Point, StreamDataset, Trajectory, TransitionTable};
+    pub use retrasyn_geo::{
+        CellId, EventTimeline, Grid, Point, StreamDataset, Trajectory, TransitionTable, UserEvent,
+    };
     pub use retrasyn_ldp::{Oue, PrivacyBudget, WEventLedger};
     pub use retrasyn_metrics::{MetricSuite, SuiteConfig};
 }
