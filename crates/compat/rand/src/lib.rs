@@ -194,6 +194,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for exact save/restore (e.g. session
+        /// checkpoints). Restoring via [`StdRng::from_state`] continues the
+        /// stream bit-for-bit.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state captured by [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {

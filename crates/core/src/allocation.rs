@@ -20,6 +20,7 @@
 //! and the *one-random-report-per-window* alternative (handled by the
 //! engine's per-user scheduling; see `RetraSyn`).
 
+use crate::wal::{Dec, Enc};
 use std::collections::VecDeque;
 
 /// The allocation strategies evaluated in the paper (Fig. 3).
@@ -132,6 +133,53 @@ impl Allocator {
         while self.sig_history.len() > self.kappa {
             self.sig_history.pop_front();
         }
+    }
+
+    /// Drop all recorded history in place (configuration is untouched).
+    pub fn reset(&mut self) {
+        self.freq_history.clear();
+        self.sig_history.clear();
+    }
+
+    /// Serialize the recorded histories for a checkpoint (configuration is
+    /// not serialized — it is pinned by the session fingerprint).
+    pub(crate) fn encode_into(&self, enc: &mut Enc) {
+        enc.usize(self.freq_history.len());
+        for snap in &self.freq_history {
+            enc.usize(snap.len());
+            for &f in snap {
+                enc.f64(f);
+            }
+        }
+        enc.usize(self.sig_history.len());
+        for &s in &self.sig_history {
+            enc.f64(s);
+        }
+    }
+
+    /// Restore the histories from [`Self::encode_into`] output.
+    pub(crate) fn decode_from(&mut self, dec: &mut Dec) -> Result<(), String> {
+        self.reset();
+        let snaps = dec.usize()?;
+        if snaps > self.kappa + 1 {
+            return Err(format!("allocator history of {snaps} exceeds kappa + 1"));
+        }
+        for _ in 0..snaps {
+            let dims = dec.usize()?;
+            let mut snap = Vec::with_capacity(dims);
+            for _ in 0..dims {
+                snap.push(dec.f64()?);
+            }
+            self.freq_history.push_back(snap);
+        }
+        let sigs = dec.usize()?;
+        if sigs > self.kappa {
+            return Err(format!("allocator ratio history of {sigs} exceeds kappa"));
+        }
+        for _ in 0..sigs {
+            self.sig_history.push_back(dec.f64()?);
+        }
+        Ok(())
     }
 }
 

@@ -275,10 +275,43 @@ impl LdpIds {
         self.synthetic.release(&self.grid, self.next_t)
     }
 
-    /// Start a new session: restore the freshly-constructed state,
-    /// re-seeded with the construction seed.
+    /// Start a new session: restore the freshly-constructed state in
+    /// place, re-seeded with the construction seed. Allocated buffers are
+    /// retained, so back-to-back sessions re-allocate almost nothing.
     pub fn reset(&mut self) {
-        *self = LdpIds::new(self.kind, self.config.clone(), self.grid.clone(), self.seed);
+        self.released.iter_mut().for_each(|f| *f = 0.0);
+        self.has_release = false;
+        self.model.reset();
+        self.synthetic.reset();
+        self.ledger.reset();
+        self.registry.reset();
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.next_t = 0;
+        self.session_released = false;
+        self.fixed_size = None;
+        self.n0 = None;
+        self.budget_pubs.clear();
+        self.group_pubs.clear();
+        self.last_pub_t = None;
+        self.nullified_until = None;
+    }
+
+    /// Stable fingerprint of everything that shapes this baseline's
+    /// output: mechanism kind, seed, configuration and grid geometry. WAL
+    /// files carry it so recovery refuses to replay a log into a
+    /// differently-configured engine.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = crate::wal::Fingerprint::new("ldp-ids");
+        f.bytes(self.kind.name().as_bytes())
+            .u64(self.seed)
+            .f64(self.config.eps)
+            .usize(self.config.w)
+            .u64(match self.config.report_mode {
+                ReportMode::PerUser => 0,
+                ReportMode::Aggregate => 1,
+            })
+            .grid(&self.grid);
+        f.finish()
     }
 
     /// LBD / LBA: two-phase budget division.
@@ -474,6 +507,10 @@ impl StreamingEngine for LdpIds {
 
     fn reset(&mut self) {
         LdpIds::reset(self);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        LdpIds::fingerprint(self)
     }
 }
 

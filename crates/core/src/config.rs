@@ -1,6 +1,7 @@
 //! Configuration of the RetraSyn engine.
 
 use crate::allocation::AllocationKind;
+use crate::compact::CompactionPolicy;
 use retrasyn_ldp::ReportMode;
 
 /// How the w-event budget is spread over the window (§III-E).
@@ -55,6 +56,14 @@ pub struct RetraSynConfig {
     /// parallelizes; the O(domain) [`ReportMode::Aggregate`] shortcut
     /// always runs sequentially.
     pub collection_threads: usize,
+    /// Epoch compaction policy (`None` = never compact, the default).
+    /// When set, a step that leaves more resident cells than the policy's
+    /// high-water mark drains finished streams out of the tail arena into
+    /// frozen storage, bounding resident memory by the live population.
+    /// Purely operational: released output and snapshots are bit-for-bit
+    /// unaffected, so it is deliberately excluded from the session
+    /// fingerprint (a recovered session may use a different mark).
+    pub compaction: Option<CompactionPolicy>,
 }
 
 impl RetraSynConfig {
@@ -75,6 +84,7 @@ impl RetraSynConfig {
             enter_quit: true,
             synthesis_threads: 1,
             collection_threads: 1,
+            compaction: None,
         }
     }
 
@@ -122,6 +132,13 @@ impl RetraSynConfig {
         self.collection_threads = threads;
         self
     }
+
+    /// Enable epoch compaction above `high_water_cells` resident cells.
+    pub fn with_compaction(mut self, high_water_cells: usize) -> Self {
+        assert!(high_water_cells >= 1, "high-water mark must be >= 1");
+        self.compaction = Some(CompactionPolicy::new(high_water_cells));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +166,8 @@ mod tests {
             .no_eq()
             .per_user_reports()
             .with_synthesis_threads(2)
-            .with_collection_threads(4);
+            .with_collection_threads(4)
+            .with_compaction(10_000);
         assert_eq!(c.lambda, 13.6);
         assert_eq!(c.allocation, AllocationKind::Uniform);
         assert!(!c.dmu);
@@ -157,6 +175,8 @@ mod tests {
         assert_eq!(c.report_mode, ReportMode::PerUser);
         assert_eq!(c.synthesis_threads, 2);
         assert_eq!(c.collection_threads, 4);
+        assert_eq!(c.compaction, Some(CompactionPolicy::new(10_000)));
+        assert_eq!(RetraSynConfig::new(1.0, 10).compaction, None);
     }
 
     #[test]

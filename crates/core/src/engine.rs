@@ -27,6 +27,7 @@
 
 use crate::allocation::{AllocationKind, Allocator};
 use crate::collect::CollectionPool;
+use crate::compact::CompactionStats;
 use crate::config::{Division, RetraSynConfig};
 use crate::dmu;
 use crate::model::GlobalMobilityModel;
@@ -34,6 +35,7 @@ use crate::population::{UserRegistry, UserStatus};
 use crate::session::{StepOutcome, StreamingEngine};
 use crate::store::SnapshotView;
 use crate::synthesis::SyntheticDb;
+use crate::wal::{Dec, Enc, Fingerprint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use retrasyn_geo::{Grid, GriddedDataset, TransitionState, TransitionTable, UserEvent};
@@ -122,6 +124,12 @@ pub struct RetraSyn {
     collector: Option<CollectionPool>,
     timings: StepTimings,
     steps: u64,
+    /// Counters for the epoch compactions this session has run
+    /// (informational; empty unless `config.compaction` is set).
+    compaction_stats: CompactionStats,
+    /// One-time warning latch for the graceful-degradation path (live
+    /// population alone above the high-water mark).
+    overflow_warned: bool,
     /// Reused reporter-value scratch for the collection path.
     scratch_values: Vec<usize>,
     /// Reused per-step event scratch: (user, domain index) states.
@@ -180,6 +188,8 @@ impl RetraSyn {
             collector: None,
             timings: StepTimings::default(),
             steps: 0,
+            compaction_stats: CompactionStats::default(),
+            overflow_warned: false,
             scratch_values: Vec::new(),
             scratch_states: Vec::new(),
             scratch_quitters: Vec::new(),
@@ -347,11 +357,54 @@ impl RetraSyn {
             self.synthetic.step_no_eq(t, &self.model, &self.table, &self.grid, size, &mut self.rng);
         }
         self.timings.synthesis += timer.elapsed().as_secs_f64();
+        self.maybe_compact(t);
         StepOutcome {
             t,
             active: self.synthetic.active_count(),
             finished: self.synthetic.finished_count(),
         }
+    }
+
+    /// Epoch-compact the synthetic store when the resident arena exceeds
+    /// the configured high-water mark. Purely an operational memory bound:
+    /// it never changes what [`Self::snapshot`] or [`Self::release`]
+    /// observe. If the *live* population alone exceeds the mark the engine
+    /// degrades gracefully — it logs once, counts the overflow and keeps
+    /// running uncompacted rather than aborting the stream.
+    fn maybe_compact(&mut self, t: u64) {
+        let Some(policy) = self.config.compaction else { return };
+        let mark = policy.high_water_cells;
+        if self.synthetic.resident_cells() <= mark {
+            return;
+        }
+        let (streams, cells) = self.synthetic.compact(t);
+        self.compaction_stats.runs += 1;
+        self.compaction_stats.frozen_streams += streams as u64;
+        self.compaction_stats.frozen_cells += cells as u64;
+        let resident = self.synthetic.resident_cells();
+        if resident > mark {
+            self.compaction_stats.overflows += 1;
+            if !self.overflow_warned {
+                self.overflow_warned = true;
+                eprintln!(
+                    "retrasyn: live synthetic population ({resident} cells) exceeds the \
+                     compaction high-water mark ({mark}); continuing uncompacted above the mark"
+                );
+            }
+        }
+    }
+
+    /// Counters for the epoch compactions run so far (all zero unless the
+    /// configuration enables compaction via
+    /// [`RetraSynConfig::with_compaction`]).
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.compaction_stats
+    }
+
+    /// Resident synthetic arena cells (live tails + frozen chunks); the
+    /// quantity bounded by the compaction high-water mark.
+    pub fn resident_cells(&self) -> usize {
+        self.synthetic.resident_cells()
     }
 
     /// Borrowed, zero-copy view of the synthetic database as of the last
@@ -391,12 +444,189 @@ impl RetraSyn {
         self.synthetic.release(&self.grid, self.next_t)
     }
 
-    /// Start a new session: restore the freshly-constructed state,
-    /// re-seeded with the construction seed — replaying the same events
-    /// yields a bit-identical release. Worker pools and cached oracles are
-    /// dropped and re-created lazily.
+    /// Start a new session: restore the freshly-constructed state in
+    /// place, re-seeded with the construction seed — replaying the same
+    /// events yields a bit-identical release. Worker pools, the cached
+    /// collection oracle and all scratch buffers survive the reset (they
+    /// are pure functions of the configuration, which is untouched), so
+    /// back-to-back sessions spawn no new threads and re-allocate nothing.
     pub fn reset(&mut self) {
-        *self = RetraSyn::new(self.config.clone(), self.grid.clone(), self.division, self.seed);
+        self.model.reset();
+        self.registry.reset();
+        self.ledger.reset();
+        self.synthetic.reset();
+        self.allocator.reset();
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.next_t = 0;
+        self.released = false;
+        self.fixed_size = None;
+        self.report_slots.clear();
+        self.timings = StepTimings::default();
+        self.steps = 0;
+        self.compaction_stats = CompactionStats::default();
+        self.overflow_warned = false;
+        // NoEQ's model refresh relies on the uncollected tails of these
+        // staying at their zero/false initialization.
+        self.scratch_full.iter_mut().for_each(|f| *f = 0.0);
+        self.scratch_sel.iter_mut().for_each(|s| *s = false);
+    }
+
+    /// Stable fingerprint of everything that shapes this engine's output:
+    /// seed, division, every output-affecting configuration knob (thread
+    /// counts included — sharding changes RNG consumption order) and the
+    /// grid geometry. WAL files and checkpoints carry it so recovery
+    /// refuses to replay a log into a differently-configured engine.
+    /// Purely operational settings (compaction, fsync policy) are
+    /// excluded: they never change the released bytes.
+    pub fn fingerprint(&self) -> u64 {
+        let c = &self.config;
+        let mut f = Fingerprint::new("retrasyn");
+        f.u64(self.seed)
+            .u64(match self.division {
+                Division::Budget => 0,
+                Division::Population => 1,
+            })
+            .f64(c.eps)
+            .usize(c.w)
+            .u64(match c.allocation {
+                AllocationKind::Adaptive => 0,
+                AllocationKind::Uniform => 1,
+                AllocationKind::Sample => 2,
+                AllocationKind::RandomReport => 3,
+            })
+            .f64(c.alpha)
+            .usize(c.kappa)
+            .f64(c.p_max)
+            .f64(c.lambda)
+            .u64(match c.report_mode {
+                ReportMode::PerUser => 0,
+                ReportMode::Aggregate => 1,
+            })
+            .u64(c.dmu as u64)
+            .u64(c.enter_quit as u64)
+            .usize(c.synthesis_threads)
+            .usize(c.collection_threads)
+            .grid(&self.grid);
+        f.finish()
+    }
+
+    /// Serialize the full mid-stream session state. Returns `None` once
+    /// the session has released (there is nothing left to checkpoint — a
+    /// recovery would have no streams to resume).
+    fn encode_checkpoint(&self) -> Option<Vec<u8>> {
+        if self.released {
+            return None;
+        }
+        let mut enc = Enc::default();
+        enc.u64(self.next_t);
+        enc.u64(self.steps);
+        match self.fixed_size {
+            Some(n) => {
+                enc.u8(1);
+                enc.u64(n as u64);
+            }
+            None => {
+                enc.u8(0);
+                enc.u64(0);
+            }
+        }
+        for word in self.rng.state() {
+            enc.u64(word);
+        }
+        let mut slots: Vec<(u64, u64)> = self.report_slots.iter().map(|(&u, &s)| (u, s)).collect();
+        slots.sort_unstable();
+        enc.usize(slots.len());
+        for (user, slot) in slots {
+            enc.u64(user);
+            enc.u64(slot);
+        }
+        let freqs = self.model.freqs();
+        enc.usize(freqs.len());
+        for &f in freqs {
+            enc.f64(f);
+        }
+        self.registry.encode_into(&mut enc);
+        self.allocator.encode_into(&mut enc);
+        let (per_ts_eps, reports) = self.ledger.export_state();
+        enc.usize(per_ts_eps.len());
+        for &e in &per_ts_eps {
+            enc.f64(e);
+        }
+        enc.usize(reports.len());
+        for (user, t) in reports {
+            enc.u64(user);
+            enc.u64(t);
+        }
+        self.synthetic.encode_into(&mut enc);
+        Some(enc.buf)
+    }
+
+    /// Restore a session from [`Self::encode_checkpoint`] output. Every
+    /// structural invariant is validated; on `Err` the engine may hold
+    /// partially-restored state and the caller must [`Self::reset`] before
+    /// reuse (recovery does).
+    fn decode_checkpoint(&mut self, payload: &[u8]) -> Result<(), String> {
+        let mut dec = Dec::new(payload);
+        let next_t = dec.u64()?;
+        let steps = dec.u64()?;
+        let has_fixed = match dec.u8()? {
+            0 => false,
+            1 => true,
+            tag => return Err(format!("bad fixed-size tag {tag}")),
+        };
+        let fixed = dec.u64()?;
+        let rng_state = [dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?];
+        let slot_count = dec.usize()?;
+        let mut slots = Vec::with_capacity(slot_count.min(1 << 20));
+        for _ in 0..slot_count {
+            let user = dec.u64()?;
+            let slot = dec.u64()?;
+            slots.push((user, slot));
+        }
+        let freq_len = dec.usize()?;
+        if freq_len != self.table.len() {
+            return Err(format!(
+                "checkpoint model domain {freq_len} != engine transition domain {}",
+                self.table.len()
+            ));
+        }
+        self.scratch_full.clear();
+        self.scratch_full.resize(freq_len, 0.0);
+        for f in self.scratch_full.iter_mut() {
+            *f = dec.f64()?;
+        }
+        self.registry.decode_from(&mut dec)?;
+        self.allocator.decode_from(&mut dec)?;
+        let eps_count = dec.usize()?;
+        let mut per_ts_eps = Vec::with_capacity(eps_count.min(1 << 20));
+        for _ in 0..eps_count {
+            per_ts_eps.push(dec.f64()?);
+        }
+        let report_count = dec.usize()?;
+        let mut reports = Vec::with_capacity(report_count.min(1 << 20));
+        for _ in 0..report_count {
+            let user = dec.u64()?;
+            let t = dec.u64()?;
+            reports.push((user, t));
+        }
+        self.synthetic.decode_from(&mut dec)?;
+        dec.finish()?;
+
+        self.next_t = next_t;
+        self.steps = steps;
+        self.released = false;
+        self.fixed_size = if has_fixed { Some(fixed as usize) } else { None };
+        self.rng = StdRng::from_state(rng_state);
+        self.report_slots.clear();
+        self.report_slots.extend(slots);
+        self.model.replace_all(&self.scratch_full);
+        self.model.rebuild_samplers(&self.table);
+        self.ledger.import_state(&per_ts_eps, &reports);
+        // The freq scratch doubled as the decode buffer; restore its
+        // zero-tail invariant for the NoEQ refresh path.
+        self.scratch_full.iter_mut().for_each(|f| *f = 0.0);
+        self.scratch_sel.iter_mut().for_each(|s| *s = false);
+        Ok(())
     }
 
     /// Population-division collection (Algorithm 1 lines 7–14). Fills
@@ -618,6 +848,18 @@ impl StreamingEngine for RetraSyn {
 
     fn reset(&mut self) {
         RetraSyn::reset(self);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        RetraSyn::fingerprint(self)
+    }
+
+    fn checkpoint_bytes(&self) -> Option<Vec<u8>> {
+        self.encode_checkpoint()
+    }
+
+    fn restore_checkpoint(&mut self, payload: &[u8]) -> Result<(), String> {
+        self.decode_checkpoint(payload)
     }
 }
 

@@ -41,6 +41,15 @@
 //!   region feeding the zero-copy release path — and its public read-only
 //!   view layer: the borrowed per-timestamp [`SnapshotView`] the session
 //!   API publishes between steps.
+//! - [`wal`]: the durable event write-ahead log — CRC-framed per-timestamp
+//!   batches behind a [`WalSource`] tee, crash recovery via
+//!   [`StreamingEngine::recover`] (bit-identical replay, torn tails
+//!   truncated to the last intact timestamp), and [`Checkpointer`]
+//!   sidecars bounding replay time.
+//! - [`compact`]: epoch compaction — finished chains drain out of the tail
+//!   arena into frozen flat storage under a [`CompactionPolicy`] high-water
+//!   mark, so resident memory tracks the live population while snapshots
+//!   and release stay bit-identical to the non-compacting path.
 //!
 //! Ablation variants are configuration flags: `dmu: false` reproduces
 //! *AllUpdate*, `enter_quit: false` reproduces *NoEQ* (Table IV).
@@ -50,6 +59,7 @@
 pub mod allocation;
 pub mod baselines;
 pub mod collect;
+pub mod compact;
 pub mod config;
 pub mod dmu;
 pub mod engine;
@@ -60,10 +70,12 @@ pub mod sampler;
 pub mod session;
 pub mod store;
 pub mod synthesis;
+pub mod wal;
 
 pub use allocation::AllocationKind;
 pub use baselines::{BaselineKind, LdpIds, LdpIdsConfig};
 pub use collect::CollectionPool;
+pub use compact::{CompactionPolicy, CompactionStats};
 pub use config::{Division, RetraSynConfig};
 pub use engine::{RetraSyn, StepTimings, TimingReport};
 pub use model::GlobalMobilityModel;
@@ -71,7 +83,12 @@ pub use pool::SynthesisPool;
 pub use population::{UserRegistry, UserStatus};
 pub use sampler::{AliasTable, SamplerCache};
 pub use session::{
-    ChannelSource, EventSource, FnSource, IterSource, StepOutcome, StreamingEngine, TimelineSource,
+    BatchSender, ChannelSource, EventSource, FnSource, IterSource, StepOutcome, StreamingEngine,
+    TimelineSource,
 };
 pub use store::{SnapshotStream, SnapshotView};
 pub use synthesis::SyntheticDb;
+pub use wal::{
+    CheckpointUse, Checkpointer, FsyncPolicy, Recovery, WalContents, WalError, WalReplay,
+    WalSource, WalWriter,
+};

@@ -87,6 +87,16 @@ impl GlobalMobilityModel {
         self.freqs[idx]
     }
 
+    /// Reset to the all-zero model in place, keeping every allocation (the
+    /// frequency vector, dirty list and alias-build scratch); the sampler
+    /// cache is invalidated and fully rebuilt on the next
+    /// [`Self::rebuild_samplers`].
+    pub fn reset(&mut self) {
+        self.freqs.iter_mut().for_each(|f| *f = 0.0);
+        self.dirty_all = true;
+        self.dirty.clear();
+    }
+
     /// Replace the whole model with fresh (signed) estimates. Used at
     /// initialization and by the AllUpdate ablation.
     pub fn replace_all(&mut self, estimates: &[f64]) {

@@ -116,6 +116,13 @@ impl<J: PoolJob> WorkerPool<J> {
         self.senders.len()
     }
 
+    /// OS thread ids of the workers, in spawn order — an identity witness:
+    /// equal id lists across a session reset prove the pool was reused,
+    /// not silently re-spawned.
+    pub(crate) fn worker_ids(&self) -> Vec<std::thread::ThreadId> {
+        self.handles.iter().map(|h| h.thread().id()).collect()
+    }
+
     /// Queue `job` for shard `idx` on worker `idx % threads`.
     pub(crate) fn submit(&self, idx: usize, job: J) {
         self.senders[idx % self.senders.len()]
@@ -284,6 +291,11 @@ impl SynthesisPool {
     /// Number of workers.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// OS thread ids of the workers (see `WorkerPool::worker_ids`).
+    pub fn worker_ids(&self) -> Vec<std::thread::ThreadId> {
+        self.pool.worker_ids()
     }
 
     /// Run `task` over every non-empty shard, in parallel.

@@ -24,6 +24,7 @@
 //! per-timestamp `HashMap<u64, Vec<u64>>` that allocated one vector per
 //! distinct report time.
 
+use crate::wal::{Dec, Enc};
 use std::collections::HashMap;
 
 /// One ring-buffer slot: the users that reported at `t`, recycled when the
@@ -191,6 +192,86 @@ impl UserRegistry {
     /// Number of users ever observed.
     pub fn total_seen(&self) -> usize {
         self.status.len()
+    }
+
+    /// Forget every user in place, keeping the window and every allocation
+    /// (maps, ring-slot buffers, the sorted listing buffer).
+    pub fn reset(&mut self) {
+        self.status.clear();
+        for slot in &mut self.ring {
+            slot.t = u64::MAX;
+            slot.users.clear();
+        }
+        self.active_set.clear();
+        self.active_pos.clear();
+        self.sorted_buf.clear();
+        self.sorted_valid = false;
+    }
+
+    /// Serialize the registry for a checkpoint: the status map in sorted
+    /// user order (deterministic bytes), then the ring slots in index
+    /// order. The window is not serialized — it is pinned by the session
+    /// fingerprint.
+    pub(crate) fn encode_into(&self, enc: &mut Enc) {
+        let mut users: Vec<u64> = self.status.keys().copied().collect();
+        users.sort_unstable();
+        enc.usize(users.len());
+        for &u in &users {
+            enc.u64(u);
+            enc.u8(match self.status[&u] {
+                UserStatus::Active => 0,
+                UserStatus::Inactive => 1,
+                UserStatus::Quitted => 2,
+            });
+        }
+        enc.usize(self.ring.len());
+        for slot in &self.ring {
+            enc.u64(slot.t);
+            enc.usize(slot.users.len());
+            for &u in &slot.users {
+                enc.u64(u);
+            }
+        }
+    }
+
+    /// Restore from [`Self::encode_into`] output. The active membership
+    /// set is rebuilt from the decoded statuses (in sorted user order —
+    /// reads go through the sorted listing, so internal order is
+    /// unobservable).
+    pub(crate) fn decode_from(&mut self, dec: &mut Dec) -> Result<(), String> {
+        self.reset();
+        let seen = dec.usize()?;
+        for _ in 0..seen {
+            let user = dec.u64()?;
+            let status = match dec.u8()? {
+                0 => UserStatus::Active,
+                1 => UserStatus::Inactive,
+                2 => UserStatus::Quitted,
+                other => return Err(format!("unknown user status tag {other}")),
+            };
+            if self.status.insert(user, status).is_some() {
+                return Err(format!("user {user} appears twice in the checkpoint"));
+            }
+            if status == UserStatus::Active {
+                self.add_active(user);
+            }
+        }
+        let slots = dec.usize()?;
+        if slots != self.ring.len() {
+            return Err(format!(
+                "checkpoint ring has {slots} slots, this session's window needs {}",
+                self.ring.len()
+            ));
+        }
+        for slot in &mut self.ring {
+            slot.t = dec.u64()?;
+            let n = dec.usize()?;
+            slot.users.reserve(n);
+            for _ in 0..n {
+                slot.users.push(dec.u64()?);
+            }
+        }
+        Ok(())
     }
 }
 

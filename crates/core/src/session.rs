@@ -47,9 +47,11 @@
 //! ```
 
 use crate::store::SnapshotView;
+use crate::wal::{Recovery, WalError};
 use retrasyn_geo::{EventTimeline, Grid, GriddedDataset, StreamDataset, UserEvent};
 use retrasyn_ldp::WEventLedger;
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::path::Path;
+use std::sync::mpsc::{Receiver, SendError, SyncSender, TrySendError};
 
 /// What one completed [`StreamingEngine::step`] reports back to the driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,10 +183,17 @@ where
 /// timestamp and the engine consumes them in order, blocking when the
 /// producer is slower and back-pressuring it when the engine is. Dropping
 /// the sender ends the stream.
+///
+/// [`ChannelSource::bounded`] allocates one `Vec` per batch on the
+/// producer side; [`ChannelSource::recycling`] adds a return channel that
+/// sends consumed batch buffers back to the producer, so a long-lived
+/// session reaches a steady state of zero allocations per batch.
 #[derive(Debug)]
 pub struct ChannelSource {
     rx: Receiver<Vec<UserEvent>>,
     buf: Vec<UserEvent>,
+    /// Return channel for consumed buffers (the recycling variant).
+    ret: Option<SyncSender<Vec<UserEvent>>>,
 }
 
 impl ChannelSource {
@@ -192,14 +201,64 @@ impl ChannelSource {
     /// returns the producer handle and the source.
     pub fn bounded(capacity: usize) -> (SyncSender<Vec<UserEvent>>, ChannelSource) {
         let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
-        (tx, ChannelSource { rx, buf: Vec::new() })
+        (tx, ChannelSource { rx, buf: Vec::new(), ret: None })
+    }
+
+    /// Like [`ChannelSource::bounded`], but consumed batch buffers flow
+    /// back to the producer through a return channel: ask the
+    /// [`BatchSender`] for a [`buffer`](BatchSender::buffer), fill it, and
+    /// [`send`](BatchSender::send) it. Once the pipeline is warm every
+    /// batch reuses a previously sent allocation.
+    pub fn recycling(capacity: usize) -> (BatchSender, ChannelSource) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        // One extra slot so the consumer's return of batch n never blocks
+        // while the producer still holds slot capacity.
+        let (ret_tx, ret_rx) = std::sync::mpsc::sync_channel(capacity + 1);
+        (BatchSender { tx, pool: ret_rx }, ChannelSource { rx, buf: Vec::new(), ret: Some(ret_tx) })
     }
 }
 
 impl EventSource for ChannelSource {
     fn next_batch(&mut self) -> Option<&[UserEvent]> {
+        // Recycle the previous batch's buffer before blocking on the next
+        // one. `try_send` so a slow (or gone) producer can never wedge the
+        // engine — worst case the buffer is simply dropped.
+        if let Some(ret) = &self.ret {
+            if self.buf.capacity() > 0 {
+                let mut spare = std::mem::take(&mut self.buf);
+                spare.clear();
+                if let Err(TrySendError::Full(b) | TrySendError::Disconnected(b)) =
+                    ret.try_send(spare)
+                {
+                    drop(b);
+                }
+            }
+        }
         self.buf = self.rx.recv().ok()?;
         Some(&self.buf)
+    }
+}
+
+/// Producer handle of [`ChannelSource::recycling`]: a bounded batch sender
+/// plus the pool of buffers the consumer has handed back.
+#[derive(Debug)]
+pub struct BatchSender {
+    tx: SyncSender<Vec<UserEvent>>,
+    pool: Receiver<Vec<UserEvent>>,
+}
+
+impl BatchSender {
+    /// An empty batch buffer: a recycled one if the consumer has returned
+    /// any, otherwise fresh. The buffer arrives cleared with its capacity
+    /// intact.
+    pub fn buffer(&self) -> Vec<UserEvent> {
+        self.pool.try_recv().unwrap_or_default()
+    }
+
+    /// Send the batch for the next timestamp, blocking while the channel
+    /// is at capacity. Fails only when the consumer is gone.
+    pub fn send(&self, batch: Vec<UserEvent>) -> Result<(), SendError<Vec<UserEvent>>> {
+        self.tx.send(batch)
     }
 }
 
@@ -263,8 +322,51 @@ pub trait StreamingEngine {
 
     /// Begin a new session: restore the engine to its freshly-constructed
     /// state, re-seeded with the construction seed (an identical replay
-    /// yields a bit-identical release).
+    /// yields a bit-identical release). Warm resources — worker pools,
+    /// scratch buffers, arena chunks — are retained, so resetting (and
+    /// recovery replay, which starts with one) is cheap.
     fn reset(&mut self);
+
+    /// FNV-1a hash of the session's immutable identity: seed, engine
+    /// kind, configuration (everything output-affecting, including thread
+    /// counts) and grid. Two engines with equal fingerprints produce
+    /// bit-identical sessions from the same events; the WAL header records
+    /// it so a log can only be replayed into a matching engine.
+    fn fingerprint(&self) -> u64;
+
+    /// Serialize the engine's full mutable state for a
+    /// [`Checkpointer`](crate::wal::Checkpointer), or `None` if this
+    /// engine does not support checkpoints (recovery then always replays
+    /// the full WAL).
+    fn checkpoint_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state serialized by [`checkpoint_bytes`](Self::checkpoint_bytes).
+    /// On error the engine may be partially mutated — callers must
+    /// [`reset`](Self::reset) before relying on it (recovery does).
+    fn restore_checkpoint(&mut self, _payload: &[u8]) -> Result<(), String> {
+        Err("this engine does not support checkpoints".to_string())
+    }
+
+    /// Reconstruct the session recorded in the WAL at `wal_path`:
+    /// validate the header fingerprint against this engine, restore the
+    /// newest usable checkpoint sidecar (if any), and replay the logged
+    /// batches through [`step`](Self::step). Determinism makes the result
+    /// bit-identical to the uninterrupted run over the same prefix; a
+    /// torn or corrupt WAL tail truncates the session to the last intact
+    /// timestamp (see [`Recovery::truncated`]) instead of failing.
+    ///
+    /// The engine must be constructed exactly as the logged session was
+    /// (same seed, config, grid — enforced via
+    /// [`fingerprint`](Self::fingerprint)); any prior state is discarded
+    /// with [`reset`](Self::reset). To *continue* the recovered session
+    /// durably, [`WalWriter::reopen`](crate::wal::WalWriter::reopen) the
+    /// same WAL and keep feeding through a
+    /// [`WalSource`](crate::wal::WalSource).
+    fn recover(&mut self, wal_path: &Path) -> Result<Recovery, WalError> {
+        crate::wal::recover_engine(self, wal_path)
+    }
 
     /// Drive this engine from `source` until it is exhausted, then
     /// [`release`](Self::release). Pass `&mut source` to keep the source
@@ -363,6 +465,49 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recycling_channel_source_reuses_buffers() {
+        let (sender, mut src) = ChannelSource::recycling(2);
+        // First two batches: fresh allocations (pool is empty).
+        let mut b1 = sender.buffer();
+        b1.reserve(64);
+        b1.extend(batch(&[1]));
+        let p1 = b1.as_ptr();
+        sender.send(b1).unwrap();
+        let mut b2 = sender.buffer();
+        b2.extend(batch(&[2]));
+        sender.send(b2).unwrap();
+        // Consume both: b1's buffer is returned to the pool when the
+        // consumer moves on to b2.
+        assert_eq!(src.next_batch().unwrap()[0].user, 1);
+        assert_eq!(src.next_batch().unwrap()[0].user, 2);
+        // The producer now gets b1's allocation back: same pointer, same
+        // capacity, cleared.
+        let b3 = sender.buffer();
+        assert_eq!(b3.as_ptr(), p1, "buffer was not recycled");
+        assert!(b3.capacity() >= 64);
+        assert!(b3.is_empty());
+        // The plain bounded variant never recycles.
+        let (tx, mut plain) = ChannelSource::bounded(1);
+        tx.send(batch(&[7])).unwrap();
+        drop(tx);
+        assert_eq!(plain.next_batch().unwrap()[0].user, 7);
+        assert!(plain.next_batch().is_none());
+    }
+
+    #[test]
+    fn recycling_consumer_never_blocks_on_full_pool() {
+        // Producer sends but never drains the pool: the consumer's
+        // try_send path must drop buffers instead of wedging.
+        let (sender, mut src) = ChannelSource::recycling(1);
+        for t in 0..5u64 {
+            sender.send(batch(&[t])).unwrap();
+            assert_eq!(src.next_batch().unwrap()[0].user, t);
+        }
+        drop(sender);
+        assert!(src.next_batch().is_none());
     }
 
     #[test]

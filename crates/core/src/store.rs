@@ -42,10 +42,48 @@
 //! (the paper's defining property, §III-D) costs nothing beyond what the
 //! consumer actually reads.
 
+use crate::compact::FrozenStore;
+use crate::wal::{Dec, Enc};
 use retrasyn_geo::{CellId, Grid, GriddedDataset};
 
+/// Arena address type. The default `u32` keeps `TailNode` at 8 bytes and
+/// caps the arena just below 2³² nodes; the `large-arena` feature widens
+/// addresses (and every link column) to `u64` for sessions whose total
+/// history exceeds that ceiling.
+#[cfg(not(feature = "large-arena"))]
+pub(crate) type Addr = u32;
+/// Arena address type (`large-arena`: 64-bit, no practical ceiling).
+#[cfg(feature = "large-arena")]
+pub(crate) type Addr = u64;
+
 /// Sentinel link for a stream with no tail (length 1).
-pub(crate) const NO_LINK: u32 = u32::MAX;
+pub(crate) const NO_LINK: Addr = Addr::MAX;
+
+/// Portable (width-independent) serialized form of an arena link: always a
+/// `u64`, with `NO_LINK` mapped to `u64::MAX` so checkpoints written with
+/// one address width load under the other (as long as they fit).
+pub(crate) fn link_to_u64(link: Addr) -> u64 {
+    if link == NO_LINK {
+        u64::MAX
+    } else {
+        link as u64
+    }
+}
+
+/// Inverse of [`link_to_u64`]; fails (instead of wrapping) when a link
+/// needs more address bits than this build has.
+pub(crate) fn link_from_u64(v: u64) -> Result<Addr, String> {
+    if v == u64::MAX {
+        Ok(NO_LINK)
+    } else if v >= NO_LINK as u64 {
+        Err(format!(
+            "arena link {v} exceeds this build's address width; \
+             enable the `large-arena` feature"
+        ))
+    } else {
+        Ok(v as Addr)
+    }
+}
 
 const CHUNK_BITS: u32 = 16;
 const CHUNK_LEN: usize = 1 << CHUNK_BITS;
@@ -57,12 +95,14 @@ const CHUNK_MASK: usize = CHUNK_LEN - 1;
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct TailNode {
     pub(crate) cell: CellId,
-    pub(crate) prev: u32,
+    pub(crate) prev: Addr,
 }
 
-/// Chunked append-only arena of `TailNode`s. Addresses are dense `u32`
+/// Chunked append-only arena of `TailNode`s. Addresses are dense [`Addr`]
 /// indices; fixed-size chunks keep them stable and make growth O(1) —
-/// no reallocation ever copies existing nodes.
+/// no reallocation ever copies existing nodes. [`TailArena::clear`] keeps
+/// the chunks around, so session churn (reset, recovery replay) reuses
+/// warm allocations instead of re-growing from nothing.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct TailArena {
     chunks: Vec<Vec<TailNode>>,
@@ -77,33 +117,54 @@ impl TailArena {
 
     /// Node at `addr`.
     #[inline]
-    pub(crate) fn get(&self, addr: u32) -> TailNode {
+    pub(crate) fn get(&self, addr: Addr) -> TailNode {
         self.chunks[addr as usize >> CHUNK_BITS][addr as usize & CHUNK_MASK]
     }
 
-    /// Start a new chunk. The exhaustion check lives here — once per
-    /// `CHUNK_LEN` appends, not on the hot path — and is a hard `assert`:
-    /// past it, `len as u32` would wrap (and `NO_LINK` would collide with
-    /// a real address), silently cross-linking chains in release builds.
-    /// Capping at the last whole chunk below `NO_LINK` keeps every address
-    /// the new chunk can hand out strictly below the sentinel.
+    /// Drop all nodes but keep every chunk allocation; subsequent appends
+    /// refill the existing chunks in place.
+    pub(crate) fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of chunk allocations currently held (retained across
+    /// [`Self::clear`]).
+    #[cfg(test)]
+    pub(crate) fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Make the chunk owning address `self.len` ready for appending. The
+    /// exhaustion check lives here — once per `CHUNK_LEN` appends, not on
+    /// the hot path — and is a hard `assert`: past it, `len as Addr` would
+    /// wrap (and `NO_LINK` would collide with a real address), silently
+    /// cross-linking chains in release builds. Capping at the last whole
+    /// chunk below `NO_LINK` keeps every address the new chunk can hand
+    /// out strictly below the sentinel. A chunk retained by
+    /// [`Self::clear`] is reused (cleared) instead of allocating.
     fn grow(&mut self) {
         assert!(
-            self.len + CHUNK_LEN <= NO_LINK as usize,
-            "tail arena address space exhausted ({} nodes)",
+            (self.len + CHUNK_LEN) as u128 <= NO_LINK as u128,
+            "tail arena address space exhausted ({} nodes); \
+             enable the `large-arena` feature for 64-bit addresses",
             self.len
         );
-        self.chunks.push(Vec::with_capacity(CHUNK_LEN));
+        let idx = self.len >> CHUNK_BITS;
+        if idx < self.chunks.len() {
+            self.chunks[idx].clear();
+        } else {
+            self.chunks.push(Vec::with_capacity(CHUNK_LEN));
+        }
     }
 
     /// Append one node, returning its address.
     #[inline]
-    pub(crate) fn push(&mut self, node: TailNode) -> u32 {
+    pub(crate) fn push(&mut self, node: TailNode) -> Addr {
         if self.len & CHUNK_MASK == 0 {
             self.grow();
         }
-        let addr = self.len as u32;
-        self.chunks.last_mut().expect("chunk pushed above").push(node);
+        let addr = self.len as Addr;
+        self.chunks[self.len >> CHUNK_BITS].push(node);
         self.len += 1;
         addr
     }
@@ -117,10 +178,40 @@ impl TailArena {
             }
             let room = CHUNK_LEN - (self.len & CHUNK_MASK);
             let take = room.min(rest.len());
-            self.chunks.last_mut().expect("chunk ensured above").extend_from_slice(&rest[..take]);
+            self.chunks[self.len >> CHUNK_BITS].extend_from_slice(&rest[..take]);
             self.len += take;
             rest = &rest[take..];
         }
+    }
+
+    /// Serialize every node in address order (checkpoint format: links as
+    /// portable `u64`s, see [`link_to_u64`]).
+    pub(crate) fn encode_into(&self, enc: &mut Enc) {
+        enc.usize(self.len);
+        for addr in 0..self.len {
+            let node = self.get(addr as Addr);
+            enc.u16(node.cell.0);
+            enc.u64(link_to_u64(node.prev));
+        }
+    }
+
+    /// Rebuild from [`Self::encode_into`] output. Re-pushing in address
+    /// order reproduces identical addresses. Each node's `prev` must point
+    /// strictly backward (or be `NO_LINK`) — the invariant append-only
+    /// construction guarantees — which rules out out-of-bounds reads and
+    /// cycles for any payload this accepts.
+    pub(crate) fn decode_from(&mut self, dec: &mut Dec) -> Result<(), String> {
+        self.clear();
+        let n = dec.usize()?;
+        for addr in 0..n {
+            let cell = CellId(dec.u16()?);
+            let prev = link_from_u64(dec.u64()?)?;
+            if prev != NO_LINK && prev as usize >= addr {
+                return Err(format!("arena node {addr} links forward to {prev}"));
+            }
+            self.push(TailNode { cell, prev });
+        }
+        Ok(())
     }
 }
 
@@ -130,20 +221,20 @@ impl TailArena {
 /// buffer and offsets the links).
 pub(crate) trait TailSink {
     /// Append one node, returning its address in this sink's space.
-    fn append_node(&mut self, node: TailNode) -> u32;
+    fn append_node(&mut self, node: TailNode) -> Addr;
 }
 
 impl TailSink for TailArena {
     #[inline]
-    fn append_node(&mut self, node: TailNode) -> u32 {
+    fn append_node(&mut self, node: TailNode) -> Addr {
         self.push(node)
     }
 }
 
 impl TailSink for Vec<TailNode> {
     #[inline]
-    fn append_node(&mut self, node: TailNode) -> u32 {
-        let addr = self.len() as u32;
+    fn append_node(&mut self, node: TailNode) -> Addr {
+        let addr = self.len() as Addr;
         self.push(node);
         addr
     }
@@ -163,7 +254,7 @@ pub(crate) struct Columns {
     /// Cells reported so far (chain length + 1).
     pub(crate) lens: Vec<u32>,
     /// Arena address of the previous cell's node (`NO_LINK` if length 1).
-    pub(crate) links: Vec<u32>,
+    pub(crate) links: Vec<Addr>,
 }
 
 impl Columns {
@@ -190,7 +281,7 @@ impl Columns {
 
     /// Append one row.
     #[inline]
-    pub(crate) fn push(&mut self, id: u64, start: u64, head: CellId, len: u32, link: u32) {
+    pub(crate) fn push(&mut self, id: u64, start: u64, head: CellId, len: u32, link: Addr) {
         self.heads.push(head);
         self.ids.push(id);
         self.starts.push(start);
@@ -238,18 +329,61 @@ impl Columns {
         self.lens.append(&mut other.lens);
         self.links.append(&mut other.links);
     }
+
+    /// Serialize every row in order (checkpoint format).
+    pub(crate) fn encode_into(&self, enc: &mut Enc) {
+        enc.usize(self.len());
+        for i in 0..self.len() {
+            enc.u16(self.heads[i].0);
+            enc.u64(self.ids[i]);
+            enc.u64(self.starts[i]);
+            enc.u32(self.lens[i]);
+            enc.u64(link_to_u64(self.links[i]));
+        }
+    }
+
+    /// Rebuild from [`Self::encode_into`] output. Links are bounds-checked
+    /// against `arena_len` so a decoded store can never walk outside its
+    /// arena; lengths must be >= 1 (streams are never empty).
+    pub(crate) fn decode_from(&mut self, dec: &mut Dec, arena_len: usize) -> Result<(), String> {
+        self.clear();
+        let n = dec.usize()?;
+        for i in 0..n {
+            let head = CellId(dec.u16()?);
+            let id = dec.u64()?;
+            let start = dec.u64()?;
+            let len = dec.u32()?;
+            let link = link_from_u64(dec.u64()?)?;
+            if len == 0 {
+                return Err(format!("stream row {i} has length 0"));
+            }
+            if link != NO_LINK && link as usize >= arena_len {
+                return Err(format!("stream row {i} links past the arena ({link})"));
+            }
+            if (len == 1) != (link == NO_LINK) {
+                return Err(format!("stream row {i} length/link mismatch"));
+            }
+            self.push(id, start, head, len, link);
+        }
+        Ok(())
+    }
 }
 
 /// The synthesizer's columnar stream storage: live head columns, the shared
-/// chunked tail arena, and the finished region retirement moves rows into.
+/// chunked tail arena, the finished region retirement moves rows into, and
+/// the frozen region epoch compaction drains the finished rows out to (see
+/// [`crate::compact`]).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StreamStore {
     /// Live streams (SoA).
     pub(crate) live: Columns,
-    /// Retired streams (SoA; cells remain in the arena).
+    /// Retired streams (SoA; cells remain in the arena until compaction).
     pub(crate) finished: Columns,
-    /// Historical cells of every stream, live or finished.
+    /// Historical cells of every live or finished stream.
     pub(crate) tail: TailArena,
+    /// Epoch-compacted streams: flat forward-ordered cells, out of the
+    /// arena entirely.
+    pub(crate) frozen: FrozenStore,
 }
 
 impl StreamStore {
@@ -265,9 +399,46 @@ impl StreamStore {
         SnapshotView { store: self, horizon }
     }
 
+    /// Drop every stream and every arena node, retaining all allocations
+    /// (column capacity, arena chunks, frozen buffers) for the next
+    /// session.
+    pub(crate) fn reset(&mut self) {
+        self.live.clear();
+        self.finished.clear();
+        self.tail.clear();
+        self.frozen.clear();
+    }
+
+    /// Arena nodes + live/finished head rows currently resident (the
+    /// memory the compactor bounds; frozen cells are excluded — they are
+    /// the compactor's output).
+    pub(crate) fn resident_cells(&self) -> usize {
+        self.tail.len() + self.live.len() + self.finished.len()
+    }
+
+    /// Serialize the whole store (checkpoint format): arena first so the
+    /// column decoders can bounds-check their links against it.
+    pub(crate) fn encode_into(&self, enc: &mut Enc) {
+        self.tail.encode_into(enc);
+        self.live.encode_into(enc);
+        self.finished.encode_into(enc);
+        self.frozen.encode_into(enc);
+    }
+
+    /// Rebuild from [`Self::encode_into`] output, reusing this store's
+    /// allocations. Any structural inconsistency is an `Err`, never a
+    /// panic.
+    pub(crate) fn decode_from(&mut self, dec: &mut Dec) -> Result<(), String> {
+        self.tail.decode_from(dec)?;
+        let arena_len = self.tail.len();
+        self.live.decode_from(dec, arena_len)?;
+        self.finished.decode_from(dec, arena_len)?;
+        self.frozen.decode_from(dec)
+    }
+
     /// Materialize the cells of a stream described by `(head, len, link)`
     /// into `out`, oldest first, by walking its chain backward.
-    fn write_cells(&self, head: CellId, len: usize, link: u32, out: &mut [CellId]) {
+    pub(crate) fn write_cells(&self, head: CellId, len: usize, link: Addr, out: &mut [CellId]) {
         debug_assert_eq!(out.len(), len);
         out[len - 1] = head;
         let mut addr = link;
@@ -282,16 +453,26 @@ impl StreamStore {
     /// Close every live stream (in live order, matching the sequential
     /// retirement semantics) and release the whole store as an id-sorted
     /// columnar [`GriddedDataset`]: one flat cell column, no per-stream
-    /// allocation.
+    /// allocation. Frozen streams are merged back in by id — the release
+    /// is bit-for-bit identical whether or not compaction ever ran.
     pub(crate) fn into_dataset(mut self, grid: Grid, horizon: u64) -> GriddedDataset {
         {
             let StreamStore { live, finished, .. } = &mut self;
             finished.append(live);
         }
-        let n = self.finished.len();
+        let nf = self.frozen.num_streams();
+        let n = nf + self.finished.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_unstable_by_key(|&i| self.finished.ids[i as usize]);
-        let total: usize = self.finished.lens.iter().map(|&l| l as usize).sum();
+        order.sort_unstable_by_key(|&i| {
+            let i = i as usize;
+            if i < nf {
+                self.frozen.ids[i]
+            } else {
+                self.finished.ids[i - nf]
+            }
+        });
+        let total: usize = self.frozen.total_cells()
+            + self.finished.lens.iter().map(|&l| l as usize).sum::<usize>();
         let mut ids = Vec::with_capacity(n);
         let mut starts = Vec::with_capacity(n);
         let mut offsets = Vec::with_capacity(n + 1);
@@ -300,16 +481,25 @@ impl StreamStore {
         let mut pos = 0usize;
         for &oi in &order {
             let i = oi as usize;
-            ids.push(self.finished.ids[i]);
-            starts.push(self.finished.starts[i]);
-            let len = self.finished.lens[i] as usize;
-            self.write_cells(
-                self.finished.heads[i],
-                len,
-                self.finished.links[i],
-                &mut cells[pos..pos + len],
-            );
-            pos += len;
+            if i < nf {
+                ids.push(self.frozen.ids[i]);
+                starts.push(self.frozen.starts[i]);
+                let src = self.frozen.cells_of(i);
+                cells[pos..pos + src.len()].copy_from_slice(src);
+                pos += src.len();
+            } else {
+                let i = i - nf;
+                ids.push(self.finished.ids[i]);
+                starts.push(self.finished.starts[i]);
+                let len = self.finished.lens[i] as usize;
+                self.write_cells(
+                    self.finished.heads[i],
+                    len,
+                    self.finished.links[i],
+                    &mut cells[pos..pos + len],
+                );
+                pos += len;
+            }
             offsets.push(pos);
         }
         GriddedDataset::from_columns(grid, ids, starts, offsets, cells, horizon)
@@ -345,14 +535,15 @@ impl<'a> SnapshotView<'a> {
         self.store.live.len()
     }
 
-    /// Number of synthetic streams already terminated.
+    /// Number of synthetic streams already terminated (including streams
+    /// drained into the frozen region by epoch compaction).
     pub fn finished_count(&self) -> usize {
-        self.store.finished.len()
+        self.store.frozen.num_streams() + self.store.finished.len()
     }
 
-    /// Total number of streams (live + finished).
+    /// Total number of streams (frozen + finished + live).
     pub fn num_streams(&self) -> usize {
-        self.store.live.len() + self.store.finished.len()
+        self.finished_count() + self.store.live.len()
     }
 
     /// Whether the snapshot holds no streams.
@@ -360,23 +551,28 @@ impl<'a> SnapshotView<'a> {
         self.num_streams() == 0
     }
 
-    /// Borrowed iteration over every stream: the finished region first,
-    /// then the live population. Order within each region is the store's
+    /// Borrowed iteration over every stream: the terminated streams first
+    /// (frozen epochs in compaction order, then the finished region), then
+    /// the live population. Order within each region is the store's
     /// internal (retirement / spawn-and-swap) order, not id order — map by
     /// [`SnapshotStream::id`] to correlate snapshots across timestamps.
     pub fn streams(&self) -> impl ExactSizeIterator<Item = SnapshotStream<'a>> + Clone + '_ {
         let store = self.store;
+        let frozen = store.frozen.num_streams();
         let finished = store.finished.len();
         (0..self.num_streams()).map(move |i| {
+            if i < frozen {
+                return store.frozen.stream(i);
+            }
+            let i = i - frozen;
             let (cols, row) =
                 if i < finished { (&store.finished, i) } else { (&store.live, i - finished) };
             SnapshotStream {
-                arena: &store.tail,
                 id: cols.ids[row],
                 start: cols.starts[row],
                 head: cols.heads[row],
                 len: cols.lens[row],
-                link: cols.links[row],
+                repr: StreamRepr::Chain { arena: &store.tail, link: cols.links[row] },
             }
         })
     }
@@ -386,12 +582,11 @@ impl<'a> SnapshotView<'a> {
     pub fn live(&self) -> impl ExactSizeIterator<Item = SnapshotStream<'a>> + Clone + '_ {
         let store = self.store;
         (0..store.live.len()).map(move |row| SnapshotStream {
-            arena: &store.tail,
             id: store.live.ids[row],
             start: store.live.starts[row],
             head: store.live.heads[row],
             len: store.live.lens[row],
-            link: store.live.links[row],
+            repr: StreamRepr::Chain { arena: &store.tail, link: store.live.links[row] },
         })
     }
 
@@ -415,16 +610,44 @@ impl<'a> SnapshotView<'a> {
     }
 }
 
-/// One synthetic stream inside a [`SnapshotView`]: five copied scalars plus
-/// a borrow of the tail arena — `Copy`, allocation-free.
+/// One synthetic stream inside a [`SnapshotView`]: four copied scalars plus
+/// a borrow of the backing region — `Copy`, allocation-free. The region is
+/// either a backward-linked chain in the tail arena (live / finished
+/// streams) or a flat forward-ordered slice (streams drained into the
+/// frozen region by epoch compaction); the accessors are identical either
+/// way.
 #[derive(Debug, Clone, Copy)]
 pub struct SnapshotStream<'a> {
-    arena: &'a TailArena,
     id: u64,
     start: u64,
     head: CellId,
     len: u32,
-    link: u32,
+    repr: StreamRepr<'a>,
+}
+
+/// Backing storage of a [`SnapshotStream`]'s cells.
+#[derive(Debug, Clone, Copy)]
+enum StreamRepr<'a> {
+    /// Backward-linked chain in the tail arena; `link` is the address of
+    /// the cell before the head (`NO_LINK` for length-1 streams).
+    Chain { arena: &'a TailArena, link: Addr },
+    /// Flat forward-ordered cells in the frozen region.
+    Flat(&'a [CellId]),
+}
+
+impl<'a> SnapshotStream<'a> {
+    /// A stream backed by a flat forward-ordered cell slice (the frozen
+    /// region's layout). `cells` must be non-empty.
+    pub(crate) fn from_flat(id: u64, start: u64, cells: &'a [CellId]) -> Self {
+        debug_assert!(!cells.is_empty(), "streams are never empty");
+        SnapshotStream {
+            id,
+            start,
+            head: *cells.last().expect("non-empty"),
+            len: cells.len() as u32,
+            repr: StreamRepr::Flat(cells),
+        }
+    }
 }
 
 impl<'a> SnapshotStream<'a> {
@@ -460,9 +683,15 @@ impl<'a> SnapshotStream<'a> {
 
     /// The stream's cells in *reverse* chronological order (newest first):
     /// the natural zero-allocation traversal, since historical cells are a
-    /// backward-linked chain in the arena.
+    /// backward-linked chain in the arena (frozen streams iterate their
+    /// flat slice backward, indistinguishably).
     pub fn cells_rev(&self) -> CellsRev<'a> {
-        CellsRev { arena: self.arena, next: Some((self.head, self.link)), remaining: self.len }
+        CellsRev(match self.repr {
+            StreamRepr::Chain { arena, link } => {
+                CellsRevInner::Chain { arena, next: Some((self.head, link)), remaining: self.len }
+            }
+            StreamRepr::Flat(cells) => CellsRevInner::Flat(cells.iter().rev()),
+        })
     }
 
     /// Materialize the cells oldest-first into a reused buffer (cleared and
@@ -478,31 +707,47 @@ impl<'a> SnapshotStream<'a> {
 /// Zero-allocation iterator over a [`SnapshotStream`]'s cells, newest
 /// first. Created by [`SnapshotStream::cells_rev`].
 #[derive(Debug, Clone)]
-pub struct CellsRev<'a> {
-    arena: &'a TailArena,
-    /// The next cell to yield and the arena link *behind* it.
-    next: Option<(CellId, u32)>,
-    remaining: u32,
+pub struct CellsRev<'a>(CellsRevInner<'a>);
+
+#[derive(Debug, Clone)]
+enum CellsRevInner<'a> {
+    Chain {
+        arena: &'a TailArena,
+        /// The next cell to yield and the arena link *behind* it.
+        next: Option<(CellId, Addr)>,
+        remaining: u32,
+    },
+    Flat(std::iter::Rev<std::slice::Iter<'a, CellId>>),
 }
 
 impl Iterator for CellsRev<'_> {
     type Item = CellId;
 
     fn next(&mut self) -> Option<CellId> {
-        let (cell, link) = self.next?;
-        self.remaining -= 1;
-        self.next = if self.remaining == 0 {
-            debug_assert_eq!(link, NO_LINK, "chain length disagrees with len column");
-            None
-        } else {
-            let node = self.arena.get(link);
-            Some((node.cell, node.prev))
-        };
-        Some(cell)
+        match &mut self.0 {
+            CellsRevInner::Chain { arena, next, remaining } => {
+                let (cell, link) = (*next)?;
+                *remaining -= 1;
+                *next = if *remaining == 0 {
+                    debug_assert_eq!(link, NO_LINK, "chain length disagrees with len column");
+                    None
+                } else {
+                    let node = arena.get(link);
+                    Some((node.cell, node.prev))
+                };
+                Some(cell)
+            }
+            CellsRevInner::Flat(iter) => iter.next().copied(),
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining as usize, Some(self.remaining as usize))
+        match &self.0 {
+            CellsRevInner::Chain { remaining, .. } => {
+                (*remaining as usize, Some(*remaining as usize))
+            }
+            CellsRevInner::Flat(iter) => iter.size_hint(),
+        }
     }
 }
 
@@ -516,20 +761,41 @@ mod tests {
     fn arena_chunks_do_not_move_nodes() {
         let mut arena = TailArena::default();
         // Cross several chunk boundaries through both push and bulk paths.
-        for i in 0..(CHUNK_LEN + 10) as u32 {
-            let addr = arena.push(TailNode { cell: CellId((i % 7) as u16), prev: i });
-            assert_eq!(addr, i);
+        for i in 0..CHUNK_LEN + 10 {
+            let addr = arena.push(TailNode { cell: CellId((i % 7) as u16), prev: i as Addr });
+            assert_eq!(addr, i as Addr);
         }
         let batch: Vec<TailNode> =
-            (0..CHUNK_LEN + 5).map(|i| TailNode { cell: CellId(3), prev: i as u32 }).collect();
+            (0..CHUNK_LEN + 5).map(|i| TailNode { cell: CellId(3), prev: i as Addr }).collect();
         let base = arena.len();
         arena.extend_from_slice(&batch);
         assert_eq!(arena.len(), base + batch.len());
         for (i, node) in batch.iter().enumerate() {
-            assert_eq!(arena.get((base + i) as u32).prev, node.prev);
+            assert_eq!(arena.get((base + i) as Addr).prev, node.prev);
         }
         // Early nodes are untouched by growth.
         assert_eq!(arena.get(5).prev, 5);
+    }
+
+    #[test]
+    fn arena_clear_reuses_chunks() {
+        let mut arena = TailArena::default();
+        for i in 0..2 * CHUNK_LEN + 3 {
+            arena.push(TailNode { cell: CellId(1), prev: i as Addr });
+        }
+        let chunks = arena.chunk_count();
+        assert_eq!(chunks, 3);
+        arena.clear();
+        assert_eq!(arena.len(), 0);
+        // Refill past the old length: the retained chunks are reused in
+        // place and only genuinely new growth allocates.
+        for i in 0..2 * CHUNK_LEN + 7 {
+            let addr = arena.push(TailNode { cell: CellId(2), prev: i as Addr });
+            assert_eq!(addr, i as Addr);
+        }
+        assert_eq!(arena.chunk_count(), chunks);
+        assert_eq!(arena.get(CHUNK_LEN as Addr).prev, CHUNK_LEN as Addr);
+        assert_eq!(arena.get(0).cell, CellId(2));
     }
 
     #[test]
@@ -643,7 +909,7 @@ mod tests {
         live.extend_row(0, grid.cell_at(1, 0), &mut local);
         live.extend_row(0, grid.cell_at(2, 0), &mut local);
         assert_eq!(store.live.links[0], 1); // shard-local address
-        let base = store.tail.len() as u32;
+        let base = store.tail.len() as Addr;
         // Local `prev` pointers inside the batch must be rebased too; the
         // merge path only offsets links of rows extended this pass, so the
         // batch itself is rebased by the caller before relocation.

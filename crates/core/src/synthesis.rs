@@ -43,7 +43,8 @@
 use crate::model::GlobalMobilityModel;
 use crate::pool::{draw_seeds, ShardState, ShardTask, SynthesisPool, MIN_SHRINK_WEIGHT};
 use crate::sampler::{sample_weighted, SamplerCache};
-use crate::store::{Columns, SnapshotView, StreamStore, TailSink};
+use crate::store::{Addr, Columns, SnapshotView, StreamStore, TailArena, TailSink};
+use crate::wal::{Dec, Enc};
 use rand::Rng;
 use retrasyn_geo::{CellId, Grid, GriddedDataset, TransitionTable};
 use std::cmp::Ordering;
@@ -135,6 +136,11 @@ pub struct SyntheticDb {
     keyed: Vec<(f64, u32, u32)>,
     /// Reused victim-position buffer for the sequential shrink path.
     victims: Vec<u32>,
+    /// Reused spare arena epoch compaction rebuilds into (swapped with the
+    /// store's, so chunk allocations recycle across runs).
+    compact_spare: TailArena,
+    /// Reused cell buffer for compaction chain walks.
+    compact_scratch: Vec<CellId>,
 }
 
 impl Clone for SyntheticDb {
@@ -151,6 +157,8 @@ impl Clone for SyntheticDb {
             scan_buf: Vec::new(),
             keyed: Vec::new(),
             victims: Vec::new(),
+            compact_spare: TailArena::default(),
+            compact_scratch: Vec::new(),
         }
     }
 }
@@ -166,9 +174,55 @@ impl SyntheticDb {
         self.store.live.len()
     }
 
-    /// Number of completed synthetic streams so far.
+    /// Number of completed synthetic streams so far (including streams
+    /// drained into the frozen region by epoch compaction).
     pub fn finished_count(&self) -> usize {
-        self.store.finished.len()
+        self.store.frozen.num_streams() + self.store.finished.len()
+    }
+
+    /// Cells resident in mutable storage: tail-arena nodes plus live and
+    /// finished head rows. This is the quantity epoch compaction bounds;
+    /// frozen cells are excluded (they are the compactor's flat output).
+    pub fn resident_cells(&self) -> usize {
+        self.store.resident_cells()
+    }
+
+    /// Run one epoch compaction stamped `epoch` (see [`crate::compact`]):
+    /// finished streams drain into frozen storage and the arena is rebuilt
+    /// around the live chains. Returns `(streams_frozen, cells_frozen)`.
+    /// Snapshots and released output are bit-for-bit unchanged.
+    pub fn compact(&mut self, epoch: u64) -> (usize, usize) {
+        let mut spare = std::mem::take(&mut self.compact_spare);
+        let mut scratch = std::mem::take(&mut self.compact_scratch);
+        let out = self.store.compact(epoch, &mut spare, &mut scratch);
+        self.compact_spare = spare;
+        self.compact_scratch = scratch;
+        out
+    }
+
+    /// Reset to a fresh, uninitialized session in place: all stream
+    /// storage is dropped (ids restart at 0) while the worker pool, arena
+    /// chunks and every scratch buffer keep their allocations.
+    pub fn reset(&mut self) {
+        self.store.reset();
+        self.next_id = 0;
+        self.initialized = false;
+    }
+
+    /// Serialize the synthesis state for a checkpoint (counters + the full
+    /// stream store).
+    pub(crate) fn encode_into(&self, enc: &mut Enc) {
+        enc.u64(self.next_id);
+        enc.u8(self.initialized as u8);
+        self.store.encode_into(enc);
+    }
+
+    /// Restore from [`Self::encode_into`] output, keeping the worker pool
+    /// and scratch buffers.
+    pub(crate) fn decode_from(&mut self, dec: &mut Dec) -> Result<(), String> {
+        self.next_id = dec.u64()?;
+        self.initialized = dec.u8()? != 0;
+        self.store.decode_from(dec)
     }
 
     /// Per-cell occupancy of the live synthetic population (the real-time
@@ -245,7 +299,7 @@ impl SyntheticDb {
         lambda: f64,
         rng: &mut R,
     ) {
-        let StreamStore { live, finished, tail } = &mut self.store;
+        let StreamStore { live, finished, tail, .. } = &mut self.store;
         match cache {
             Some(cache) => {
                 quit_pass_cols(live, finished, tail, cache, lambda, true, rng);
@@ -307,7 +361,7 @@ impl SyntheticDb {
         lambda: f64,
         rng: &mut R,
     ) {
-        let StreamStore { live, finished, tail } = &mut self.store;
+        let StreamStore { live, finished, tail, .. } = &mut self.store;
         if let Some(cache) = cache {
             return quit_pass_cols(live, finished, tail, cache, lambda, false, rng);
         }
@@ -551,7 +605,7 @@ impl SyntheticDb {
     /// Every buffer keeps its capacity for the next step.
     fn merge_shards(&mut self, num_shards: usize) {
         for shard in &mut self.shards[..num_shards] {
-            let base = self.store.tail.len() as u32;
+            let base = self.store.tail.len() as Addr;
             self.store.tail.extend_from_slice(&shard.appended);
             shard.appended.clear();
             if base > 0 {
@@ -893,6 +947,30 @@ mod tests {
                 assert!(grid.are_adjacent(w[0], w[1]));
             }
         }
+    }
+
+    #[test]
+    fn reset_keeps_pool_workers_alive() {
+        let (grid, table, _) = setup();
+        let model = eastward_model_cached(&grid, &table);
+        let mut db = SyntheticDb::new();
+        let mut rng = StdRng::seed_from_u64(16);
+        for t in 0..3 {
+            db.step_parallel(t, &model, &table, 5000, 50.0, &mut rng, 2);
+        }
+        let ids = db.pool.as_ref().expect("pool created").worker_ids();
+        db.reset();
+        assert!(db.pool.is_some(), "reset dropped the worker pool");
+        let mut rng = StdRng::seed_from_u64(16);
+        for t in 0..3 {
+            db.step_parallel(t, &model, &table, 5000, 50.0, &mut rng, 2);
+        }
+        assert_eq!(
+            db.pool.as_ref().unwrap().worker_ids(),
+            ids,
+            "reset re-spawned pool workers instead of reusing them"
+        );
+        let _ = db.release(&grid, 3);
     }
 
     #[test]

@@ -1,0 +1,1156 @@
+//! Durable event write-ahead log (WAL) for streaming sessions.
+//!
+//! Because a session is bit-deterministic from `(seed, events, threads)`,
+//! durability reduces to logging the events: replaying a recorded WAL
+//! through a freshly constructed engine reproduces the *exact* session —
+//! every snapshot, every release, bit for bit. This module provides the
+//! log itself, a tee adapter so any [`EventSource`] gains durability, and
+//! the checkpoint sidecar that bounds replay time.
+//!
+//! # On-disk format
+//!
+//! All integers are little-endian. A WAL file is a 28-byte header followed
+//! by zero or more records, one per timestamp, in timestamp order:
+//!
+//! ```text
+//! header: magic "RSWAL001" (8) | seed u64 | fingerprint u64 | crc32 u32
+//! record: len u32 | payload (len bytes) | crc32 u32
+//! payload: t u64 | count u32 | count × event
+//! event:  user u64 | tag u8 (0=Move 1=Enter 2=Quit) | a u16 | b u16
+//! ```
+//!
+//! The header CRC covers the magic and both fields; each record CRC covers
+//! the length prefix *and* the payload, so any single-bit corruption —
+//! including in the framing — is detected. The `fingerprint` is the
+//! engine's [`StreamingEngine::fingerprint`]: an FNV-1a hash over seed,
+//! engine kind, configuration and grid, so a WAL can only be replayed into
+//! an identically configured session.
+//!
+//! # Torn and corrupt tails
+//!
+//! A crash can leave a partially written record at the end of the file.
+//! [`WalContents::read`] validates records in order and stops at the first
+//! framing or CRC failure, keeping the valid prefix: recovery yields the
+//! session as of the last fully persisted timestamp instead of failing
+//! outright. Only a corrupt *header* is a hard error — nothing after it
+//! can be trusted.
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for throughput: `EveryBatch` fsyncs
+//! after each timestamp (a crash loses nothing that was acknowledged),
+//! `EveryN(k)` fsyncs every `k` batches (bounded loss window), `Never`
+//! leaves flushing to the OS (contents survive process crashes but not
+//! host crashes).
+//!
+//! # Checkpoints
+//!
+//! Replay from t=0 is O(session length). A [`Checkpointer`] serializes
+//! the engine's full mutable state (store columns, model, ledger,
+//! registry, allocator, RNG) to an atomically replaced sidecar file every
+//! `k` timestamps, so [`StreamingEngine::recover`] only replays the WAL
+//! suffix after the last checkpoint. A corrupt or stale checkpoint is
+//! *never* fatal: recovery reports it in
+//! [`Recovery::checkpoint`] and falls back to full replay.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::session::{EventSource, StreamingEngine};
+use retrasyn_geo::{CellId, Grid, TransitionState, UserEvent};
+
+/// Magic bytes opening every WAL file.
+const WAL_MAGIC: &[u8; 8] = b"RSWAL001";
+/// Magic bytes opening every checkpoint sidecar.
+const CKPT_MAGIC: &[u8; 8] = b"RSCKPT01";
+/// Header: magic + seed + fingerprint + crc32.
+const HEADER_LEN: usize = 8 + 8 + 8 + 4;
+/// Fixed per-event encoding size: user u64 + tag u8 + two u16 operands.
+const EVENT_LEN: usize = 8 + 1 + 2 + 2;
+/// Fixed payload prefix: t u64 + count u32.
+const PAYLOAD_PREFIX: usize = 8 + 4;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected), hand-rolled — no external crates.
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC32 of `bytes` (the polynomial used by zip/PNG/Ethernet).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a fingerprinting (session identity).
+
+/// Incremental FNV-1a hasher used to fingerprint a session's immutable
+/// identity (seed, engine kind, config, grid). Not cryptographic — it
+/// guards against accidental mismatches, not adversaries.
+#[derive(Debug, Clone)]
+pub(crate) struct Fingerprint(u64);
+
+impl Fingerprint {
+    pub(crate) fn new(kind: &str) -> Self {
+        let mut f = Fingerprint(0xCBF2_9CE4_8422_2325);
+        f.bytes(kind.as_bytes());
+        f
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Fold a grid's full identity in: cell resolution and the exact bit
+    /// patterns of the bounding box coordinates.
+    pub(crate) fn grid(&mut self, grid: &Grid) -> &mut Self {
+        let bbox = grid.bbox();
+        self.u64(grid.k() as u64).f64(bbox.min.x).f64(bbox.min.y).f64(bbox.max.x).f64(bbox.max.y)
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors.
+
+/// Failure reading, writing or replaying a WAL or checkpoint.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file's contents are invalid at `offset` (header damage,
+    /// semantic corruption that survived the CRC, or a corrupt
+    /// checkpoint). Torn/corrupt *tail records* are not errors — they
+    /// truncate the replay to the valid prefix instead.
+    Corrupt {
+        /// Byte offset of the first invalid content.
+        offset: u64,
+        /// Human-readable description of what failed to validate.
+        detail: String,
+    },
+    /// The WAL belongs to a differently configured session (fingerprint
+    /// mismatch).
+    Mismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::Corrupt { offset, detail } => {
+                write!(f, "corrupt WAL data at byte {offset}: {detail}")
+            }
+            WalError::Mismatch { detail } => write!(f, "WAL/session mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian encode/decode helpers (shared with engine checkpoints).
+
+/// Append-only little-endian byte encoder.
+#[derive(Debug, Default)]
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Cursor-style little-endian decoder with descriptive errors.
+#[derive(Debug)]
+pub(crate) struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.pos < n {
+            return Err(format!(
+                "unexpected end of data: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("value {v} does not fit in usize"))
+    }
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub(crate) fn finish(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after payload", self.bytes.len() - self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event encoding.
+
+fn encode_event(enc: &mut Enc, e: &UserEvent) {
+    enc.u64(e.user);
+    match e.state {
+        TransitionState::Move { from, to } => {
+            enc.u8(0);
+            enc.u16(from.0);
+            enc.u16(to.0);
+        }
+        TransitionState::Enter(c) => {
+            enc.u8(1);
+            enc.u16(c.0);
+            enc.u16(0);
+        }
+        TransitionState::Quit(c) => {
+            enc.u8(2);
+            enc.u16(c.0);
+            enc.u16(0);
+        }
+    }
+}
+
+fn decode_event(dec: &mut Dec<'_>) -> Result<UserEvent, String> {
+    let user = dec.u64()?;
+    let tag = dec.u8()?;
+    let a = dec.u16()?;
+    let b = dec.u16()?;
+    let state = match tag {
+        0 => TransitionState::Move { from: CellId(a), to: CellId(b) },
+        1 => TransitionState::Enter(CellId(a)),
+        2 => TransitionState::Quit(CellId(a)),
+        other => return Err(format!("invalid event tag {other}")),
+    };
+    Ok(UserEvent { user, state })
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+/// When the WAL writer forces appended records to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended batch: an acknowledged timestamp is
+    /// never lost, at one sync per step.
+    EveryBatch,
+    /// `fsync` after every `k` batches (`k ≥ 1`): at most `k − 1` recent
+    /// timestamps can be lost to a host crash.
+    EveryN(u64),
+    /// Never force; the OS flushes at its leisure. Survives process
+    /// crashes (the kernel holds the pages) but not host crashes.
+    Never,
+}
+
+/// Appends length-prefixed, CRC-framed per-timestamp batches to a WAL
+/// file. Create with [`WalWriter::create`] for a fresh session or
+/// [`WalWriter::reopen`] to continue a recovered one.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: io::BufWriter<fs::File>,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    next_t: u64,
+    since_sync: u64,
+    buf: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Create (truncating) a WAL at `path` for a session identified by
+    /// `(seed, fingerprint)`. The header is written and synced
+    /// immediately.
+    pub fn create(
+        path: impl AsRef<Path>,
+        seed: u64,
+        fingerprint: u64,
+        policy: FsyncPolicy,
+    ) -> Result<Self, WalError> {
+        if let FsyncPolicy::EveryN(k) = policy {
+            assert!(k >= 1, "FsyncPolicy::EveryN requires k >= 1");
+        }
+        let path = path.as_ref().to_path_buf();
+        let file = fs::OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(WAL_MAGIC);
+        header.extend_from_slice(&seed.to_le_bytes());
+        header.extend_from_slice(&fingerprint.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
+        let mut file = io::BufWriter::new(file);
+        file.write_all(&header)?;
+        file.flush()?;
+        file.get_ref().sync_data()?;
+        Ok(WalWriter { file, path, policy, next_t: 0, since_sync: 0, buf: Vec::new() })
+    }
+
+    /// Reopen an existing WAL to continue appending after recovery. The
+    /// torn/corrupt tail (everything past `contents.valid_len`) is
+    /// truncated away and the writer positions at the end of the valid
+    /// prefix, expecting timestamp `contents.batches.len()` next.
+    pub fn reopen(
+        contents: &WalContents,
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+    ) -> Result<Self, WalError> {
+        if let FsyncPolicy::EveryN(k) = policy {
+            assert!(k >= 1, "FsyncPolicy::EveryN requires k >= 1");
+        }
+        let path = path.as_ref().to_path_buf();
+        let file = fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(contents.valid_len)?;
+        let mut file = io::BufWriter::new(file);
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            path,
+            policy,
+            next_t: contents.batches.len() as u64,
+            since_sync: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Append the batch for timestamp `t`, which must be the next
+    /// consecutive timestamp.
+    pub fn append_batch(&mut self, t: u64, events: &[UserEvent]) -> Result<(), WalError> {
+        assert_eq!(t, self.next_t, "WAL batches must cover consecutive timestamps");
+        let payload_len = PAYLOAD_PREFIX + EVENT_LEN * events.len();
+        assert!(payload_len <= u32::MAX as usize, "batch too large for WAL framing");
+        self.buf.clear();
+        self.buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        let mut enc = Enc { buf: std::mem::take(&mut self.buf) };
+        enc.u64(t);
+        enc.u32(events.len() as u32);
+        for e in events {
+            encode_event(&mut enc, e);
+        }
+        self.buf = enc.buf;
+        let crc = crc32(&self.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&self.buf)?;
+        self.next_t += 1;
+        self.since_sync += 1;
+        match self.policy {
+            FsyncPolicy::EveryBatch => self.sync()?,
+            FsyncPolicy::EveryN(k) if self.since_sync >= k => self.sync()?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Flush buffered records and force them to stable storage.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Number of batches appended so far (equivalently: the next expected
+    /// timestamp).
+    pub fn batches_written(&self) -> u64 {
+        self.next_t
+    }
+
+    /// The WAL file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+/// A parsed WAL: the session identity from the header plus every fully
+/// persisted batch, in timestamp order.
+#[derive(Debug, Clone)]
+pub struct WalContents {
+    /// Seed recorded in the header.
+    pub seed: u64,
+    /// Session fingerprint recorded in the header.
+    pub fingerprint: u64,
+    /// One event batch per timestamp, `batches[t]` covering timestamp `t`.
+    pub batches: Vec<Vec<UserEvent>>,
+    /// Byte length of the valid prefix (header + intact records).
+    pub valid_len: u64,
+    /// Whether a torn or corrupt tail was discarded after `valid_len`.
+    pub truncated: bool,
+}
+
+impl WalContents {
+    /// Read and validate a WAL file. A corrupt header is an error; a torn
+    /// or corrupt tail truncates to the last intact timestamp and sets
+    /// [`WalContents::truncated`].
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path.as_ref())?.read_to_end(&mut bytes)?;
+        Self::parse(&bytes)
+    }
+
+    /// Parse an in-memory WAL image (see [`WalContents::read`]).
+    pub fn parse(bytes: &[u8]) -> Result<Self, WalError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WalError::Corrupt {
+                offset: bytes.len() as u64,
+                detail: format!(
+                    "file is {} bytes, shorter than the {HEADER_LEN}-byte header",
+                    bytes.len()
+                ),
+            });
+        }
+        if &bytes[..8] != WAL_MAGIC {
+            return Err(WalError::Corrupt {
+                offset: 0,
+                detail: format!("bad magic {:02x?}, expected \"RSWAL001\"", &bytes[..8]),
+            });
+        }
+        let stored_crc = u32::from_le_bytes(bytes[HEADER_LEN - 4..HEADER_LEN].try_into().unwrap());
+        if crc32(&bytes[..HEADER_LEN - 4]) != stored_crc {
+            return Err(WalError::Corrupt {
+                offset: 0,
+                detail: "header checksum mismatch".to_string(),
+            });
+        }
+        let seed = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let fingerprint = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+
+        let mut batches = Vec::new();
+        let mut pos = HEADER_LEN;
+        let mut truncated = false;
+        while pos < bytes.len() {
+            match parse_record(&bytes[pos..], batches.len() as u64) {
+                Ok((events, consumed)) => {
+                    batches.push(events);
+                    pos += consumed;
+                }
+                // Any framing/CRC/semantic failure in a record: keep the
+                // prefix up to the previous record. Framing past a flip
+                // can't be trusted, so no attempt is made to resynchronize.
+                Err(_) => {
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        Ok(WalContents { seed, fingerprint, batches, valid_len: pos as u64, truncated })
+    }
+}
+
+/// Parse one record at the start of `bytes`; returns the events and the
+/// bytes consumed, or a description of why the record is torn/corrupt.
+fn parse_record(bytes: &[u8], expected_t: u64) -> Result<(Vec<UserEvent>, usize), String> {
+    if bytes.len() < 4 {
+        return Err("torn length prefix".to_string());
+    }
+    let payload_len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let record_len = 4 + payload_len + 4;
+    if bytes.len() < record_len {
+        return Err("torn record body".to_string());
+    }
+    let stored_crc =
+        u32::from_le_bytes(bytes[4 + payload_len..record_len].try_into().expect("4 bytes"));
+    if crc32(&bytes[..4 + payload_len]) != stored_crc {
+        return Err("record checksum mismatch".to_string());
+    }
+    let mut dec = Dec::new(&bytes[4..4 + payload_len]);
+    let t = dec.u64()?;
+    if t != expected_t {
+        return Err(format!("record timestamp {t}, expected {expected_t}"));
+    }
+    let count = dec.u32()? as usize;
+    if payload_len != PAYLOAD_PREFIX + EVENT_LEN * count {
+        return Err(format!("payload length {payload_len} disagrees with event count {count}"));
+    }
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        events.push(decode_event(&mut dec)?);
+    }
+    dec.finish()?;
+    Ok((events, record_len))
+}
+
+// ---------------------------------------------------------------------------
+// Replay source.
+
+/// An [`EventSource`] that replays a recorded WAL, batch by batch. Open
+/// one with [`WalSource::replay`] (or [`WalReplay::open`]); drive it into
+/// a fresh engine to reconstruct the logged session exactly.
+#[derive(Debug, Clone)]
+pub struct WalReplay {
+    contents: WalContents,
+    pos: usize,
+}
+
+impl WalReplay {
+    /// Open `path` for replay. Torn/corrupt tails are truncated to the
+    /// valid prefix (see [`WalContents::read`]); inspect
+    /// [`WalReplay::contents`] to find out.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        Ok(WalReplay { contents: WalContents::read(path)?, pos: 0 })
+    }
+
+    /// Replay directly from parsed contents.
+    pub fn from_contents(contents: WalContents) -> Self {
+        WalReplay { contents, pos: 0 }
+    }
+
+    /// The parsed WAL this source replays.
+    pub fn contents(&self) -> &WalContents {
+        &self.contents
+    }
+}
+
+impl EventSource for WalReplay {
+    fn next_batch(&mut self) -> Option<&[UserEvent]> {
+        let batch = self.contents.batches.get(self.pos)?;
+        self.pos += 1;
+        Some(batch)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tee source.
+
+/// Tee adapter giving any [`EventSource`] durability: every batch the
+/// inner source yields is appended to the WAL before the engine sees it,
+/// so the log always covers at least what the session has ingested.
+///
+/// A WAL write failure panics with a descriptive message rather than
+/// silently dropping events — a WAL that quietly diverges from the
+/// session it claims to record would defeat the purpose of having one.
+#[derive(Debug)]
+pub struct WalSource<S> {
+    inner: S,
+    writer: WalWriter,
+    next_t: u64,
+}
+
+impl<S: EventSource> WalSource<S> {
+    /// Wrap `inner`, logging every yielded batch to `writer`. The writer's
+    /// next expected timestamp must match the inner source's next batch
+    /// (0 for a fresh session; the recovery point when continuing after
+    /// [`WalWriter::reopen`]).
+    pub fn tee(inner: S, writer: WalWriter) -> Self {
+        let next_t = writer.batches_written();
+        WalSource { inner, writer, next_t }
+    }
+
+    /// Unwrap, returning the inner source and the writer (e.g. to `sync`
+    /// at session end).
+    pub fn into_parts(self) -> (S, WalWriter) {
+        (self.inner, self.writer)
+    }
+
+    /// The underlying writer.
+    pub fn writer(&mut self) -> &mut WalWriter {
+        &mut self.writer
+    }
+}
+
+impl WalSource<WalReplay> {
+    /// Open a recorded WAL for replay; the result is itself an
+    /// [`EventSource`]. Equivalent to [`WalReplay::open`].
+    pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay, WalError> {
+        WalReplay::open(path)
+    }
+}
+
+impl<S: EventSource> EventSource for WalSource<S> {
+    fn next_batch(&mut self) -> Option<&[UserEvent]> {
+        let batch = self.inner.next_batch()?;
+        self.writer
+            .append_batch(self.next_t, batch)
+            .unwrap_or_else(|e| panic!("failed to append batch t={} to WAL: {e}", self.next_t));
+        self.next_t += 1;
+        Some(batch)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints.
+
+/// Writes the engine's serialized state to an atomically replaced sidecar
+/// file (`<wal>.ckpt`) every `every` timestamps, bounding recovery replay
+/// to the last checkpoint interval.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    path: PathBuf,
+    every: u64,
+}
+
+impl Checkpointer {
+    /// Checkpoint the session of the WAL at `wal_path` every `every`
+    /// timestamps (`every ≥ 1`) into the conventional sidecar path.
+    pub fn new(wal_path: impl AsRef<Path>, every: u64) -> Self {
+        assert!(every >= 1, "checkpoint interval must be >= 1");
+        Checkpointer { path: Self::sidecar(wal_path), every }
+    }
+
+    /// The conventional checkpoint sidecar path for a WAL: `<wal>.ckpt`.
+    pub fn sidecar(wal_path: impl AsRef<Path>) -> PathBuf {
+        let mut os = wal_path.as_ref().as_os_str().to_os_string();
+        os.push(".ckpt");
+        PathBuf::from(os)
+    }
+
+    /// The sidecar file this checkpointer writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Save a checkpoint if the engine's clock is on the interval. Call
+    /// after each `step`. Returns whether a checkpoint was written
+    /// (`false` off-interval or for engines without checkpoint support).
+    pub fn maybe_save<E: StreamingEngine + ?Sized>(&self, engine: &E) -> Result<bool, WalError> {
+        let t = engine.next_timestamp();
+        if t == 0 || !t.is_multiple_of(self.every) {
+            return Ok(false);
+        }
+        self.save(engine)
+    }
+
+    /// Save a checkpoint unconditionally (`false` only for engines
+    /// without checkpoint support). The sidecar is written to a temporary
+    /// file, synced, then renamed over the old checkpoint — a crash
+    /// mid-write leaves the previous checkpoint intact.
+    pub fn save<E: StreamingEngine + ?Sized>(&self, engine: &E) -> Result<bool, WalError> {
+        let Some(payload) = engine.checkpoint_bytes() else {
+            return Ok(false);
+        };
+        let mut bytes = Vec::with_capacity(HEADER_LEN + 8 + payload.len() + 4);
+        bytes.extend_from_slice(CKPT_MAGIC);
+        bytes.extend_from_slice(&engine.fingerprint().to_le_bytes());
+        bytes.extend_from_slice(&engine.next_timestamp().to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+
+        let mut tmp = self.path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        Ok(true)
+    }
+}
+
+/// Load and validate a checkpoint sidecar. `Ok(None)` if the file does
+/// not exist; `Err` if it exists but is corrupt or belongs to a different
+/// session (callers fall back to full WAL replay).
+pub(crate) fn load_checkpoint(
+    path: &Path,
+    fingerprint: u64,
+) -> Result<Option<(u64, Vec<u8>)>, WalError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt = |offset: usize, detail: String| WalError::Corrupt {
+        offset: offset as u64,
+        detail: format!("checkpoint {}: {detail}", path.display()),
+    };
+    if bytes.len() < 8 + 8 + 8 + 8 + 4 {
+        return Err(corrupt(bytes.len(), "file shorter than fixed fields".to_string()));
+    }
+    if &bytes[..8] != CKPT_MAGIC {
+        return Err(corrupt(0, format!("bad magic {:02x?}", &bytes[..8])));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(&bytes[..bytes.len() - 4]) != stored_crc {
+        return Err(corrupt(0, "checksum mismatch".to_string()));
+    }
+    let fp = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if fp != fingerprint {
+        return Err(WalError::Mismatch {
+            detail: format!(
+                "checkpoint {} fingerprint {fp:#018x} does not match session {fingerprint:#018x}",
+                path.display()
+            ),
+        });
+    }
+    let t = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")) as usize;
+    if bytes.len() != 32 + payload_len + 4 {
+        return Err(corrupt(
+            24,
+            format!("payload length field {payload_len} disagrees with file size"),
+        ));
+    }
+    Ok(Some((t, bytes[32..32 + payload_len].to_vec())))
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+/// How a recovery used the checkpoint sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointUse {
+    /// No checkpoint sidecar existed.
+    None,
+    /// State was restored from a checkpoint taken after timestamp
+    /// `at − 1`; only the WAL suffix from `at` was replayed.
+    Restored {
+        /// First replayed timestamp.
+        at: u64,
+    },
+    /// A sidecar existed but could not be used (corrupt, mismatched, or
+    /// ahead of the WAL's valid prefix); recovery fell back to full
+    /// replay.
+    Ignored {
+        /// Why the checkpoint was unusable.
+        reason: String,
+    },
+}
+
+/// Outcome of [`StreamingEngine::recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// First timestamp replayed from the WAL (0 unless a checkpoint was
+    /// restored).
+    pub resumed_from: u64,
+    /// Number of batches replayed through `step`.
+    pub replayed: u64,
+    /// Whether a torn/corrupt WAL tail was discarded — the session is the
+    /// bit-identical prefix up to the last intact timestamp.
+    pub truncated: bool,
+    /// Checkpoint usage.
+    pub checkpoint: CheckpointUse,
+}
+
+impl Recovery {
+    /// The session's next timestamp after recovery (= batches replayed +
+    /// checkpoint base).
+    pub fn next_timestamp(&self) -> u64 {
+        self.resumed_from + self.replayed
+    }
+}
+
+/// Validate that a batch only contains events the engine can ingest
+/// without panicking: cells inside the grid and movements between
+/// adjacent cells. CRC framing makes reaching this check with bad data
+/// astronomically unlikely; it converts the residual risk into a
+/// descriptive error instead of a replay panic.
+fn validate_batch(grid: &Grid, t: u64, events: &[UserEvent]) -> Result<(), WalError> {
+    let cells = grid.num_cells();
+    let bad = |detail: String| WalError::Corrupt {
+        offset: 0,
+        detail: format!("batch t={t} passed its checksum but is semantically invalid: {detail}"),
+    };
+    for e in events {
+        match e.state {
+            TransitionState::Move { from, to } => {
+                if from.index() >= cells || to.index() >= cells {
+                    return Err(bad(format!("move {from:?}->{to:?} outside the grid")));
+                }
+                if !grid.neighbors(from).as_slice().contains(&to) {
+                    return Err(bad(format!("move {from:?}->{to:?} between non-adjacent cells")));
+                }
+            }
+            TransitionState::Enter(c) | TransitionState::Quit(c) => {
+                if c.index() >= cells {
+                    return Err(bad(format!("cell {c:?} outside the grid")));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shared implementation behind [`StreamingEngine::recover`].
+pub(crate) fn recover_engine<E: StreamingEngine + ?Sized>(
+    engine: &mut E,
+    wal_path: &Path,
+) -> Result<Recovery, WalError> {
+    let wal = WalContents::read(wal_path)?;
+    let fingerprint = engine.fingerprint();
+    if wal.fingerprint != fingerprint {
+        return Err(WalError::Mismatch {
+            detail: format!(
+                "WAL {} was recorded by session {:#018x}, this engine is {fingerprint:#018x} \
+                 (seed, engine kind, config and grid must all match)",
+                wal_path.display(),
+                wal.fingerprint
+            ),
+        });
+    }
+    // Pre-validate every batch before mutating the engine, so a semantic
+    // failure surfaces as an error, never a half-replayed panic.
+    for (t, batch) in wal.batches.iter().enumerate() {
+        validate_batch(engine.grid(), t as u64, batch)?;
+    }
+
+    engine.reset();
+    let mut resumed_from = 0u64;
+    let mut checkpoint = CheckpointUse::None;
+    let ckpt_path = Checkpointer::sidecar(wal_path);
+    match load_checkpoint(&ckpt_path, fingerprint) {
+        Ok(None) => {}
+        Ok(Some((t, payload))) => {
+            if t > wal.batches.len() as u64 {
+                checkpoint = CheckpointUse::Ignored {
+                    reason: format!(
+                        "checkpoint covers t={t} but the WAL only has {} valid timestamps",
+                        wal.batches.len()
+                    ),
+                };
+            } else {
+                match engine.restore_checkpoint(&payload) {
+                    Ok(()) => {
+                        debug_assert_eq!(engine.next_timestamp(), t);
+                        resumed_from = t;
+                        checkpoint = CheckpointUse::Restored { at: t };
+                    }
+                    Err(reason) => {
+                        // A partial restore may have touched state: start
+                        // over from a clean reset and replay everything.
+                        engine.reset();
+                        checkpoint = CheckpointUse::Ignored { reason };
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            checkpoint = CheckpointUse::Ignored { reason: e.to_string() };
+        }
+    }
+
+    for (i, batch) in wal.batches.iter().enumerate().skip(resumed_from as usize) {
+        engine.step(i as u64, batch);
+    }
+    Ok(Recovery {
+        resumed_from,
+        replayed: wal.batches.len() as u64 - resumed_from,
+        truncated: wal.truncated,
+        checkpoint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique temp path per test invocation (no tempfile crate offline).
+    pub(crate) fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("retrasyn-wal-{}-{tag}-{n}.wal", std::process::id()))
+    }
+
+    fn sample_batches() -> Vec<Vec<UserEvent>> {
+        vec![
+            vec![
+                UserEvent { user: 3, state: TransitionState::Enter(CellId(5)) },
+                UserEvent { user: 9, state: TransitionState::Enter(CellId(0)) },
+            ],
+            vec![],
+            vec![
+                UserEvent {
+                    user: 3,
+                    state: TransitionState::Move { from: CellId(5), to: CellId(6) },
+                },
+                UserEvent { user: 9, state: TransitionState::Quit(CellId(0)) },
+            ],
+        ]
+    }
+
+    fn write_sample(path: &Path, policy: FsyncPolicy) -> Vec<Vec<UserEvent>> {
+        let batches = sample_batches();
+        let mut w = WalWriter::create(path, 42, 0xDEAD_BEEF, policy).unwrap();
+        for (t, b) in batches.iter().enumerate() {
+            w.append_batch(t as u64, b).unwrap();
+        }
+        w.sync().unwrap();
+        batches
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let path = temp_path("roundtrip");
+        let batches = write_sample(&path, FsyncPolicy::EveryBatch);
+        let wal = WalContents::read(&path).unwrap();
+        assert_eq!(wal.seed, 42);
+        assert_eq!(wal.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(wal.batches, batches);
+        assert!(!wal.truncated);
+        assert_eq!(wal.valid_len, fs::metadata(&path).unwrap().len());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn every_n_and_never_policies_accept_appends() {
+        for policy in [FsyncPolicy::EveryN(2), FsyncPolicy::Never] {
+            let path = temp_path("policy");
+            let batches = write_sample(&path, policy);
+            let wal = WalContents::read(&path).unwrap();
+            assert_eq!(wal.batches, batches);
+            let _ = fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn replay_is_an_event_source() {
+        let path = temp_path("replay");
+        let batches = write_sample(&path, FsyncPolicy::Never);
+        let mut src = WalSource::replay(&path).unwrap();
+        let mut seen = Vec::new();
+        while let Some(b) = src.next_batch() {
+            seen.push(b.to_vec());
+        }
+        assert_eq!(seen, batches);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_keeps_valid_prefix() {
+        let path = temp_path("truncate");
+        write_sample(&path, FsyncPolicy::Never);
+        let full = fs::read(&path).unwrap();
+        let wal = WalContents::parse(&full).unwrap();
+        assert_eq!(wal.batches.len(), 3);
+        // Chop every byte length from just-after-header to full-1: each
+        // must parse to a prefix (never error, never panic).
+        for cut in HEADER_LEN..full.len() {
+            let part = WalContents::parse(&full[..cut]).unwrap();
+            assert!(part.batches.len() <= wal.batches.len());
+            assert_eq!(part.batches[..], wal.batches[..part.batches.len()]);
+            assert!(part.valid_len <= cut as u64);
+            // Re-parsing only the valid prefix is clean.
+            let clean = WalContents::parse(&full[..part.valid_len as usize]).unwrap();
+            assert!(!clean.truncated);
+            assert_eq!(clean.batches, part.batches);
+        }
+        // Chopping into the header is a hard, descriptive error.
+        for cut in 0..HEADER_LEN {
+            let err = WalContents::parse(&full[..cut]).unwrap_err();
+            assert!(matches!(err, WalError::Corrupt { .. }), "cut={cut}: {err}");
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flips_detected_everywhere() {
+        let path = temp_path("bitflip");
+        write_sample(&path, FsyncPolicy::Never);
+        let full = fs::read(&path).unwrap();
+        let baseline = WalContents::parse(&full).unwrap();
+        for offset in 0..full.len() {
+            for bit in [0u8, 3, 7] {
+                let mut corrupted = full.clone();
+                corrupted[offset] ^= 1 << bit;
+                match WalContents::parse(&corrupted) {
+                    // Header flips must error out.
+                    Err(WalError::Corrupt { .. }) => assert!(offset < HEADER_LEN),
+                    Err(e) => panic!("unexpected error kind at offset {offset}: {e}"),
+                    // Record flips must truncate to a strict prefix that
+                    // matches the baseline bit-for-bit.
+                    Ok(wal) => {
+                        assert!(offset >= HEADER_LEN, "header flip at {offset} not caught");
+                        assert!(wal.truncated);
+                        assert!(wal.batches.len() < baseline.batches.len());
+                        assert_eq!(wal.batches[..], baseline.batches[..wal.batches.len()]);
+                    }
+                }
+            }
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_continues() {
+        let path = temp_path("reopen");
+        write_sample(&path, FsyncPolicy::Never);
+        // Tear the last record.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let wal = WalContents::read(&path).unwrap();
+        assert!(wal.truncated);
+        assert_eq!(wal.batches.len(), 2);
+        // Reopen and append the repaired timestamp 2 plus a new one.
+        let mut w = WalWriter::reopen(&wal, &path, FsyncPolicy::EveryBatch).unwrap();
+        assert_eq!(w.batches_written(), 2);
+        let repaired = sample_batches()[2].clone();
+        w.append_batch(2, &repaired).unwrap();
+        w.append_batch(3, &[]).unwrap();
+        drop(w);
+        let wal = WalContents::read(&path).unwrap();
+        assert!(!wal.truncated);
+        assert_eq!(wal.batches.len(), 4);
+        assert_eq!(wal.batches[2], repaired);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive timestamps")]
+    fn writer_rejects_timestamp_gaps() {
+        let path = temp_path("gap");
+        let mut w = WalWriter::create(&path, 1, 2, FsyncPolicy::Never).unwrap();
+        let _ = fs::remove_file(&path);
+        w.append_batch(5, &[]).unwrap();
+    }
+
+    #[test]
+    fn tee_logs_what_it_yields() {
+        use crate::session::IterSource;
+        let path = temp_path("tee");
+        let batches = sample_batches();
+        let writer = WalWriter::create(&path, 7, 11, FsyncPolicy::EveryBatch).unwrap();
+        let mut src = WalSource::tee(IterSource::new(batches.clone().into_iter()), writer);
+        let mut n = 0;
+        while src.next_batch().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, batches.len());
+        let (_, mut writer) = src.into_parts();
+        writer.sync().unwrap();
+        let wal = WalContents::read(&path).unwrap();
+        assert_eq!((wal.seed, wal.fingerprint), (7, 11));
+        assert_eq!(wal.batches, batches);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_sidecar_roundtrip_and_corruption() {
+        let path = temp_path("ckpt");
+        let ckpt = Checkpointer::sidecar(&path);
+        assert!(ckpt.to_string_lossy().ends_with(".wal.ckpt"));
+        // Missing file: Ok(None).
+        assert!(load_checkpoint(&ckpt, 1).unwrap().is_none());
+        // Hand-rolled valid sidecar.
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CKPT_MAGIC);
+        bytes.extend_from_slice(&9u64.to_le_bytes()); // fingerprint
+        bytes.extend_from_slice(&17u64.to_le_bytes()); // t
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        fs::write(&ckpt, &bytes).unwrap();
+        assert_eq!(load_checkpoint(&ckpt, 9).unwrap(), Some((17, payload)));
+        // Fingerprint mismatch.
+        assert!(matches!(load_checkpoint(&ckpt, 8), Err(WalError::Mismatch { .. })));
+        // Any single-bit flip: descriptive error, never Ok.
+        for offset in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0x10;
+            fs::write(&ckpt, &bad).unwrap();
+            assert!(load_checkpoint(&ckpt, 9).is_err(), "flip at {offset} accepted");
+        }
+        let _ = fs::remove_file(&ckpt);
+    }
+}

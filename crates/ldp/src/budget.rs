@@ -178,6 +178,36 @@ impl WEventLedger {
     pub fn total_user_reports(&self) -> usize {
         self.user_reports.values().map(Vec::len).sum()
     }
+
+    /// Forget everything recorded, in place; ε and `w` are untouched and
+    /// buffer capacity is retained.
+    pub fn reset(&mut self) {
+        self.per_ts_eps.clear();
+        self.user_reports.clear();
+    }
+
+    /// Export the recorded state in a deterministic order for external
+    /// serialization (checkpoints): the per-timestamp spend column, and
+    /// every `(user, t)` report pair sorted by user then time.
+    pub fn export_state(&self) -> (Vec<f64>, Vec<(u64, u64)>) {
+        let mut reports: Vec<(u64, u64)> = self
+            .user_reports
+            .iter()
+            .flat_map(|(&u, times)| times.iter().map(move |&t| (u, t)))
+            .collect();
+        reports.sort_unstable();
+        (self.per_ts_eps.clone(), reports)
+    }
+
+    /// Replace the recorded state with a previously exported one
+    /// (inverse of [`Self::export_state`]).
+    pub fn import_state(&mut self, per_ts_eps: &[f64], reports: &[(u64, u64)]) {
+        self.reset();
+        self.per_ts_eps.extend_from_slice(per_ts_eps);
+        for &(user, t) in reports {
+            self.user_reports.entry(user).or_default().push(t);
+        }
+    }
 }
 
 #[cfg(test)]

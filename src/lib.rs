@@ -80,9 +80,11 @@ pub use retrasyn_metrics as metrics;
 /// Convenience re-exports of the most common types.
 pub mod prelude {
     pub use retrasyn_core::{
-        AllocationKind, BaselineKind, ChannelSource, Division, EventSource, FnSource, IterSource,
-        LdpIds, LdpIdsConfig, RetraSyn, RetraSynConfig, SnapshotStream, SnapshotView, StepOutcome,
-        StreamingEngine, TimelineSource,
+        AllocationKind, BaselineKind, BatchSender, ChannelSource, CheckpointUse, Checkpointer,
+        CompactionPolicy, CompactionStats, Division, EventSource, FnSource, FsyncPolicy,
+        IterSource, LdpIds, LdpIdsConfig, Recovery, RetraSyn, RetraSynConfig, SnapshotStream,
+        SnapshotView, StepOutcome, StreamingEngine, TimelineSource, WalContents, WalError,
+        WalReplay, WalSource, WalWriter,
     };
     pub use retrasyn_datagen::{
         BrinkhoffConfig, RandomWalkConfig, RegimeShiftConfig, RoadNetwork, TDriveConfig,
