@@ -41,7 +41,7 @@ fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("metric_components");
     group.sample_size(10).measurement_time(Duration::from_secs(1));
     let (orig, syn) = fixtures();
-    let table = TransitionTable::new(orig.grid());
+    let table = TransitionTable::new(orig.topology());
     group.bench_function("density_error", |b| {
         b.iter(|| black_box(retrasyn_metrics::density::density_error(&orig, &syn)))
     });

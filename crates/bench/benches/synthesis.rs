@@ -88,7 +88,7 @@ mod seed_reference {
     ) {
         let enter_dist = model.enter_distribution(table);
         for _ in 0..count {
-            let cell = CellId(sample_weighted(&enter_dist, rng) as u16);
+            let cell = CellId(sample_weighted(&enter_dist, rng) as u32);
             alive.push(RefStream { id: *next_id, start: t, cells: vec![cell] });
             *next_id += 1;
         }

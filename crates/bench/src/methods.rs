@@ -122,11 +122,11 @@ impl MethodSpec {
         w: usize,
         seed: u64,
     ) -> (GriddedDataset, Option<TimingReport>) {
-        let grid = dataset.grid().clone();
+        let topology = dataset.topology().clone();
         match self {
             MethodSpec::Baseline(kind) => {
                 let config = LdpIdsConfig::new(eps, w);
-                let mut engine = LdpIds::new(kind, config, grid, seed);
+                let mut engine = LdpIds::new(kind, config, topology, seed);
                 (drive_engine(&mut engine, dataset), None)
             }
             MethodSpec::RetraSyn { division, allocation, dmu, enter_quit } => {
@@ -135,7 +135,7 @@ impl MethodSpec {
                     .with_lambda(dataset.avg_length().max(1.0));
                 config.dmu = dmu;
                 config.enter_quit = enter_quit;
-                let mut engine = RetraSyn::new(config, grid, division, seed);
+                let mut engine = RetraSyn::new(config, topology, division, seed);
                 let syn = drive_engine(&mut engine, dataset);
                 (syn, Some(engine.timing_report()))
             }

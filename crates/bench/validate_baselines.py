@@ -11,7 +11,7 @@ import json
 import pathlib
 import sys
 
-BASELINES = ("sampler", "oue", "synthesis", "collection")
+BASELINES = ("sampler", "oue", "synthesis", "collection", "topology")
 REQUIRED = {"id", "median_ns", "mean_ns", "min_ns", "samples", "iters_per_sample"}
 
 

@@ -38,9 +38,10 @@ use crate::synthesis::SyntheticDb;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use retrasyn_geo::{Grid, GriddedDataset, TransitionState, TransitionTable, UserEvent};
+use retrasyn_geo::{GriddedDataset, Space, Topology, TransitionState, TransitionTable, UserEvent};
 use retrasyn_ldp::{oue, FrequencyOracle, Oue, ReportMode, WEventLedger};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// The four LDP-IDS mechanisms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,7 +102,6 @@ impl LdpIdsConfig {
 pub struct LdpIds {
     kind: BaselineKind,
     config: LdpIdsConfig,
-    grid: Grid,
     table: TransitionTable,
     /// Current release over the movement domain.
     released: Vec<f64>,
@@ -131,9 +131,9 @@ pub struct LdpIds {
 }
 
 impl LdpIds {
-    /// Create a baseline engine.
-    pub fn new(kind: BaselineKind, config: LdpIdsConfig, grid: Grid, seed: u64) -> Self {
-        let table = TransitionTable::new(&grid);
+    /// Create a baseline engine over any discretization.
+    pub fn new<S: Space>(kind: BaselineKind, config: LdpIdsConfig, space: S, seed: u64) -> Self {
+        let table = TransitionTable::new(&space);
         let released = vec![0.0; table.num_moves()];
         let model = GlobalMobilityModel::new(table.len());
         let ledger = WEventLedger::new(config.eps, config.w);
@@ -141,7 +141,6 @@ impl LdpIds {
         LdpIds {
             kind,
             config,
-            grid,
             table,
             released,
             has_release: false,
@@ -172,9 +171,9 @@ impl LdpIds {
         &self.ledger
     }
 
-    /// The spatial grid this baseline synthesizes over.
-    pub fn grid(&self) -> &Grid {
-        &self.grid
+    /// The compiled discretization this baseline synthesizes over.
+    pub fn topology(&self) -> &Arc<Topology> {
+        self.table.topology()
     }
 
     /// The timestamp the next [`Self::step`] must carry.
@@ -234,7 +233,7 @@ impl LdpIds {
         }
 
         let size = *self.fixed_size.get_or_insert(target_active.max(1));
-        self.synthetic.step_no_eq(t, &self.model, &self.table, &self.grid, size, &mut self.rng);
+        self.synthetic.step_no_eq(t, &self.model, &self.table, size, &mut self.rng);
         StepOutcome {
             t,
             active: self.synthetic.active_count(),
@@ -272,7 +271,7 @@ impl LdpIds {
             "baseline already released its session; call reset() to start a new stream"
         );
         self.session_released = true;
-        self.synthetic.release(&self.grid, self.next_t)
+        self.synthetic.release(self.table.topology(), self.next_t)
     }
 
     /// Start a new session: restore the freshly-constructed state in
@@ -297,7 +296,7 @@ impl LdpIds {
     }
 
     /// Stable fingerprint of everything that shapes this baseline's
-    /// output: mechanism kind, seed, configuration and grid geometry. WAL
+    /// output: mechanism kind, seed, configuration and discretization. WAL
     /// files carry it so recovery refuses to replay a log into a
     /// differently-configured engine.
     pub fn fingerprint(&self) -> u64 {
@@ -310,7 +309,7 @@ impl LdpIds {
                 ReportMode::PerUser => 0,
                 ReportMode::Aggregate => 1,
             })
-            .grid(&self.grid);
+            .space(self.table.topology().descriptor());
         f.finish()
     }
 
@@ -481,8 +480,8 @@ impl LdpIds {
 }
 
 impl StreamingEngine for LdpIds {
-    fn grid(&self) -> &Grid {
-        LdpIds::grid(self)
+    fn topology(&self) -> &Arc<Topology> {
+        LdpIds::topology(self)
     }
 
     fn next_timestamp(&self) -> u64 {
@@ -518,7 +517,7 @@ impl StreamingEngine for LdpIds {
 mod tests {
     use super::*;
     use retrasyn_datagen::RandomWalkConfig;
-    use retrasyn_geo::StreamDataset;
+    use retrasyn_geo::{Grid, StreamDataset};
 
     fn dataset(seed: u64) -> StreamDataset {
         RandomWalkConfig { users: 300, timestamps: 25, churn: 0.05, ..Default::default() }

@@ -149,7 +149,7 @@ impl FrozenStore {
         }
         enc.usize(self.cells.len());
         for &c in &self.cells {
-            enc.u16(c.0);
+            enc.u32(c.0);
         }
         enc.usize(self.epochs.len());
         for m in &self.epochs {
@@ -192,7 +192,7 @@ impl FrozenStore {
         }
         self.cells.reserve(total);
         for _ in 0..total {
-            self.cells.push(CellId(dec.u16()?));
+            self.cells.push(CellId(dec.u32()?));
         }
         let marks = dec.usize()?;
         let mut prev = EpochMark { epoch: 0, streams_end: 0, cells_end: 0 };
@@ -291,17 +291,19 @@ mod tests {
     use retrasyn_geo::Grid;
 
     /// Build a store with a mix of finished and live streams, extended
-    /// enough to have real chains.
+    /// enough to have real chains. Cells stay inside a 2×2 sub-grid where
+    /// every pair is adjacent, so releases satisfy the reachability
+    /// invariant regardless of row reordering.
     fn build_store(grid: &Grid) -> StreamStore {
         let mut store = StreamStore::default();
         for id in 0..6u64 {
-            store.spawn(id, id % 3, grid.cell_at((id % 4) as u16, 0));
+            store.spawn(id, id % 3, grid.cell_at((id % 2) as u16, 0));
         }
         for round in 1..5u16 {
             let n = store.live.len();
             for row in 0..n {
                 let StreamStore { live, tail, .. } = &mut store;
-                live.extend_row(row, grid.cell_at(round % 4, (row % 4) as u16), tail);
+                live.extend_row(row, grid.cell_at(round % 2, (row % 2) as u16), tail);
             }
             // Retire one stream per round.
             let StreamStore { live, finished, .. } = &mut store;

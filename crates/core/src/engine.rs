@@ -38,7 +38,7 @@ use crate::synthesis::SyntheticDb;
 use crate::wal::{Dec, Enc, Fingerprint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use retrasyn_geo::{Grid, GriddedDataset, TransitionState, TransitionTable, UserEvent};
+use retrasyn_geo::{GriddedDataset, Space, Topology, TransitionState, TransitionTable, UserEvent};
 use retrasyn_ldp::{Estimate, Oue, ReportMode, WEventLedger};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -92,7 +92,6 @@ impl std::fmt::Display for TimingReport {
 pub struct RetraSyn {
     config: RetraSynConfig,
     division: Division,
-    grid: Grid,
     table: TransitionTable,
     model: GlobalMobilityModel,
     registry: UserRegistry,
@@ -153,9 +152,11 @@ pub struct RetraSyn {
 }
 
 impl RetraSyn {
-    /// Create an engine.
-    pub fn new(config: RetraSynConfig, grid: Grid, division: Division, seed: u64) -> Self {
-        let table = TransitionTable::new(&grid);
+    /// Create an engine over any discretization — a legacy [`retrasyn_geo::Grid`],
+    /// a [`retrasyn_geo::UniformGrid`], a [`retrasyn_geo::QuadGrid`], or an
+    /// already-compiled [`Topology`].
+    pub fn new<S: Space>(config: RetraSynConfig, space: S, division: Division, seed: u64) -> Self {
+        let table = TransitionTable::new(&space);
         let model = GlobalMobilityModel::new(table.len());
         let allocator =
             Allocator::new(config.allocation, config.w, config.alpha, config.kappa, config.p_max);
@@ -171,7 +172,6 @@ impl RetraSyn {
         RetraSyn {
             config,
             division,
-            grid,
             table,
             model,
             registry: UserRegistry::new(w),
@@ -203,13 +203,13 @@ impl RetraSyn {
     }
 
     /// RetraSyn_b: budget-division engine.
-    pub fn budget_division(config: RetraSynConfig, grid: Grid, seed: u64) -> Self {
-        Self::new(config, grid, Division::Budget, seed)
+    pub fn budget_division<S: Space>(config: RetraSynConfig, space: S, seed: u64) -> Self {
+        Self::new(config, space, Division::Budget, seed)
     }
 
     /// RetraSyn_p: population-division engine.
-    pub fn population_division(config: RetraSynConfig, grid: Grid, seed: u64) -> Self {
-        Self::new(config, grid, Division::Population, seed)
+    pub fn population_division<S: Space>(config: RetraSynConfig, space: S, seed: u64) -> Self {
+        Self::new(config, space, Division::Population, seed)
     }
 
     /// The privacy ledger (verify with [`WEventLedger::verify`]).
@@ -232,9 +232,9 @@ impl RetraSyn {
         self.division
     }
 
-    /// The spatial grid this engine synthesizes over.
-    pub fn grid(&self) -> &Grid {
-        &self.grid
+    /// The compiled discretization this engine synthesizes over.
+    pub fn topology(&self) -> &Arc<Topology> {
+        self.table.topology()
     }
 
     /// The timestamp the next [`Self::step`] must carry.
@@ -260,7 +260,7 @@ impl RetraSyn {
     ///
     /// If the session was already released (see [`Self::snapshot`]).
     pub fn synthetic_occupancy(&self) -> Vec<u64> {
-        self.snapshot().occupancy(self.grid.num_cells())
+        self.snapshot().occupancy(self.table.num_cells())
     }
 
     /// Collection domain: the full transition domain, or the movement
@@ -354,7 +354,7 @@ impl RetraSyn {
             );
         } else {
             let size = *self.fixed_size.get_or_insert(target_active);
-            self.synthetic.step_no_eq(t, &self.model, &self.table, &self.grid, size, &mut self.rng);
+            self.synthetic.step_no_eq(t, &self.model, &self.table, size, &mut self.rng);
         }
         self.timings.synthesis += timer.elapsed().as_secs_f64();
         self.maybe_compact(t);
@@ -441,7 +441,7 @@ impl RetraSyn {
             "engine already released its session; call reset() to start a new stream"
         );
         self.released = true;
-        self.synthetic.release(&self.grid, self.next_t)
+        self.synthetic.release(self.table.topology(), self.next_t)
     }
 
     /// Start a new session: restore the freshly-constructed state in
@@ -474,7 +474,7 @@ impl RetraSyn {
     /// Stable fingerprint of everything that shapes this engine's output:
     /// seed, division, every output-affecting configuration knob (thread
     /// counts included — sharding changes RNG consumption order) and the
-    /// grid geometry. WAL files and checkpoints carry it so recovery
+    /// discretization descriptor. WAL files and checkpoints carry it so recovery
     /// refuses to replay a log into a differently-configured engine.
     /// Purely operational settings (compaction, fsync policy) are
     /// excluded: they never change the released bytes.
@@ -506,7 +506,7 @@ impl RetraSyn {
             .u64(c.enter_quit as u64)
             .usize(c.synthesis_threads)
             .usize(c.collection_threads)
-            .grid(&self.grid);
+            .space(self.table.topology().descriptor());
         f.finish()
     }
 
@@ -822,8 +822,8 @@ impl RetraSyn {
 }
 
 impl StreamingEngine for RetraSyn {
-    fn grid(&self) -> &Grid {
-        RetraSyn::grid(self)
+    fn topology(&self) -> &Arc<Topology> {
+        RetraSyn::topology(self)
     }
 
     fn next_timestamp(&self) -> u64 {
@@ -867,7 +867,7 @@ impl StreamingEngine for RetraSyn {
 mod tests {
     use super::*;
     use retrasyn_datagen::{RandomWalkConfig, RegimeShiftConfig};
-    use retrasyn_geo::{EventTimeline, StreamDataset};
+    use retrasyn_geo::{EventTimeline, Grid, StreamDataset};
 
     fn walk_dataset(seed: u64) -> StreamDataset {
         RandomWalkConfig { users: 300, timestamps: 30, churn: 0.05, ..Default::default() }

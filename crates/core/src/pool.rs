@@ -43,14 +43,21 @@
 //! - `ShardTask::RetireExtend` — phase two: retire the pre-selected
 //!   victims (positions sorted descending so `swap_remove` stays valid),
 //!   then extend the remaining streams.
+//! - `ShardTask::Spawn` — upward size adjustment: append the shard's
+//!   pre-drawn enter cells as fresh length-1 rows with ids contiguous
+//!   from the shard's base. The enter draws themselves happen on the
+//!   caller in a single sequential pass (RNG consumption identical to
+//!   the sequential spawn at every thread count), so this pass touches
+//!   no randomness at all — only the column pushes move off the caller.
 //!
 //! [`SyntheticDb`]: crate::synthesis::SyntheticDb
 
 use crate::sampler::SamplerCache;
-use crate::store::{Columns, TailNode};
+use crate::store::{Columns, TailNode, NO_LINK};
 use crate::synthesis::{extend_cols, quit_pass_cols};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use retrasyn_geo::CellId;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -189,6 +196,12 @@ pub(crate) enum ShardTask {
     },
     /// Retire the shard's pre-selected victims, then extend the remainder.
     RetireExtend,
+    /// Append the shard's pre-drawn enter cells as fresh length-1 rows
+    /// starting at timestamp `t` (upward size adjustment; no RNG use).
+    Spawn {
+        /// Timestamp the spawned streams begin at.
+        t: u64,
+    },
 }
 
 /// One worker's owned slice of the synthetic database plus its reusable
@@ -213,6 +226,12 @@ pub(crate) struct ShardState {
     pub(crate) keys: Vec<f64>,
     /// Victim positions for `ShardTask::RetireExtend`, sorted descending.
     pub(crate) victims: Vec<u32>,
+    /// Pre-drawn enter cells for `ShardTask::Spawn` (drawn sequentially
+    /// by the caller; consumed by the worker's column pushes).
+    pub(crate) spawn_cells: Vec<CellId>,
+    /// First stream id of this shard's spawn range; ids are contiguous
+    /// from here, in draw order.
+    pub(crate) spawn_base: u64,
 }
 
 /// One unit of synthesis work: the shard state plus the pass selector and
@@ -267,6 +286,12 @@ impl PoolJob for SynthJob {
                 state.victims.clear();
                 extend_cols(&mut state.cols, &mut state.appended, &self.cache, &mut rng);
             }
+            ShardTask::Spawn { t } => {
+                for (k, &cell) in state.spawn_cells.iter().enumerate() {
+                    state.cols.push(state.spawn_base + k as u64, t, cell, 1, NO_LINK);
+                }
+                state.spawn_cells.clear();
+            }
         }
     }
 }
@@ -313,7 +338,13 @@ impl SynthesisPool {
         debug_assert_eq!(shards.len(), seeds.len());
         let mut outstanding = 0usize;
         for (idx, state) in shards.iter_mut().enumerate() {
-            if state.cols.is_empty() {
+            // A shard with no work returns unchanged without a dispatch;
+            // spawn shards carry their work in `spawn_cells`, not `cols`.
+            let empty = match task {
+                ShardTask::Spawn { .. } => state.spawn_cells.is_empty(),
+                _ => state.cols.is_empty(),
+            };
+            if empty {
                 continue;
             }
             self.pool.submit(

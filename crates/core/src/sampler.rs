@@ -181,14 +181,14 @@ impl AliasTable {
 /// Precomputed sampler state for a [`GlobalMobilityModel`] snapshot over a
 /// fixed [`TransitionTable`].
 ///
-/// Flat layout mirrors the table's dense move space for cache locality,
-/// and every move slot packs its *entire* draw outcome into one `u64` —
-/// fixed-point acceptance threshold (low 32 bits), the slot's own
-/// destination cell (bits 32..48) and its alias's destination cell (bits
-/// 48..64) — so one draw costs one RNG variate, one 8-byte load and a few
-/// ALU ops, with no secondary target lookup. Workers on the synthesis pool
-/// sample through a shared `Arc<SamplerCache>` without touching the model
-/// or the table.
+/// Flat layout mirrors the topology's dense move space (CSR rows) for
+/// cache locality, and every move slot packs its *entire* draw outcome
+/// into one `u128` — fixed-point acceptance threshold (low 32 bits), the
+/// slot's own destination cell (bits 32..64) and its alias's destination
+/// cell (bits 64..96) — so one draw costs one RNG variate, one 16-byte
+/// load and a few ALU ops, with no secondary target lookup. Workers on
+/// the synthesis pool sample through a shared `Arc<SamplerCache>` without
+/// touching the model or the table.
 ///
 /// [`GlobalMobilityModel`]: crate::model::GlobalMobilityModel
 #[derive(Debug, Clone)]
@@ -196,8 +196,8 @@ pub struct SamplerCache {
     /// Per-cell row offsets into `packed` (copy of the table's move
     /// offsets; `offsets[cells]` = number of move states).
     offsets: Vec<u32>,
-    /// Packed move slots: `thresh | accept_cell << 32 | alias_cell << 48`.
-    packed: Vec<u64>,
+    /// Packed move slots: `thresh | accept_cell << 32 | alias_cell << 64`.
+    packed: Vec<u128>,
     /// Per-cell base termination probability `f_iQ / (Σ f_ix + f_iQ)`.
     quit_base: Vec<f64>,
     /// Per-cell clamped quit mass `max(f_iQ, 0)` — the numerator of the
@@ -240,7 +240,7 @@ impl SamplerCache {
         let offsets = table.move_offsets().to_vec();
         let mut cache = SamplerCache {
             offsets,
-            packed: vec![0u64; moves],
+            packed: vec![0u128; moves],
             quit_base: vec![0.0; cells],
             quit_mass: vec![0.0; cells],
             quit_dist: vec![0.0; cells],
@@ -279,14 +279,14 @@ impl SamplerCache {
         build_alias_row(weights, &mut self.row_thresh, &mut self.row_alias, small, large);
         let targets = &table.neighbor_cells()[start..end];
         for i in 0..n {
-            let accept = targets[i].0 as u64;
-            let alias = targets[self.row_alias[i] as usize].0 as u64;
-            self.packed[start + i] = self.row_thresh[i] as u64 | (accept << 32) | (alias << 48);
+            let accept = targets[i].0 as u128;
+            let alias = targets[self.row_alias[i] as usize].0 as u128;
+            self.packed[start + i] = self.row_thresh[i] as u128 | (accept << 32) | (alias << 64);
         }
         self.row_thresh.clear();
         self.row_alias.clear();
         let move_mass: f64 = weights.iter().map(|w| w.max(0.0)).sum();
-        let quit_mass = freqs[table.quit_index(CellId(cell as u16))].max(0.0);
+        let quit_mass = freqs[table.quit_index(CellId(cell as u32))].max(0.0);
         let denom = move_mass + quit_mass;
         self.quit_base[cell] = if denom > 0.0 { quit_mass / denom } else { 0.0 };
         self.quit_mass[cell] = quit_mass;
@@ -348,7 +348,7 @@ impl SamplerCache {
         let slot = (((x >> 32) * row.len() as u64) >> 32) as usize;
         let packed = row[slot];
         let cell =
-            if (x as u32) < packed as u32 { (packed >> 32) as u16 } else { (packed >> 48) as u16 };
+            if (x as u32) < packed as u32 { (packed >> 32) as u32 } else { (packed >> 64) as u32 };
         CellId(cell)
     }
 
@@ -376,7 +376,7 @@ impl SamplerCache {
     /// O(1) draw from the entering distribution.
     #[inline]
     pub fn sample_enter<R: Rng + ?Sized>(&self, rng: &mut R) -> CellId {
-        CellId(self.enter.sample(rng) as u16)
+        CellId(self.enter.sample(rng) as u32)
     }
 }
 

@@ -48,10 +48,11 @@
 
 use crate::store::SnapshotView;
 use crate::wal::{Recovery, WalError};
-use retrasyn_geo::{EventTimeline, Grid, GriddedDataset, StreamDataset, UserEvent};
+use retrasyn_geo::{EventTimeline, GriddedDataset, StreamDataset, Topology, UserEvent};
 use retrasyn_ldp::WEventLedger;
 use std::path::Path;
 use std::sync::mpsc::{Receiver, SendError, SyncSender, TrySendError};
+use std::sync::Arc;
 
 /// What one completed [`StreamingEngine::step`] reports back to the driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,8 +278,10 @@ impl BatchSender {
 /// [`run_gridded`](Self::run_gridded) replay a recorded dataset through
 /// [`drive`](Self::drive) with a [`TimelineSource`].
 pub trait StreamingEngine {
-    /// The spatial discretization this engine synthesizes over.
-    fn grid(&self) -> &Grid;
+    /// The compiled spatial discretization this engine synthesizes over —
+    /// a uniform grid, a quad tree, or any other space compiled into a
+    /// [`Topology`].
+    fn topology(&self) -> &Arc<Topology>;
 
     /// The timestamp the next [`step`](Self::step) must carry (0 for a
     /// fresh engine; timestamps are consecutive within a session).
@@ -310,7 +313,7 @@ pub trait StreamingEngine {
     /// out of the engine's store) and callable mid-stream; afterwards the
     /// engine is in the *released* state: `step`/`snapshot`/`release`
     /// panic until [`reset`](Self::reset), while plain accessors (ledger,
-    /// grid, timings) keep reporting the closed session.
+    /// topology, timings) keep reporting the closed session.
     ///
     /// # Panics
     ///
@@ -329,7 +332,7 @@ pub trait StreamingEngine {
 
     /// FNV-1a hash of the session's immutable identity: seed, engine
     /// kind, configuration (everything output-affecting, including thread
-    /// counts) and grid. Two engines with equal fingerprints produce
+    /// counts) and discretization. Two engines with equal fingerprints produce
     /// bit-identical sessions from the same events; the WAL header records
     /// it so a log can only be replayed into a matching engine.
     fn fingerprint(&self) -> u64;
@@ -358,7 +361,7 @@ pub trait StreamingEngine {
     /// timestamp (see [`Recovery::truncated`]) instead of failing.
     ///
     /// The engine must be constructed exactly as the logged session was
-    /// (same seed, config, grid — enforced via
+    /// (same seed, config, discretization — enforced via
     /// [`fingerprint`](Self::fingerprint)); any prior state is discarded
     /// with [`reset`](Self::reset). To *continue* the recovered session
     /// durably, [`WalWriter::reopen`](crate::wal::WalWriter::reopen) the
@@ -382,7 +385,7 @@ pub trait StreamingEngine {
     }
 
     /// Batch mode over a raw dataset: discretize against
-    /// [`grid`](Self::grid), derive the event timeline, drive every
+    /// [`topology`](Self::topology), derive the event timeline, drive every
     /// timestamp and release.
     ///
     /// # Panics
@@ -393,7 +396,7 @@ pub trait StreamingEngine {
     where
         Self: Sized,
     {
-        let gridded = dataset.discretize(self.grid());
+        let gridded = dataset.discretize(self.topology());
         self.run_gridded(&gridded)
     }
 
@@ -407,7 +410,11 @@ pub trait StreamingEngine {
     where
         Self: Sized,
     {
-        assert_eq!(dataset.grid(), self.grid(), "dataset grid mismatch");
+        assert_eq!(
+            dataset.topology().descriptor(),
+            self.topology().descriptor(),
+            "dataset discretization mismatch"
+        );
         assert_eq!(
             self.next_timestamp(),
             0,

@@ -44,7 +44,7 @@
 
 use crate::compact::FrozenStore;
 use crate::wal::{Dec, Enc};
-use retrasyn_geo::{CellId, Grid, GriddedDataset};
+use retrasyn_geo::{CellId, GriddedDataset, Space};
 
 /// Arena address type. The default `u32` keeps `TailNode` at 8 bytes and
 /// caps the arena just below 2³² nodes; the `large-arena` feature widens
@@ -190,7 +190,7 @@ impl TailArena {
         enc.usize(self.len);
         for addr in 0..self.len {
             let node = self.get(addr as Addr);
-            enc.u16(node.cell.0);
+            enc.u32(node.cell.0);
             enc.u64(link_to_u64(node.prev));
         }
     }
@@ -204,7 +204,7 @@ impl TailArena {
         self.clear();
         let n = dec.usize()?;
         for addr in 0..n {
-            let cell = CellId(dec.u16()?);
+            let cell = CellId(dec.u32()?);
             let prev = link_from_u64(dec.u64()?)?;
             if prev != NO_LINK && prev as usize >= addr {
                 return Err(format!("arena node {addr} links forward to {prev}"));
@@ -334,7 +334,7 @@ impl Columns {
     pub(crate) fn encode_into(&self, enc: &mut Enc) {
         enc.usize(self.len());
         for i in 0..self.len() {
-            enc.u16(self.heads[i].0);
+            enc.u32(self.heads[i].0);
             enc.u64(self.ids[i]);
             enc.u64(self.starts[i]);
             enc.u32(self.lens[i]);
@@ -349,7 +349,7 @@ impl Columns {
         self.clear();
         let n = dec.usize()?;
         for i in 0..n {
-            let head = CellId(dec.u16()?);
+            let head = CellId(dec.u32()?);
             let id = dec.u64()?;
             let start = dec.u64()?;
             let len = dec.u32()?;
@@ -455,7 +455,7 @@ impl StreamStore {
     /// columnar [`GriddedDataset`]: one flat cell column, no per-stream
     /// allocation. Frozen streams are merged back in by id — the release
     /// is bit-for-bit identical whether or not compaction ever ran.
-    pub(crate) fn into_dataset(mut self, grid: Grid, horizon: u64) -> GriddedDataset {
+    pub(crate) fn into_dataset<S: Space>(mut self, space: S, horizon: u64) -> GriddedDataset {
         {
             let StreamStore { live, finished, .. } = &mut self;
             finished.append(live);
@@ -502,7 +502,7 @@ impl StreamStore {
             }
             offsets.push(pos);
         }
-        GriddedDataset::from_columns(grid, ids, starts, offsets, cells, horizon)
+        GriddedDataset::from_columns(space, ids, starts, offsets, cells, horizon)
     }
 }
 
@@ -756,13 +756,14 @@ impl ExactSizeIterator for CellsRev<'_> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use retrasyn_geo::Grid;
 
     #[test]
     fn arena_chunks_do_not_move_nodes() {
         let mut arena = TailArena::default();
         // Cross several chunk boundaries through both push and bulk paths.
         for i in 0..CHUNK_LEN + 10 {
-            let addr = arena.push(TailNode { cell: CellId((i % 7) as u16), prev: i as Addr });
+            let addr = arena.push(TailNode { cell: CellId((i % 7) as u32), prev: i as Addr });
             assert_eq!(addr, i as Addr);
         }
         let batch: Vec<TailNode> =

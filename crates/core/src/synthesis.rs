@@ -46,7 +46,7 @@ use crate::sampler::{sample_weighted, SamplerCache};
 use crate::store::{Addr, Columns, SnapshotView, StreamStore, TailArena, TailSink};
 use crate::wal::{Dec, Enc};
 use rand::Rng;
-use retrasyn_geo::{CellId, Grid, GriddedDataset, TransitionTable};
+use retrasyn_geo::{CellId, GriddedDataset, Space, TransitionTable};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -136,6 +136,9 @@ pub struct SyntheticDb {
     keyed: Vec<(f64, u32, u32)>,
     /// Reused victim-position buffer for the sequential shrink path.
     victims: Vec<u32>,
+    /// Reused enter-cell buffer for the pooled upward adjustment (cells
+    /// drawn sequentially on the caller, appended on the workers).
+    spawn_cells: Vec<CellId>,
     /// Reused spare arena epoch compaction rebuilds into (swapped with the
     /// store's, so chunk allocations recycle across runs).
     compact_spare: TailArena,
@@ -157,6 +160,7 @@ impl Clone for SyntheticDb {
             scan_buf: Vec::new(),
             keyed: Vec::new(),
             victims: Vec::new(),
+            spawn_cells: Vec::new(),
             compact_spare: TailArena::default(),
             compact_scratch: Vec::new(),
         }
@@ -441,12 +445,11 @@ impl SyntheticDb {
         t: u64,
         model: &GlobalMobilityModel,
         table: &TransitionTable,
-        grid: &Grid,
         init_size: usize,
         rng: &mut R,
     ) {
         if !self.initialized {
-            let cells = grid.num_cells() as u16;
+            let cells = table.num_cells() as u32;
             for _ in 0..init_size {
                 self.store.spawn(self.next_id, t, CellId(rng.random_range(0..cells)));
                 self.next_id += 1;
@@ -469,7 +472,10 @@ impl SyntheticDb {
     /// - shrinking: two dispatches — workers draw quits and compute one
     ///   Efraimidis–Spirakis key per survivor, the caller makes the global
     ///   top-`excess` cut across all shards, then workers retire their
-    ///   victims and extend the remainder.
+    ///   victims and extend the remainder;
+    /// - growing: the caller draws the missing enter cells sequentially
+    ///   (preserving the sequential spawn's RNG stream exactly), then one
+    ///   dispatch appends the fresh rows on the workers.
     ///
     /// Shards are disjoint index ranges of the store's head columns;
     /// workers receive them as owned column copies and return them in
@@ -560,10 +566,56 @@ impl SyntheticDb {
         }
         self.merge_shards(num_shards);
 
-        // Phase 2b: upward size adjustment.
+        // Phase 2b: upward size adjustment, on the pool. The enter draws
+        // stay sequential on the caller (identical RNG consumption to the
+        // sequential spawn at every thread count); only the column
+        // appends move to the workers.
         if self.store.live.len() < target {
             let missing = target - self.store.live.len();
-            self.spawn(t, model, table, Some(&cache), missing, rng);
+            self.spawn_pooled(t, &cache, missing, rng);
+        }
+    }
+
+    /// Pooled upward adjustment: draw `missing` enter cells sequentially
+    /// into the reused buffer — bit-for-bit the RNG consumption of the
+    /// sequential [`Self::spawn`] — then split the draws into contiguous
+    /// shard ranges with contiguous id ranges and run the row appends as
+    /// a [`ShardTask::Spawn`] pass. Merging in shard order restores draw
+    /// order, so the resulting store is identical to a sequential spawn
+    /// regardless of thread count.
+    fn spawn_pooled<R: Rng + ?Sized>(
+        &mut self,
+        t: u64,
+        cache: &Arc<SamplerCache>,
+        missing: usize,
+        rng: &mut R,
+    ) {
+        self.spawn_cells.clear();
+        self.spawn_cells.extend((0..missing).map(|_| cache.sample_enter(rng)));
+        let threads = self.pool.as_ref().expect("pool created above").threads();
+        let chunk_len = missing.div_ceil(threads).max(1);
+        let num_shards = missing.div_ceil(chunk_len);
+        if self.shards.len() < num_shards {
+            self.shards.resize_with(num_shards, ShardState::default);
+        }
+        for (k, shard) in self.shards[..num_shards].iter_mut().enumerate() {
+            let lo = k * chunk_len;
+            let hi = (lo + chunk_len).min(missing);
+            debug_assert!(shard.cols.is_empty(), "shards merged before spawn");
+            shard.spawn_cells.clear();
+            shard.spawn_cells.extend_from_slice(&self.spawn_cells[lo..hi]);
+            shard.spawn_base = self.next_id + lo as u64;
+        }
+        self.next_id += missing as u64;
+        // The spawn pass uses no worker randomness, so no per-shard seeds
+        // are drawn — the caller's RNG stream stays identical to the
+        // sequential spawn's.
+        self.seeds.clear();
+        self.seeds.resize(num_shards, 0);
+        let pool = self.pool.as_ref().expect("pool created above");
+        pool.run_shards(&mut self.shards[..num_shards], &self.seeds, cache, ShardTask::Spawn { t });
+        for shard in &mut self.shards[..num_shards] {
+            self.store.live.append(&mut shard.cols);
         }
     }
 
@@ -638,7 +690,7 @@ impl SyntheticDb {
             None => {
                 let enter_dist = model.enter_distribution(table);
                 for _ in 0..count {
-                    let cell = CellId(sample_weighted(&enter_dist, rng) as u16);
+                    let cell = CellId(sample_weighted(&enter_dist, rng) as u32);
                     self.store.spawn(self.next_id, t, cell);
                     self.next_id += 1;
                 }
@@ -663,11 +715,11 @@ impl SyntheticDb {
     /// uninitialized session (ids restart at 0) while the worker pool and
     /// every scratch buffer keep their capacity, so a long-lived service
     /// can release one stream and immediately begin the next.
-    pub fn release(&mut self, grid: &Grid, horizon: u64) -> GriddedDataset {
+    pub fn release<S: Space>(&mut self, space: S, horizon: u64) -> GriddedDataset {
         let store = std::mem::take(&mut self.store);
         self.initialized = false;
         self.next_id = 0;
-        store.into_dataset(grid.clone(), horizon)
+        store.into_dataset(space, horizon)
     }
 }
 
@@ -676,7 +728,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use retrasyn_geo::TransitionState;
+    use retrasyn_geo::{Grid, TransitionState};
 
     fn setup() -> (Grid, TransitionTable, GlobalMobilityModel) {
         let grid = Grid::unit(4);
@@ -824,7 +876,7 @@ mod tests {
         let mut db = SyntheticDb::new();
         let mut rng = StdRng::seed_from_u64(6);
         for t in 0..20 {
-            db.step_no_eq(t, &model, &table, &grid, 25, &mut rng);
+            db.step_no_eq(t, &model, &table, 25, &mut rng);
         }
         assert_eq!(db.active_count(), 25);
         assert_eq!(db.finished_count(), 0);

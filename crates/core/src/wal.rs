@@ -13,18 +13,21 @@
 //! by zero or more records, one per timestamp, in timestamp order:
 //!
 //! ```text
-//! header: magic "RSWAL001" (8) | seed u64 | fingerprint u64 | crc32 u32
+//! header: magic "RSWAL002" (8) | seed u64 | fingerprint u64 | crc32 u32
 //! record: len u32 | payload (len bytes) | crc32 u32
 //! payload: t u64 | count u32 | count × event
-//! event:  user u64 | tag u8 (0=Move 1=Enter 2=Quit) | a u16 | b u16
+//! event:  user u64 | tag u8 (0=Move 1=Enter 2=Quit) | a u32 | b u32
 //! ```
+//!
+//! (Format 002 widened the cell operands from u16 to u32 so adaptive
+//! discretizations can exceed 65 535 cells; 001 logs are not readable.)
 //!
 //! The header CRC covers the magic and both fields; each record CRC covers
 //! the length prefix *and* the payload, so any single-bit corruption —
 //! including in the framing — is detected. The `fingerprint` is the
 //! engine's [`StreamingEngine::fingerprint`]: an FNV-1a hash over seed,
-//! engine kind, configuration and grid, so a WAL can only be replayed into
-//! an identically configured session.
+//! engine kind, configuration and the discretization descriptor, so a WAL
+//! can only be replayed into an identically configured session.
 //!
 //! # Torn and corrupt tails
 //!
@@ -59,16 +62,16 @@ use std::io::{self, Read, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 use crate::session::{EventSource, StreamingEngine};
-use retrasyn_geo::{CellId, Grid, TransitionState, UserEvent};
+use retrasyn_geo::{CellId, SpaceDescriptor, Topology, TransitionState, UserEvent};
 
 /// Magic bytes opening every WAL file.
-const WAL_MAGIC: &[u8; 8] = b"RSWAL001";
+const WAL_MAGIC: &[u8; 8] = b"RSWAL002";
 /// Magic bytes opening every checkpoint sidecar.
 const CKPT_MAGIC: &[u8; 8] = b"RSCKPT01";
 /// Header: magic + seed + fingerprint + crc32.
 const HEADER_LEN: usize = 8 + 8 + 8 + 4;
-/// Fixed per-event encoding size: user u64 + tag u8 + two u16 operands.
-const EVENT_LEN: usize = 8 + 1 + 2 + 2;
+/// Fixed per-event encoding size: user u64 + tag u8 + two u32 operands.
+const EVENT_LEN: usize = 8 + 1 + 4 + 4;
 /// Fixed payload prefix: t u64 + count u32.
 const PAYLOAD_PREFIX: usize = 8 + 4;
 
@@ -106,8 +109,8 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
 // FNV-1a fingerprinting (session identity).
 
 /// Incremental FNV-1a hasher used to fingerprint a session's immutable
-/// identity (seed, engine kind, config, grid). Not cryptographic — it
-/// guards against accidental mismatches, not adversaries.
+/// identity (seed, engine kind, config, discretization). Not cryptographic
+/// — it guards against accidental mismatches, not adversaries.
 #[derive(Debug, Clone)]
 pub(crate) struct Fingerprint(u64);
 
@@ -138,11 +141,26 @@ impl Fingerprint {
         self.u64(v as u64)
     }
 
-    /// Fold a grid's full identity in: cell resolution and the exact bit
-    /// patterns of the bounding box coordinates.
-    pub(crate) fn grid(&mut self, grid: &Grid) -> &mut Self {
-        let bbox = grid.bbox();
-        self.u64(grid.k() as u64).f64(bbox.min.x).f64(bbox.min.y).f64(bbox.max.x).f64(bbox.max.y)
+    /// Fold a discretization's full identity in: the variant tag, the
+    /// exact bit patterns of the bounding box, and the structure — grid
+    /// resolution for uniform spaces; depth and every leaf for quad
+    /// spaces, so changing a single split changes the fingerprint.
+    pub(crate) fn space(&mut self, d: &SpaceDescriptor) -> &mut Self {
+        match d {
+            SpaceDescriptor::Uniform { k, bbox } => {
+                self.u64(0).u64(*k as u64);
+                self.f64(bbox.min.x).f64(bbox.min.y).f64(bbox.max.x).f64(bbox.max.y)
+            }
+            SpaceDescriptor::Quad { bbox, depth, leaves } => {
+                self.u64(1).u64(*depth as u64);
+                self.f64(bbox.min.x).f64(bbox.min.y).f64(bbox.max.x).f64(bbox.max.y);
+                self.usize(leaves.len());
+                for l in leaves {
+                    self.u64(l.x as u64).u64(l.y as u64).u64(l.depth as u64);
+                }
+                self
+            }
+        }
     }
 
     pub(crate) fn finish(&self) -> u64 {
@@ -216,9 +234,6 @@ impl Enc {
     pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    pub(crate) fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
     pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -261,9 +276,6 @@ impl<'a> Dec<'a> {
     pub(crate) fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
-    pub(crate) fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
-    }
     pub(crate) fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
@@ -296,18 +308,18 @@ fn encode_event(enc: &mut Enc, e: &UserEvent) {
     match e.state {
         TransitionState::Move { from, to } => {
             enc.u8(0);
-            enc.u16(from.0);
-            enc.u16(to.0);
+            enc.u32(from.0);
+            enc.u32(to.0);
         }
         TransitionState::Enter(c) => {
             enc.u8(1);
-            enc.u16(c.0);
-            enc.u16(0);
+            enc.u32(c.0);
+            enc.u32(0);
         }
         TransitionState::Quit(c) => {
             enc.u8(2);
-            enc.u16(c.0);
-            enc.u16(0);
+            enc.u32(c.0);
+            enc.u32(0);
         }
     }
 }
@@ -315,8 +327,8 @@ fn encode_event(enc: &mut Enc, e: &UserEvent) {
 fn decode_event(dec: &mut Dec<'_>) -> Result<UserEvent, String> {
     let user = dec.u64()?;
     let tag = dec.u8()?;
-    let a = dec.u16()?;
-    let b = dec.u16()?;
+    let a = dec.u32()?;
+    let b = dec.u32()?;
     let state = match tag {
         0 => TransitionState::Move { from: CellId(a), to: CellId(b) },
         1 => TransitionState::Enter(CellId(a)),
@@ -502,7 +514,7 @@ impl WalContents {
         if &bytes[..8] != WAL_MAGIC {
             return Err(WalError::Corrupt {
                 offset: 0,
-                detail: format!("bad magic {:02x?}, expected \"RSWAL001\"", &bytes[..8]),
+                detail: format!("bad magic {:02x?}, expected \"RSWAL002\"", &bytes[..8]),
             });
         }
         let stored_crc = u32::from_le_bytes(bytes[HEADER_LEN - 4..HEADER_LEN].try_into().unwrap());
@@ -833,12 +845,12 @@ impl Recovery {
 }
 
 /// Validate that a batch only contains events the engine can ingest
-/// without panicking: cells inside the grid and movements between
-/// adjacent cells. CRC framing makes reaching this check with bad data
-/// astronomically unlikely; it converts the residual risk into a
+/// without panicking: cells inside the discretization and movements
+/// between adjacent cells. CRC framing makes reaching this check with bad
+/// data astronomically unlikely; it converts the residual risk into a
 /// descriptive error instead of a replay panic.
-fn validate_batch(grid: &Grid, t: u64, events: &[UserEvent]) -> Result<(), WalError> {
-    let cells = grid.num_cells();
+fn validate_batch(topo: &Topology, t: u64, events: &[UserEvent]) -> Result<(), WalError> {
+    let cells = topo.num_cells();
     let bad = |detail: String| WalError::Corrupt {
         offset: 0,
         detail: format!("batch t={t} passed its checksum but is semantically invalid: {detail}"),
@@ -849,7 +861,7 @@ fn validate_batch(grid: &Grid, t: u64, events: &[UserEvent]) -> Result<(), WalEr
                 if from.index() >= cells || to.index() >= cells {
                     return Err(bad(format!("move {from:?}->{to:?} outside the grid")));
                 }
-                if !grid.neighbors(from).as_slice().contains(&to) {
+                if !topo.are_adjacent(from, to) {
                     return Err(bad(format!("move {from:?}->{to:?} between non-adjacent cells")));
                 }
             }
@@ -874,7 +886,7 @@ pub(crate) fn recover_engine<E: StreamingEngine + ?Sized>(
         return Err(WalError::Mismatch {
             detail: format!(
                 "WAL {} was recorded by session {:#018x}, this engine is {fingerprint:#018x} \
-                 (seed, engine kind, config and grid must all match)",
+                 (seed, engine kind, config and discretization must all match)",
                 wal_path.display(),
                 wal.fingerprint
             ),
@@ -883,7 +895,7 @@ pub(crate) fn recover_engine<E: StreamingEngine + ?Sized>(
     // Pre-validate every batch before mutating the engine, so a semantic
     // failure surfaces as an error, never a half-replayed panic.
     for (t, batch) in wal.batches.iter().enumerate() {
-        validate_batch(engine.grid(), t as u64, batch)?;
+        validate_batch(engine.topology(), t as u64, batch)?;
     }
 
     engine.reset();

@@ -175,6 +175,31 @@ fn fully_sharded_step_bit_identical_per_seed_and_threads() {
 }
 
 #[test]
+fn pooled_spawn_appends_in_draw_order_with_contiguous_ids() {
+    // A pure-growth parallel step: λ → ∞ disables quitting, so the jump
+    // from 3000 to 7000 streams forces a pooled spawn spread over every
+    // worker. The merge must restore draw order — fresh rows come back
+    // as one contiguous id block, exactly the layout of the sequential
+    // spawn.
+    let (grid, table, model) = informed_setup();
+    let mut db = SyntheticDb::new();
+    let mut rng = StdRng::seed_from_u64(55);
+    db.step_parallel(0, &model, &table, 3000, 1e12, &mut rng, 4);
+    db.step_parallel(1, &model, &table, 7000, 1e12, &mut rng, 4);
+    assert_eq!(db.active_count(), 7000);
+    let released = db.release(&grid, 2);
+    let mut spawned: Vec<u64> = Vec::new();
+    for s in released.iter() {
+        if s.start == 1 {
+            assert_eq!(s.cells.len(), 1, "spawned stream extended during its birth step");
+            spawned.push(s.id);
+        }
+    }
+    spawned.sort_unstable();
+    assert_eq!(spawned, (3000..7000).collect::<Vec<u64>>());
+}
+
+#[test]
 fn shrink_selection_survives_key_underflow_regime() {
     // 32×32 grid, uniform quitting distribution: per-cell weight ≈ 1e-3,
     // exactly the regime where naive `u^{1/w}` keys underflow to 0.0 and

@@ -113,7 +113,7 @@ fn run_scenario(name: &str) -> GriddedDataset {
             let mut db = SyntheticDb::new();
             let mut rng = StdRng::seed_from_u64(46);
             for t in 0..10 {
-                db.step_no_eq(t, &model, &table, &grid, 500, &mut rng);
+                db.step_no_eq(t, &model, &table, 500, &mut rng);
             }
             db.release(&grid, 10)
         }

@@ -9,9 +9,13 @@
 
 use crate::point::{BoundingBox, Point};
 
-/// Identifier of a grid cell: the dense index `y·K + x` (row-major).
+/// Identifier of a cell in a dense cell universe.
+///
+/// For a uniform grid this is the row-major index `y·K + x`; adaptive
+/// topologies assign ids in their own canonical order. `u32` leaves
+/// headroom for fine adaptive discretizations that overflow `u16`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct CellId(pub u16);
+pub struct CellId(pub u32);
 
 impl CellId {
     /// The dense index as `usize`.
@@ -68,10 +72,10 @@ impl<'a> IntoIterator for &'a Neighborhood {
 }
 
 impl Grid {
-    /// Grid with `k × k` cells over `bbox`. `k` must be in `[1, 255]` so
-    /// that cell indices fit `u16`.
+    /// Grid with `k × k` cells over `bbox`. `k` must be at least 1 (any
+    /// `u16` granularity keeps the cell universe within `u32`).
     pub fn new(k: u16, bbox: BoundingBox) -> Self {
-        assert!((1..=255).contains(&k), "grid granularity k={k} out of range [1, 255]");
+        assert!(k >= 1, "grid granularity k={k} out of range [1, 65535]");
         Grid { k, bbox }
     }
 
@@ -111,14 +115,14 @@ impl Grid {
     #[inline]
     pub fn cell_at(&self, x: u16, y: u16) -> CellId {
         debug_assert!(x < self.k && y < self.k);
-        CellId(y * self.k + x)
+        CellId(y as u32 * self.k as u32 + x as u32)
     }
 
     /// Grid coordinates `(x, y)` of a cell.
     #[inline]
     pub fn cell_xy(&self, c: CellId) -> (u16, u16) {
         debug_assert!(c.index() < self.num_cells());
-        (c.0 % self.k, c.0 / self.k)
+        ((c.0 % self.k as u32) as u16, (c.0 / self.k as u32) as u16)
     }
 
     /// Continuous center point of a cell.
@@ -175,7 +179,7 @@ impl Grid {
 
     /// Iterator over all cells in index order.
     pub fn cells(&self) -> impl Iterator<Item = CellId> {
-        (0..self.num_cells() as u16).map(CellId)
+        (0..self.num_cells() as u32).map(CellId)
     }
 
     /// Chebyshev (grid-hop) distance between two cells.

@@ -1,8 +1,8 @@
 //! Discretized trajectory streams — the representation every mechanism and
 //! metric operates on.
 //!
-//! Discretization maps each continuous location to its grid cell and then
-//! *splits* any stream whose consecutive cells are not grid-adjacent. This
+//! Discretization maps each continuous location to its cell and then
+//! *splits* any stream whose consecutive cells are not adjacent. This
 //! mirrors the paper's preprocessing ("For trajectories including
 //! non-adjacent timestamps, we add quitting events and split them into
 //! multiple streams") extended to spatial jumps, which keeps every movement
@@ -13,16 +13,22 @@
 //! stream lives in one flat `cells` column, sliced per stream by
 //! `offsets`. Consumers iterate through borrowed [`StreamView`]s — walking
 //! a million-stream database touches three contiguous columns and performs
-//! zero allocation. The synthesizer's release path builds the columns
-//! directly ([`GriddedDataset::from_columns`]), so handing a finished
-//! database to the metrics suite never materializes one `Vec` per stream;
-//! [`GriddedStream`] remains as the owned row type for construction and
-//! I/O.
+//! zero allocation. The synthesizer's release path and the I/O parser both
+//! build the columns directly ([`GriddedDataset::from_columns`]), so
+//! handing a finished database to the metrics suite never materializes one
+//! `Vec` per stream; [`GriddedStream`] remains as the owned row type for
+//! construction and tests.
+//!
+//! The dataset carries its discretization as a compiled shared
+//! [`Topology`], so uniform grids, quad trees and future spaces all flow
+//! through the same columns.
 
-use crate::grid::{CellId, Grid};
+use crate::grid::CellId;
+use crate::space::{Space, Topology};
 use crate::stream::{DatasetStats, StreamDataset};
+use std::sync::Arc;
 
-/// An owned discretized stream: one grid cell per timestamp starting at
+/// An owned discretized stream: one cell per timestamp starting at
 /// `start`. The construction/I-O currency; datasets store streams
 /// columnar and iterate them as [`StreamView`]s.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,9 +81,9 @@ impl GriddedStream {
         *self.cells.last().unwrap()
     }
 
-    /// Travel distance in grid hops (Chebyshev per step).
-    pub fn hop_distance(&self, grid: &Grid) -> u64 {
-        self.cells.windows(2).map(|w| grid.chebyshev(w[0], w[1]) as u64).sum()
+    /// Travel distance in single-step hops (Chebyshev on uniform grids).
+    pub fn hop_distance(&self, topology: &Topology) -> u64 {
+        self.cells.windows(2).map(|w| topology.hop_distance(w[0], w[1])).sum()
     }
 
     /// Borrow this stream as a view.
@@ -139,9 +145,9 @@ impl<'a> StreamView<'a> {
         *self.cells.last().unwrap()
     }
 
-    /// Travel distance in grid hops (Chebyshev per step).
-    pub fn hop_distance(&self, grid: &Grid) -> u64 {
-        self.cells.windows(2).map(|w| grid.chebyshev(w[0], w[1]) as u64).sum()
+    /// Travel distance in single-step hops (Chebyshev on uniform grids).
+    pub fn hop_distance(&self, topology: &Topology) -> u64 {
+        self.cells.windows(2).map(|w| topology.hop_distance(w[0], w[1])).sum()
     }
 
     /// An owned copy of this stream.
@@ -150,14 +156,15 @@ impl<'a> StreamView<'a> {
     }
 }
 
-/// A database of discretized streams sharing a grid, over `0..horizon`.
+/// A database of discretized streams sharing a topology, over
+/// `0..horizon`.
 ///
 /// Stored columnar: `ids`/`starts` hold per-stream metadata, `cells` holds
 /// every cell of every stream back to back, and `offsets` (length
 /// `num_streams + 1`) slices `cells` per stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GriddedDataset {
-    grid: Grid,
+    topology: Arc<Topology>,
     ids: Vec<u64>,
     starts: Vec<u64>,
     offsets: Vec<usize>,
@@ -167,9 +174,9 @@ pub struct GriddedDataset {
 
 impl GriddedDataset {
     /// Assemble from owned pre-gridded streams (flattened into the columnar
-    /// layout). Streams must already respect grid adjacency; this is
+    /// layout). Streams must already respect the space's adjacency; this is
     /// checked in debug builds.
-    pub fn from_streams(grid: Grid, streams: Vec<GriddedStream>, horizon: u64) -> Self {
+    pub fn from_streams<S: Space>(space: S, streams: Vec<GriddedStream>, horizon: u64) -> Self {
         let total: usize = streams.iter().map(GriddedStream::len).sum();
         let mut ids = Vec::with_capacity(streams.len());
         let mut starts = Vec::with_capacity(streams.len());
@@ -182,31 +189,32 @@ impl GriddedDataset {
             cells.extend_from_slice(&s.cells);
             offsets.push(cells.len());
         }
-        Self::from_columns(grid, ids, starts, offsets, cells, horizon)
+        Self::from_columns(space, ids, starts, offsets, cells, horizon)
     }
 
     /// Assemble directly from columnar storage — the synthesizer's
-    /// zero-copy release path: `offsets[i]..offsets[i+1]` bounds stream
-    /// `i`'s cells inside the flat `cells` column. Adjacency and cell
-    /// bounds are checked in debug builds; the offset structure and the
-    /// horizon always.
-    pub fn from_columns(
-        grid: Grid,
+    /// zero-copy release path and the I/O parser's target:
+    /// `offsets[i]..offsets[i+1]` bounds stream `i`'s cells inside the
+    /// flat `cells` column. Adjacency and cell bounds are checked in debug
+    /// builds; the offset structure and the horizon always.
+    pub fn from_columns<S: Space>(
+        space: S,
         ids: Vec<u64>,
         starts: Vec<u64>,
         offsets: Vec<usize>,
         cells: Vec<CellId>,
         horizon: u64,
     ) -> Self {
+        let topology = space.compile_shared();
         assert_eq!(ids.len(), starts.len(), "column length mismatch");
         assert_eq!(offsets.len(), ids.len() + 1, "offsets must bound every stream");
         assert_eq!(*offsets.first().unwrap_or(&0), 0, "offsets must begin at 0");
         assert_eq!(*offsets.last().unwrap_or(&0), cells.len(), "offsets must end at cells.len()");
         assert!(offsets.windows(2).all(|w| w[0] < w[1]), "streams are non-empty and ordered");
-        debug_assert!(cells.iter().all(|c| c.index() < grid.num_cells()));
+        debug_assert!(cells.iter().all(|c| c.index() < topology.num_cells()));
         debug_assert!(offsets
             .windows(2)
-            .all(|w| { cells[w[0]..w[1]].windows(2).all(|p| grid.are_adjacent(p[0], p[1])) }));
+            .all(|w| { cells[w[0]..w[1]].windows(2).all(|p| topology.are_adjacent(p[0], p[1])) }));
         let computed = starts
             .iter()
             .zip(offsets.windows(2))
@@ -214,12 +222,13 @@ impl GriddedDataset {
             .max()
             .unwrap_or(0);
         assert!(horizon >= computed, "horizon {horizon} < last report {computed}");
-        GriddedDataset { grid, ids, starts, offsets, cells, horizon }
+        GriddedDataset { topology, ids, starts, offsets, cells, horizon }
     }
 
-    /// Discretize a raw dataset against `grid`, splitting streams at
+    /// Discretize a raw dataset against a space, splitting streams at
     /// non-adjacent cell jumps.
-    pub fn from_dataset(dataset: &StreamDataset, grid: &Grid) -> Self {
+    pub fn from_dataset(dataset: &StreamDataset, space: &impl Space) -> Self {
+        let topology = space.compile_shared();
         let mut ids = Vec::new();
         let mut starts = Vec::new();
         let mut offsets = vec![0usize];
@@ -228,10 +237,10 @@ impl GriddedDataset {
         let mut seg: Vec<CellId> = Vec::new();
         for traj in dataset.trajectories() {
             seg.clear();
-            seg.extend(traj.points.iter().map(|p| grid.cell_of(p)));
+            seg.extend(traj.points.iter().map(|p| topology.cell_of(p)));
             let mut seg_start_idx = 0usize;
             for i in 1..=seg.len() {
-                let split = i == seg.len() || !grid.are_adjacent(seg[i - 1], seg[i]);
+                let split = i == seg.len() || !topology.are_adjacent(seg[i - 1], seg[i]);
                 if split {
                     ids.push(next_id);
                     starts.push(traj.start + seg_start_idx as u64);
@@ -242,19 +251,12 @@ impl GriddedDataset {
                 }
             }
         }
-        GriddedDataset {
-            grid: grid.clone(),
-            ids,
-            starts,
-            offsets,
-            cells,
-            horizon: dataset.horizon(),
-        }
+        GriddedDataset { topology, ids, starts, offsets, cells, horizon: dataset.horizon() }
     }
 
-    /// The shared grid.
-    pub fn grid(&self) -> &Grid {
-        &self.grid
+    /// The shared compiled topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
     }
 
     /// Number of streams.
@@ -303,7 +305,7 @@ impl GriddedDataset {
 
     /// Per-cell occupancy counts at timestamp `t`.
     pub fn snapshot_counts(&self, t: u64) -> Vec<u64> {
-        let mut counts = vec![0u64; self.grid.num_cells()];
+        let mut counts = vec![0u64; self.topology.num_cells()];
         for (&start, w) in self.starts.iter().zip(self.offsets.windows(2)) {
             if t >= start && t < start + (w[1] - w[0]) as u64 {
                 counts[self.cells[w[0] + (t - start) as usize].index()] += 1;
@@ -314,7 +316,7 @@ impl GriddedDataset {
 
     /// Per-cell visit counts aggregated over all timestamps.
     pub fn total_counts(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.grid.num_cells()];
+        let mut counts = vec![0u64; self.topology.num_cells()];
         for c in &self.cells {
             counts[c.index()] += 1;
         }
@@ -342,7 +344,9 @@ impl GriddedDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::point::Point;
+    use crate::grid::Grid;
+    use crate::point::{BoundingBox, Point};
+    use crate::space::QuadGrid;
     use crate::trajectory::Trajectory;
 
     #[test]
@@ -383,6 +387,26 @@ mod tests {
     }
 
     #[test]
+    fn discretize_against_quad_space() {
+        // Dense strip along the bottom; coarse elsewhere.
+        let pts: Vec<Point> = (0..400).map(|i| Point::new((i % 40) as f64 / 40.0, 0.05)).collect();
+        let quad = QuadGrid::fit(BoundingBox::unit(), &pts, 30, 3);
+        let ds = StreamDataset::new(vec![Trajectory::new(
+            0,
+            0,
+            vec![Point::new(0.1, 0.05), Point::new(0.12, 0.05), Point::new(0.9, 0.9)],
+        )]);
+        let g = ds.discretize(&quad);
+        assert_eq!(g.topology().num_cells(), quad.num_leaves());
+        // Every stored step respects the compiled adjacency.
+        for s in g.iter() {
+            for w in s.cells.windows(2) {
+                assert!(g.topology().are_adjacent(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
     fn snapshot_and_total_counts() {
         let grid = Grid::unit(2);
         let ds = StreamDataset::new(vec![
@@ -404,13 +428,14 @@ mod tests {
     #[test]
     fn hop_distance() {
         let grid = Grid::unit(5);
+        let topo = crate::space::Space::compile(&grid);
         let s = GriddedStream {
             id: 0,
             start: 0,
             cells: vec![grid.cell_at(0, 0), grid.cell_at(1, 1), grid.cell_at(1, 2)],
         };
-        assert_eq!(s.hop_distance(&grid), 2);
-        assert_eq!(s.view().hop_distance(&grid), 2);
+        assert_eq!(s.hop_distance(&topo), 2);
+        assert_eq!(s.view().hop_distance(&topo), 2);
     }
 
     #[test]
@@ -436,10 +461,10 @@ mod tests {
             start: 1,
             cells: vec![grid.cell_at(0, 0), grid.cell_at(1, 0)],
         }];
-        let g = GriddedDataset::from_streams(grid, streams.clone(), 5);
+        let g = GriddedDataset::from_streams(grid.clone(), streams.clone(), 5);
         assert_eq!(g.horizon(), 5);
         assert_eq!(g.num_streams(), 1);
-        assert_eq!(g.stream(0).cell_at(2), Some(g.grid().cell_at(1, 0)));
+        assert_eq!(g.stream(0).cell_at(2), Some(grid.cell_at(1, 0)));
         assert_eq!(g.stream(0).cell_at(0), None);
         // Views round-trip to the owned rows they were built from.
         assert_eq!(g.to_streams(), streams);

@@ -2,7 +2,7 @@
 //!
 //! A deliberately simple, dependency-free line format so released synthetic
 //! databases can be handed to downstream tooling (or reloaded for later
-//! historical analysis):
+//! historical analysis). Uniform-grid databases use the v1 format:
 //!
 //! ```text
 //! retrasyn-gridded v1 k=<K> horizon=<T>
@@ -10,19 +10,50 @@
 //! …
 //! ```
 //!
-//! Cells are dense indices (`y·K + x`). The grid's bounding box is not
-//! persisted — readers supply it (releases are usually consumed in grid
-//! coordinates; use [`Grid::new`] with the original box to recover
-//! continuous centers).
+//! Quad-tree databases carry their leaf set so the topology round-trips:
+//!
+//! ```text
+//! retrasyn-quad v1 depth=<D> leaves=<L> horizon=<T>
+//! <x> <y> <depth>      (one line per leaf, canonical order)
+//! <id> <start> <cell> <cell> …
+//! …
+//! ```
+//!
+//! Cells are dense indices. The bounding box is not persisted — readers
+//! get the unit square; re-discretize against the original box to recover
+//! continuous centers.
+//!
+//! The parser streams straight into the columnar layout
+//! ([`GriddedDataset::from_columns`]): ids, starts, offsets and cells are
+//! appended as lines arrive and validated inline, so loading never
+//! materializes one owned `Vec` per stream.
 
 use crate::grid::{CellId, Grid};
-use crate::gridded::{GriddedDataset, GriddedStream};
+use crate::gridded::GriddedDataset;
+use crate::space::{QuadGrid, QuadLeaf, SpaceDescriptor, Topology};
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-/// Serialize a gridded database to a writer.
+/// Serialize a gridded database to a writer (format chosen by the
+/// dataset's topology descriptor).
 pub fn write_gridded<W: Write>(dataset: &GriddedDataset, writer: &mut W) -> io::Result<()> {
-    writeln!(writer, "retrasyn-gridded v1 k={} horizon={}", dataset.grid().k(), dataset.horizon())?;
+    match dataset.topology().descriptor() {
+        SpaceDescriptor::Uniform { k, .. } => {
+            writeln!(writer, "retrasyn-gridded v1 k={k} horizon={}", dataset.horizon())?;
+        }
+        SpaceDescriptor::Quad { depth, leaves, .. } => {
+            writeln!(
+                writer,
+                "retrasyn-quad v1 depth={depth} leaves={} horizon={}",
+                leaves.len(),
+                dataset.horizon()
+            )?;
+            for l in leaves {
+                writeln!(writer, "{} {} {}", l.x, l.y, l.depth)?;
+            }
+        }
+    }
     for s in dataset.iter() {
         write!(writer, "{} {}", s.id, s.start)?;
         for c in s.cells {
@@ -44,28 +75,91 @@ fn parse_err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Deserialize a gridded database from a reader (unit-square grid).
+/// Deserialize a gridded database from a reader (unit-square space).
+/// Dispatches on the header: `retrasyn-gridded v1` (uniform grid) or
+/// `retrasyn-quad v1` (quad tree with an explicit leaf set).
 pub fn read_gridded<R: BufRead>(reader: R) -> io::Result<GriddedDataset> {
     let mut lines = reader.lines();
     let header = lines.next().ok_or_else(|| parse_err("empty input"))??;
-    let mut k: Option<u16> = None;
-    let mut horizon: Option<u64> = None;
     let mut parts = header.split_whitespace();
-    if parts.next() != Some("retrasyn-gridded") || parts.next() != Some("v1") {
-        return Err(parse_err("bad header (expected 'retrasyn-gridded v1 …')"));
-    }
-    for field in parts {
-        if let Some(v) = field.strip_prefix("k=") {
-            k = Some(v.parse().map_err(|_| parse_err("bad k"))?);
-        } else if let Some(v) = field.strip_prefix("horizon=") {
-            horizon = Some(v.parse().map_err(|_| parse_err("bad horizon"))?);
+    match (parts.next(), parts.next()) {
+        (Some("retrasyn-gridded"), Some("v1")) => {
+            let mut k: Option<u16> = None;
+            let mut horizon: Option<u64> = None;
+            for field in parts {
+                if let Some(v) = field.strip_prefix("k=") {
+                    k = Some(v.parse().map_err(|_| parse_err("bad k"))?);
+                } else if let Some(v) = field.strip_prefix("horizon=") {
+                    horizon = Some(v.parse().map_err(|_| parse_err("bad horizon"))?);
+                }
+            }
+            let k = k.ok_or_else(|| parse_err("missing k"))?;
+            let horizon = horizon.ok_or_else(|| parse_err("missing horizon"))?;
+            let topology = crate::space::Space::compile_shared(&Grid::unit(k));
+            read_streams_columnar(lines, topology, horizon, 2)
+        }
+        (Some("retrasyn-quad"), Some("v1")) => {
+            let mut depth: Option<u8> = None;
+            let mut leaves_n: Option<usize> = None;
+            let mut horizon: Option<u64> = None;
+            for field in parts {
+                if let Some(v) = field.strip_prefix("depth=") {
+                    depth = Some(v.parse().map_err(|_| parse_err("bad depth"))?);
+                } else if let Some(v) = field.strip_prefix("leaves=") {
+                    leaves_n = Some(v.parse().map_err(|_| parse_err("bad leaves"))?);
+                } else if let Some(v) = field.strip_prefix("horizon=") {
+                    horizon = Some(v.parse().map_err(|_| parse_err("bad horizon"))?);
+                }
+            }
+            let depth = depth.ok_or_else(|| parse_err("missing depth"))?;
+            let leaves_n = leaves_n.ok_or_else(|| parse_err("missing leaves"))?;
+            let horizon = horizon.ok_or_else(|| parse_err("missing horizon"))?;
+            let mut leaves = Vec::with_capacity(leaves_n);
+            for i in 0..leaves_n {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| parse_err(format!("missing leaf line {}", i + 2)))??;
+                let mut f = line.split_whitespace();
+                let x: u32 = f
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err(format!("line {}: bad leaf x", i + 2)))?;
+                let y: u32 = f
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err(format!("line {}: bad leaf y", i + 2)))?;
+                let d: u8 = f
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err(format!("line {}: bad leaf depth", i + 2)))?;
+                leaves.push(QuadLeaf { x, y, depth: d });
+            }
+            let quad = QuadGrid::try_from_leaves(crate::point::BoundingBox::unit(), depth, leaves)
+                .map_err(parse_err)?;
+            let topology = crate::space::Space::compile_shared(&quad);
+            read_streams_columnar(lines, topology, horizon, leaves_n + 2)
+        }
+        _ => {
+            Err(parse_err("bad header (expected 'retrasyn-gridded v1 …' or 'retrasyn-quad v1 …')"))
         }
     }
-    let k = k.ok_or_else(|| parse_err("missing k"))?;
-    let horizon = horizon.ok_or_else(|| parse_err("missing horizon"))?;
-    let grid = Grid::unit(k);
-    let mut streams = Vec::new();
-    for (lineno, line) in lines.enumerate() {
+}
+
+/// Stream the `<id> <start> <cell>…` body straight into the columnar
+/// layout, validating ranges, adjacency and the horizon inline.
+fn read_streams_columnar<B: Iterator<Item = io::Result<String>>>(
+    lines: B,
+    topology: Arc<Topology>,
+    horizon: u64,
+    first_lineno: usize,
+) -> io::Result<GriddedDataset> {
+    let num_cells = topology.num_cells();
+    let mut ids = Vec::new();
+    let mut starts = Vec::new();
+    let mut offsets = vec![0usize];
+    let mut cells: Vec<CellId> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let lineno = first_lineno + i;
         let line = line?;
         if line.trim().is_empty() {
             continue;
@@ -73,45 +167,44 @@ pub fn read_gridded<R: BufRead>(reader: R) -> io::Result<GriddedDataset> {
         let mut fields = line.split_whitespace();
         let id: u64 = fields
             .next()
-            .ok_or_else(|| parse_err(format!("line {}: missing id", lineno + 2)))?
+            .ok_or_else(|| parse_err(format!("line {lineno}: missing id")))?
             .parse()
-            .map_err(|_| parse_err(format!("line {}: bad id", lineno + 2)))?;
+            .map_err(|_| parse_err(format!("line {lineno}: bad id")))?;
         let start: u64 = fields
             .next()
-            .ok_or_else(|| parse_err(format!("line {}: missing start", lineno + 2)))?
+            .ok_or_else(|| parse_err(format!("line {lineno}: missing start")))?
             .parse()
-            .map_err(|_| parse_err(format!("line {}: bad start", lineno + 2)))?;
-        let cells: Result<Vec<CellId>, io::Error> = fields
-            .map(|f| {
-                let raw: u16 =
-                    f.parse().map_err(|_| parse_err(format!("line {}: bad cell", lineno + 2)))?;
-                if raw as usize >= grid.num_cells() {
-                    return Err(parse_err(format!(
-                        "line {}: cell {raw} out of range for k={k}",
-                        lineno + 2
-                    )));
-                }
-                Ok(CellId(raw))
-            })
-            .collect();
-        let cells = cells?;
-        if cells.is_empty() {
-            return Err(parse_err(format!("line {}: stream with no cells", lineno + 2)));
-        }
-        streams.push(GriddedStream { id, start, cells });
-    }
-    // Validate adjacency and horizon before constructing.
-    for s in &streams {
-        if s.end() >= horizon {
-            return Err(parse_err(format!("stream {} exceeds horizon", s.id)));
-        }
-        for w in s.cells.windows(2) {
-            if !grid.are_adjacent(w[0], w[1]) {
-                return Err(parse_err(format!("stream {}: non-adjacent move", s.id)));
+            .map_err(|_| parse_err(format!("line {lineno}: bad start")))?;
+        let stream_base = cells.len();
+        let mut prev: Option<CellId> = None;
+        for f in fields {
+            let raw: u32 = f.parse().map_err(|_| parse_err(format!("line {lineno}: bad cell")))?;
+            if raw as usize >= num_cells {
+                return Err(parse_err(format!(
+                    "line {lineno}: cell {raw} out of range for {num_cells} cells"
+                )));
             }
+            let c = CellId(raw);
+            if let Some(p) = prev {
+                if !topology.are_adjacent(p, c) {
+                    return Err(parse_err(format!("stream {id}: non-adjacent move")));
+                }
+            }
+            cells.push(c);
+            prev = Some(c);
         }
+        let n = cells.len() - stream_base;
+        if n == 0 {
+            return Err(parse_err(format!("line {lineno}: stream with no cells")));
+        }
+        if start + n as u64 > horizon {
+            return Err(parse_err(format!("stream {id} exceeds horizon")));
+        }
+        ids.push(id);
+        starts.push(start);
+        offsets.push(cells.len());
     }
-    Ok(GriddedDataset::from_streams(grid, streams, horizon))
+    Ok(GriddedDataset::from_columns(topology, ids, starts, offsets, cells, horizon))
 }
 
 /// Deserialize from a file path.
@@ -122,6 +215,8 @@ pub fn load_gridded<P: AsRef<Path>>(path: P) -> io::Result<GriddedDataset> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gridded::GriddedStream;
+    use crate::point::{BoundingBox, Point};
 
     fn sample() -> GriddedDataset {
         let grid = Grid::unit(4);
@@ -146,8 +241,28 @@ mod tests {
         write_gridded(&ds, &mut buf).unwrap();
         let loaded = read_gridded(io::BufReader::new(buf.as_slice())).unwrap();
         assert_eq!(loaded.horizon(), 5);
-        assert_eq!(loaded.grid().k(), 4);
+        assert_eq!(loaded.topology().uniform_k(), Some(4));
         assert_eq!(loaded, ds);
+    }
+
+    #[test]
+    fn quad_roundtrip() {
+        let pts: Vec<Point> = (0..300).map(|i| Point::new((i % 30) as f64 / 30.0, 0.1)).collect();
+        let quad = QuadGrid::fit(BoundingBox::unit(), &pts, 25, 3);
+        let topo = crate::space::Space::compile_shared(&quad);
+        // A short stream hopping between two adjacent leaves.
+        let c0 = topo.cell_of(&Point::new(0.1, 0.05));
+        let pick = *topo.neighbors(c0).last().unwrap();
+        let ds = GriddedDataset::from_streams(
+            Arc::clone(&topo),
+            vec![GriddedStream { id: 1, start: 0, cells: vec![c0, pick, c0] }],
+            4,
+        );
+        let mut buf = Vec::new();
+        write_gridded(&ds, &mut buf).unwrap();
+        let loaded = read_gridded(io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(loaded, ds);
+        assert_eq!(loaded.topology().num_cells(), quad.num_leaves());
     }
 
     #[test]
@@ -190,6 +305,14 @@ mod tests {
         let bad = "retrasyn-gridded v1 k=4 horizon=1\n0 0 0 1\n";
         let err = read_gridded(io::BufReader::new(bad.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("horizon"));
+    }
+
+    #[test]
+    fn rejects_bad_quad_leaf_set() {
+        // Three depth-1 leaves: a hole.
+        let bad = "retrasyn-quad v1 depth=1 leaves=3 horizon=2\n0 0 1\n1 0 1\n0 1 1\n0 0 0\n";
+        let err = read_gridded(io::BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("quad"));
     }
 
     #[test]

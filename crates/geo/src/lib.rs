@@ -25,6 +25,7 @@ pub mod grid;
 pub mod gridded;
 pub mod io;
 pub mod point;
+pub mod space;
 pub mod stream;
 pub mod timeline;
 pub mod trajectory;
@@ -33,6 +34,7 @@ pub mod transition;
 pub use grid::{CellId, Grid, Neighborhood};
 pub use gridded::{GriddedDataset, GriddedStream, StreamView};
 pub use point::{BoundingBox, Point};
+pub use space::{QuadGrid, QuadLeaf, Space, SpaceDescriptor, Topology, UniformGrid};
 pub use stream::{DatasetStats, StreamDataset};
 pub use timeline::{EventTimeline, UserEvent};
 pub use trajectory::Trajectory;

@@ -3,6 +3,7 @@
 use crate::grid::Grid;
 use crate::gridded::GriddedDataset;
 use crate::point::Point;
+use crate::space::Space;
 use crate::trajectory::Trajectory;
 
 /// The original stream database `T_orig` (Definition 4): a set of trajectory
@@ -84,10 +85,11 @@ impl StreamDataset {
         }
     }
 
-    /// Discretize all streams against `grid`, splitting at non-adjacent cell
-    /// jumps (see [`GriddedDataset::from_dataset`]).
-    pub fn discretize(&self, grid: &Grid) -> GriddedDataset {
-        GriddedDataset::from_dataset(self, grid)
+    /// Discretize all streams against any space (a grid, a quad tree, a
+    /// compiled topology), splitting at non-adjacent cell jumps (see
+    /// [`GriddedDataset::from_dataset`]).
+    pub fn discretize(&self, space: &impl Space) -> GriddedDataset {
+        GriddedDataset::from_dataset(self, space)
     }
 
     /// Keep a deterministic fraction of the streams (every ⌈1/fraction⌉-th

@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn enter_move_quit_sequence() {
         let ds = dataset();
-        let grid = ds.grid().clone();
+        let grid = Grid::unit(3);
         let tl = EventTimeline::build(&ds);
         assert_eq!(tl.horizon(), 5);
         assert!(tl.at(0).is_empty());

@@ -12,9 +12,16 @@
 //!
 //! where the move block of cell `i` holds one slot per neighbor in `N(i)`
 //! (ascending cell order, self included). Only reachable (adjacent)
-//! movements exist, so `|S| = Σ|N(i)| + 2|C| = O(9|C|)`.
+//! movements exist, so `|S| = Σ|N(i)| + 2|C|` — `O(9|C|)` on a uniform
+//! grid, and whatever the compiled adjacency yields on other spaces.
+//!
+//! The move blocks are exactly the CSR adjacency rows of the compiled
+//! [`Topology`], so the table borrows the topology's tables instead of
+//! rebuilding them.
 
-use crate::grid::{CellId, Grid};
+use crate::grid::CellId;
+use crate::space::{Space, Topology};
+use std::sync::Arc;
 
 /// A user's mobility status at one timestamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,49 +40,34 @@ pub enum TransitionState {
 }
 
 /// Dense, bijective indexing of the reachability-constrained transition
-/// domain for a given grid.
+/// domain for a compiled topology.
 #[derive(Debug, Clone)]
 pub struct TransitionTable {
-    grid: Grid,
-    /// `move_offsets[i]` = first dense index of cell i's move block;
-    /// `move_offsets[|C|]` = total number of move states.
-    move_offsets: Vec<u32>,
-    /// Concatenated neighbor lists (ascending within each block).
-    neighbor_list: Vec<CellId>,
+    topology: Arc<Topology>,
 }
 
 impl TransitionTable {
-    /// Build the table for `grid`.
-    pub fn new(grid: &Grid) -> Self {
-        let num_cells = grid.num_cells();
-        let mut move_offsets = Vec::with_capacity(num_cells + 1);
-        let mut neighbor_list = Vec::with_capacity(num_cells * 9);
-        let mut offset = 0u32;
-        for c in grid.cells() {
-            move_offsets.push(offset);
-            let n = grid.neighbors(c);
-            neighbor_list.extend_from_slice(n.as_slice());
-            offset += n.len() as u32;
-        }
-        move_offsets.push(offset);
-        TransitionTable { grid: grid.clone(), move_offsets, neighbor_list }
+    /// Build the table for any [`Space`] (a `Grid`, a compiled
+    /// [`Topology`], a quad tree, …).
+    pub fn new(space: &impl Space) -> Self {
+        TransitionTable { topology: space.compile_shared() }
     }
 
-    /// The grid this table indexes.
-    pub fn grid(&self) -> &Grid {
-        &self.grid
+    /// The compiled topology this table indexes.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
     }
 
     /// Number of cells `|C|`.
     #[inline]
     pub fn num_cells(&self) -> usize {
-        self.grid.num_cells()
+        self.topology.num_cells()
     }
 
     /// Number of movement states `Σ_i |N(i)|`.
     #[inline]
     pub fn num_moves(&self) -> usize {
-        *self.move_offsets.last().unwrap() as usize
+        self.topology.csr_targets().len()
     }
 
     /// Total domain size `|S| = num_moves + 2|C|`.
@@ -84,7 +76,7 @@ impl TransitionTable {
         self.num_moves() + 2 * self.num_cells()
     }
 
-    /// The domain is never empty for a valid grid.
+    /// The domain is never empty for a valid topology.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -92,8 +84,9 @@ impl TransitionTable {
     /// Dense index range of cell `from`'s move block.
     #[inline]
     pub fn move_block(&self, from: CellId) -> std::ops::Range<usize> {
+        let offsets = self.topology.csr_offsets();
         let i = from.index();
-        self.move_offsets[i] as usize..self.move_offsets[i + 1] as usize
+        offsets[i] as usize..offsets[i + 1] as usize
     }
 
     /// Row offsets of every move block: `move_offsets()[i]` is the first
@@ -102,14 +95,14 @@ impl TransitionTable {
     /// layout without per-cell calls.
     #[inline]
     pub fn move_offsets(&self) -> &[u32] {
-        &self.move_offsets
+        self.topology.csr_offsets()
     }
 
     /// The concatenated destination cells of all move blocks (parallel to
     /// the dense move index space).
     #[inline]
     pub fn neighbor_cells(&self) -> &[CellId] {
-        &self.neighbor_list
+        self.topology.csr_targets()
     }
 
     /// Source cell owning the movement state at dense `index`
@@ -117,18 +110,19 @@ impl TransitionTable {
     #[inline]
     pub fn move_source_of(&self, index: usize) -> CellId {
         debug_assert!(index < self.num_moves());
-        let cell = match self.move_offsets.binary_search(&(index as u32)) {
+        let offsets = self.topology.csr_offsets();
+        let cell = match offsets.binary_search(&(index as u32)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        CellId(cell as u16)
+        CellId(cell as u32)
     }
 
     /// Destination cells of `from`'s move block (parallel to
     /// [`Self::move_block`]).
     #[inline]
     pub fn move_targets(&self, from: CellId) -> &[CellId] {
-        &self.neighbor_list[self.move_block(from)]
+        self.topology.neighbors(from)
     }
 
     /// Dense index of the entering state `e_c`.
@@ -149,7 +143,7 @@ impl TransitionTable {
         match state {
             TransitionState::Move { from, to } => {
                 let block = self.move_block(from);
-                let targets = &self.neighbor_list[block.clone()];
+                let targets = self.topology.neighbors(from);
                 targets.iter().position(|&c| c == to).map(|pos| block.start + pos)
             }
             TransitionState::Enter(c) => Some(self.enter_index(c)),
@@ -166,7 +160,8 @@ impl TransitionTable {
         let cells = self.num_cells();
         if index < moves {
             // Binary search for the owning block.
-            let from = match self.move_offsets.binary_search(&(index as u32)) {
+            let offsets = self.topology.csr_offsets();
+            let from = match offsets.binary_search(&(index as u32)) {
                 Ok(i) => {
                     // `index` is the start of block i — but trailing empty
                     // blocks can't occur (every cell has >= 1 neighbor), so
@@ -175,11 +170,14 @@ impl TransitionTable {
                 }
                 Err(i) => i - 1,
             };
-            TransitionState::Move { from: CellId(from as u16), to: self.neighbor_list[index] }
+            TransitionState::Move {
+                from: CellId(from as u32),
+                to: self.topology.csr_targets()[index],
+            }
         } else if index < moves + cells {
-            TransitionState::Enter(CellId((index - moves) as u16))
+            TransitionState::Enter(CellId((index - moves) as u32))
         } else if index < moves + 2 * cells {
-            TransitionState::Quit(CellId((index - moves - cells) as u16))
+            TransitionState::Quit(CellId((index - moves - cells) as u32))
         } else {
             panic!("transition index {index} out of range {}", self.len());
         }
@@ -189,6 +187,9 @@ impl TransitionTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::Grid;
+    use crate::point::{BoundingBox, Point};
+    use crate::space::QuadGrid;
 
     #[test]
     fn domain_size_small_grids() {
@@ -220,6 +221,20 @@ mod tests {
     fn index_bijection() {
         let grid = Grid::unit(5);
         let t = TransitionTable::new(&grid);
+        for idx in 0..t.len() {
+            let state = t.state_of(idx);
+            assert_eq!(t.index_of(state), Some(idx), "state {state:?}");
+        }
+    }
+
+    #[test]
+    fn index_bijection_on_quad_topology() {
+        let pts: Vec<Point> = (0..600)
+            .map(|i| Point::new((i as f64 * 0.017) % 0.4, (i as f64 * 0.029) % 1.0))
+            .collect();
+        let quad = QuadGrid::fit(BoundingBox::unit(), &pts, 40, 4);
+        let t = TransitionTable::new(&quad);
+        assert_eq!(t.num_cells(), quad.num_leaves());
         for idx in 0..t.len() {
             let state = t.state_of(idx);
             assert_eq!(t.index_of(state), Some(idx), "state {state:?}");

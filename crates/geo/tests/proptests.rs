@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use retrasyn_geo::{
-    BoundingBox, EventTimeline, Grid, GriddedDataset, GriddedStream, Point, StreamDataset,
-    Trajectory, TransitionState, TransitionTable,
+    BoundingBox, EventTimeline, Grid, GriddedDataset, GriddedStream, Point, QuadGrid, Space,
+    StreamDataset, Trajectory, TransitionState, TransitionTable,
 };
 
 proptest! {
@@ -29,8 +29,8 @@ proptest! {
     fn adjacency_properties(k in 1u16..=12, a in 0usize..144, b in 0usize..144) {
         let g = Grid::unit(k);
         let n = g.num_cells();
-        let a = retrasyn_geo::CellId((a % n) as u16);
-        let b = retrasyn_geo::CellId((b % n) as u16);
+        let a = retrasyn_geo::CellId((a % n) as u32);
+        let b = retrasyn_geo::CellId((b % n) as u32);
         prop_assert!(g.are_adjacent(a, a));
         prop_assert_eq!(g.are_adjacent(a, b), g.are_adjacent(b, a));
         prop_assert_eq!(g.are_adjacent(a, b), g.neighbors(a).contains(b));
@@ -135,7 +135,7 @@ proptest! {
             (Vec::new(), Vec::new(), vec![0usize], Vec::new());
         for (i, &(start, len, seed)) in specs.iter().enumerate() {
             // Deterministic adjacency-respecting walk from a seeded cell.
-            let mut cur = retrasyn_geo::CellId((seed % g.num_cells()) as u16);
+            let mut cur = retrasyn_geo::CellId((seed % g.num_cells()) as u32);
             let mut walk = vec![cur];
             for step in 1..len {
                 let neigh = g.neighbors(cur);
@@ -161,6 +161,61 @@ proptest! {
         }
     }
 
+    /// Quad-tree leaves tile the bounding box exactly: in max-depth integer
+    /// units the leaf areas sum to the full square and never overlap
+    /// (`fit` + `try_from_leaves` agree), and every point maps to exactly
+    /// one leaf whose rect contains it (point→cell is total).
+    #[test]
+    fn quad_leaves_tile_and_locate(
+        seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..80),
+        cap in 1usize..12,
+        depth in 1u8..=5,
+        probe in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let points: Vec<Point> = seed_pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let quad = QuadGrid::fit(BoundingBox::unit(), &points, cap, depth);
+        // Exact tiling in integer units.
+        let total = 1u64 << (2 * depth);
+        let covered: u64 = quad
+            .leaves()
+            .iter()
+            .map(|l| {
+                let s = l.side(depth) as u64;
+                s * s
+            })
+            .sum();
+        prop_assert_eq!(covered, total);
+        // from_leaves accepts its own output (overlap/hole detector).
+        let rebuilt = QuadGrid::from_leaves(BoundingBox::unit(), depth, quad.leaves().to_vec());
+        prop_assert_eq!(&quad, &rebuilt);
+        // point→cell is total and consistent with the rect geometry.
+        let topo = quad.compile();
+        let p = Point::new(probe.0, probe.1);
+        let c = topo.cell_of(&p);
+        prop_assert!(c.index() < topo.num_cells());
+        prop_assert!(topo.cell_rect(c).contains(&p));
+    }
+
+    /// Quad-tree adjacency is symmetric, self-inclusive, and each row is
+    /// strictly ascending.
+    #[test]
+    fn quad_adjacency_invariants(
+        seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..60),
+        cap in 1usize..10,
+        depth in 1u8..=4,
+    ) {
+        let points: Vec<Point> = seed_pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let topo = QuadGrid::fit(BoundingBox::unit(), &points, cap, depth).compile();
+        for a in topo.cells() {
+            let row = topo.neighbors(a);
+            prop_assert!(row.binary_search(&a).is_ok(), "row of {:?} missing self", a);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row of {:?} not ascending", a);
+            for &b in row {
+                prop_assert!(topo.are_adjacent(b, a), "asymmetric adjacency {:?} {:?}", a, b);
+            }
+        }
+    }
+
     /// Subsampling keeps the requested fraction within rounding.
     #[test]
     fn subsample_fraction(n in 1usize..200, denom in 1usize..10) {
@@ -172,6 +227,25 @@ proptest! {
         let sub = ds.subsample(fraction);
         let expected = n.div_ceil(denom);
         prop_assert_eq!(sub.trajectories().len(), expected);
+    }
+}
+
+/// Pinned: the compiled uniform topology reproduces the legacy
+/// `Neighborhood` order (ascending, y-major scan) for every cell — the
+/// bit-compatibility contract that keeps blessed snapshots valid.
+#[test]
+fn uniform_topology_matches_legacy_neighborhood() {
+    for k in [1u16, 2, 3, 32] {
+        let grid = Grid::unit(k);
+        let topo = grid.compile();
+        assert_eq!(topo.num_cells(), grid.num_cells(), "k={k}");
+        for c in grid.cells() {
+            assert_eq!(
+                topo.neighbors(c),
+                grid.neighbors(c).as_slice(),
+                "neighbor order diverged at k={k}, cell {c:?}"
+            );
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! all of which are post-processing (Theorem 2) when run on a released
 //! `T_syn`.
 
-use retrasyn_geo::{CellId, Grid, GriddedDataset};
+use retrasyn_geo::{CellId, GriddedDataset};
 use std::collections::HashMap;
 
 /// Origin–destination demand matrix: trip counts keyed by
@@ -80,11 +80,11 @@ pub fn mean_dwell_time(dataset: &GriddedDataset) -> f64 {
 /// the classic human-mobility statistic
 /// `r_g = sqrt(mean_t |x_t − centroid|²)`.
 pub fn radius_of_gyration(dataset: &GriddedDataset) -> Vec<f64> {
-    let grid: &Grid = dataset.grid();
+    let topology = dataset.topology();
     dataset
         .iter()
         .map(|s| {
-            let pts: Vec<_> = s.cells.iter().map(|&c| grid.center(c)).collect();
+            let pts: Vec<_> = s.cells.iter().map(|&c| topology.center(c)).collect();
             let n = pts.len() as f64;
             let cx = pts.iter().map(|p| p.x).sum::<f64>() / n;
             let cy = pts.iter().map(|p| p.y).sum::<f64>() / n;
@@ -117,7 +117,7 @@ pub fn periodic_occupancy(dataset: &GriddedDataset, region: &[CellId], period: u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use retrasyn_geo::GriddedStream;
+    use retrasyn_geo::{Grid, GriddedStream};
 
     fn dataset(grid: &Grid) -> GriddedDataset {
         GriddedDataset::from_streams(

@@ -14,11 +14,11 @@ pub fn density_error_at(orig: &GriddedDataset, syn: &GriddedDataset, t: u64) -> 
 
 /// Mean density error over all timestamps where either database is active.
 pub fn density_error(orig: &GriddedDataset, syn: &GriddedDataset) -> f64 {
-    assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
+    assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
     let horizon = orig.horizon().max(syn.horizon());
     let oc = per_ts_cell_counts(orig);
     let sc = per_ts_cell_counts(syn);
-    let empty = vec![0u32; orig.grid().num_cells()];
+    let empty = vec![0u32; orig.topology().num_cells()];
     let mut total = 0.0;
     let mut used = 0usize;
     for t in 0..horizon as usize {

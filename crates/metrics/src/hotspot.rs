@@ -87,13 +87,13 @@ pub fn hotspot_ndcg(
     ranges: &[TimeRange],
     nh: usize,
 ) -> f64 {
-    assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
+    assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
     if ranges.is_empty() {
         return 0.0;
     }
     let oc = crate::per_ts_cell_counts(orig);
     let sc = crate::per_ts_cell_counts(syn);
-    let cells = orig.grid().num_cells();
+    let cells = orig.topology().num_cells();
     ranges.iter().map(|r| hotspot_ndcg_at(&oc, &sc, cells, r, nh)).sum::<f64>()
         / ranges.len() as f64
 }

@@ -45,7 +45,7 @@ pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> f64 {
 
 /// Kendall τ-b of total per-cell visit counts between the two databases.
 pub fn kendall_tau(orig: &GriddedDataset, syn: &GriddedDataset) -> f64 {
-    assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
+    assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
     let o: Vec<f64> = orig.total_counts().iter().map(|&c| c as f64).collect();
     let s: Vec<f64> = syn.total_counts().iter().map(|&c| c as f64).collect();
     kendall_tau_b(&o, &s)
@@ -101,7 +101,7 @@ mod tests {
                     streams.push(GriddedStream {
                         id,
                         start: 0,
-                        cells: vec![retrasyn_geo::CellId(cell as u16)],
+                        cells: vec![retrasyn_geo::CellId(cell as u32)],
                     });
                     id += 1;
                 }

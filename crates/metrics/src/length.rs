@@ -14,8 +14,8 @@ use retrasyn_geo::GriddedDataset;
 
 /// Travel distances (grid hops) of all streams.
 pub fn travel_distances(dataset: &GriddedDataset) -> Vec<u64> {
-    let grid = dataset.grid();
-    dataset.iter().map(|s| s.hop_distance(grid)).collect()
+    let topology = dataset.topology();
+    dataset.iter().map(|s| s.hop_distance(topology)).collect()
 }
 
 /// Histogram values into `bins` equal-width buckets over `[0, max]`.
@@ -35,7 +35,7 @@ fn histogram(values: &[u64], max: u64, bins: usize) -> Vec<f64> {
 /// JSD between travel-distance histograms with `bins` shared buckets.
 pub fn length_error(orig: &GriddedDataset, syn: &GriddedDataset, bins: usize) -> f64 {
     assert!(bins >= 2, "need at least two bins");
-    assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
+    assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
     let od = travel_distances(orig);
     let sd = travel_distances(syn);
     let max = od.iter().chain(sd.iter()).copied().max().unwrap_or(0);

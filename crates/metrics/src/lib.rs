@@ -58,7 +58,7 @@ use retrasyn_geo::GriddedDataset;
 /// `cell` at time `t`.
 pub fn per_ts_cell_counts(dataset: &GriddedDataset) -> Vec<Vec<u32>> {
     let horizon = dataset.horizon() as usize;
-    let cells = dataset.grid().num_cells();
+    let cells = dataset.topology().num_cells();
     let mut counts = vec![vec![0u32; cells]; horizon];
     for s in dataset.iter() {
         for (i, c) in s.cells.iter().enumerate() {

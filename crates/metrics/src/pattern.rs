@@ -84,7 +84,7 @@ pub fn pattern_f1(
     n: usize,
     max_len: usize,
 ) -> f64 {
-    assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
+    assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
     if ranges.is_empty() {
         return 0.0;
     }

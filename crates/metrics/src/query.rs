@@ -12,7 +12,7 @@
 //! queries with near-zero true answers from dominating the average.
 
 use rand::Rng;
-use retrasyn_geo::{Grid, GriddedDataset};
+use retrasyn_geo::{GriddedDataset, Topology};
 
 /// A cell-aligned spatio-temporal range query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,23 +33,37 @@ pub struct RangeQuery {
 
 impl RangeQuery {
     /// Whether the query region contains a cell.
-    pub fn contains_cell(&self, grid: &Grid, cell: retrasyn_geo::CellId) -> bool {
-        let (x, y) = grid.cell_xy(cell);
-        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    ///
+    /// # Panics
+    ///
+    /// Cell-aligned queries are defined on uniform topologies only; use
+    /// [`ContinuousQuery`] for adaptive discretizations.
+    pub fn contains_cell(&self, topology: &Topology, cell: retrasyn_geo::CellId) -> bool {
+        let k = uniform_k(topology);
+        let (x, y) = (cell.0 % k, cell.0 / k);
+        x >= self.x0 as u32 && x <= self.x1 as u32 && y >= self.y0 as u32 && y <= self.y1 as u32
     }
+}
+
+/// The uniform granularity of a topology, for cell-aligned workloads.
+fn uniform_k(topology: &Topology) -> u32 {
+    topology.uniform_k().expect(
+        "cell-aligned range queries require a uniform topology; \
+         use continuous queries for adaptive discretizations",
+    )
 }
 
 /// Generate `count` random queries: rectangles covering 20–50% of each axis,
 /// time ranges of size `phi` (clipped to the horizon).
 pub fn gen_queries<R: Rng + ?Sized>(
-    grid: &Grid,
+    topology: &Topology,
     horizon: u64,
     phi: u64,
     count: usize,
     rng: &mut R,
 ) -> Vec<RangeQuery> {
     assert!(horizon > 0, "cannot query an empty horizon");
-    let k = grid.k();
+    let k = uniform_k(topology) as u16;
     let phi = phi.clamp(1, horizon);
     (0..count)
         .map(|_| {
@@ -66,13 +80,14 @@ pub fn gen_queries<R: Rng + ?Sized>(
 }
 
 /// Evaluate one query against precomputed per-timestamp cell counts.
-pub fn answer(counts: &[Vec<u32>], grid: &Grid, q: &RangeQuery) -> u64 {
+pub fn answer(counts: &[Vec<u32>], topology: &Topology, q: &RangeQuery) -> u64 {
+    let k = uniform_k(topology);
     let mut total = 0u64;
     let t1 = (q.t1 as usize).min(counts.len().saturating_sub(1));
     for row in counts.iter().take(t1 + 1).skip(q.t0 as usize) {
         for y in q.y0..=q.y1 {
             for x in q.x0..=q.x1 {
-                total += row[grid.cell_at(x, y).index()] as u64;
+                total += row[(y as u32 * k + x as u32) as usize] as u64;
             }
         }
     }
@@ -144,27 +159,22 @@ pub fn continuous_answer_raw(dataset: &retrasyn_geo::StreamDataset, q: &Continuo
 /// assumed uniform within the cell (the LDPTrace convention), so a cell
 /// contributes `count × |cell ∩ rect| / |cell|`.
 pub fn continuous_answer_gridded(dataset: &GriddedDataset, q: &ContinuousQuery) -> f64 {
-    let grid = dataset.grid();
-    let bbox = grid.bbox();
-    let k = grid.k() as f64;
-    let cw = bbox.width() / k;
-    let ch = bbox.height() / k;
-    // Fractional overlap per cell column/row, then combine.
+    let topology = dataset.topology();
+    // Fractional overlap between the query rectangle and each cell's
+    // region; works for any topology (uniform or adaptive) via cell_rect.
     let counts = crate::per_ts_cell_counts(dataset);
     let mut total = 0.0;
     let t1 = (q.t1 as usize).min(counts.len().saturating_sub(1));
     for row in counts.iter().take(t1 + 1).skip(q.t0 as usize) {
-        for cell in grid.cells() {
+        for cell in topology.cells() {
             let c = row[cell.index()];
             if c == 0 {
                 continue;
             }
-            let (cx, cy) = grid.cell_xy(cell);
-            let cell_x0 = bbox.min.x + cx as f64 * cw;
-            let cell_y0 = bbox.min.y + cy as f64 * ch;
-            let ox = (q.x1.min(cell_x0 + cw) - q.x0.max(cell_x0)).max(0.0);
-            let oy = (q.y1.min(cell_y0 + ch) - q.y0.max(cell_y0)).max(0.0);
-            total += c as f64 * (ox * oy) / (cw * ch);
+            let r = topology.cell_rect(cell);
+            let ox = (q.x1.min(r.max.x) - q.x0.max(r.min.x)).max(0.0);
+            let oy = (q.y1.min(r.max.y) - q.y0.max(r.min.y)).max(0.0);
+            total += c as f64 * (ox * oy) / (r.width() * r.height());
         }
     }
     total
@@ -199,19 +209,19 @@ pub fn query_error(
     queries: &[RangeQuery],
     sanity_fraction: f64,
 ) -> f64 {
-    assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
+    assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
     if queries.is_empty() {
         return 0.0;
     }
-    let grid = orig.grid();
+    let topology = orig.topology();
     let oc = crate::per_ts_cell_counts(orig);
     let sc = crate::per_ts_cell_counts(syn);
     let total_points: u64 = oc.iter().map(|row| row.iter().map(|&c| c as u64).sum::<u64>()).sum();
     let sanity = (sanity_fraction * total_points as f64).max(1.0);
     let mut sum = 0.0;
     for q in queries {
-        let o = answer(&oc, grid, q) as f64;
-        let s = answer(&sc, grid, q) as f64;
+        let o = answer(&oc, topology, q) as f64;
+        let s = answer(&sc, topology, q) as f64;
         sum += (o - s).abs() / o.max(sanity);
     }
     sum / queries.len() as f64
@@ -222,7 +232,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use retrasyn_geo::{GriddedStream, Point, StreamDataset, Trajectory};
+    use retrasyn_geo::{Grid, GriddedStream, Point, Space, StreamDataset, Trajectory};
 
     fn dataset(grid: &Grid) -> GriddedDataset {
         let streams = vec![
@@ -237,18 +247,19 @@ mod tests {
         let grid = Grid::unit(4);
         let ds = dataset(&grid);
         let counts = crate::per_ts_cell_counts(&ds);
+        let topo = ds.topology();
         // Whole space, whole time: all 4 points.
         let all = RangeQuery { x0: 0, x1: 3, y0: 0, y1: 3, t0: 0, t1: 2 };
-        assert_eq!(answer(&counts, &grid, &all), 4);
+        assert_eq!(answer(&counts, topo, &all), 4);
         // Bottom-left quadrant over t=0..1: cells (0,0),(1,1) -> 2 points.
         let bl = RangeQuery { x0: 0, x1: 1, y0: 0, y1: 1, t0: 0, t1: 1 };
-        assert_eq!(answer(&counts, &grid, &bl), 2);
+        assert_eq!(answer(&counts, topo, &bl), 2);
         // t=1 only, top-right: (3,3) and (1,1) not in box... (3,2..3) -> 1.
         let tr = RangeQuery { x0: 2, x1: 3, y0: 2, y1: 3, t0: 1, t1: 1 };
-        assert_eq!(answer(&counts, &grid, &tr), 1);
+        assert_eq!(answer(&counts, topo, &tr), 1);
         // Beyond-horizon end is clipped.
         let over = RangeQuery { x0: 0, x1: 3, y0: 0, y1: 3, t0: 0, t1: 99 };
-        assert_eq!(answer(&counts, &grid, &over), 4);
+        assert_eq!(answer(&counts, topo, &over), 4);
     }
 
     #[test]
@@ -256,7 +267,7 @@ mod tests {
         let grid = Grid::unit(4);
         let ds = dataset(&grid);
         let mut rng = StdRng::seed_from_u64(1);
-        let queries = gen_queries(&grid, 3, 2, 50, &mut rng);
+        let queries = gen_queries(ds.topology(), 3, 2, 50, &mut rng);
         assert_eq!(query_error(&ds, &ds, &queries, 0.001), 0.0);
     }
 
@@ -289,9 +300,9 @@ mod tests {
 
     #[test]
     fn gen_queries_are_well_formed() {
-        let grid = Grid::unit(10);
+        let topo = Grid::unit(10).compile();
         let mut rng = StdRng::seed_from_u64(2);
-        for q in gen_queries(&grid, 100, 10, 200, &mut rng) {
+        for q in gen_queries(&topo, 100, 10, 200, &mut rng) {
             assert!(q.x0 <= q.x1 && q.x1 < 10);
             assert!(q.y0 <= q.y1 && q.y1 < 10);
             assert!(q.t0 <= q.t1 && q.t1 < 100);
@@ -301,9 +312,9 @@ mod tests {
 
     #[test]
     fn gen_queries_phi_clamped_to_horizon() {
-        let grid = Grid::unit(5);
+        let topo = Grid::unit(5).compile();
         let mut rng = StdRng::seed_from_u64(3);
-        let qs = gen_queries(&grid, 4, 100, 10, &mut rng);
+        let qs = gen_queries(&topo, 4, 100, 10, &mut rng);
         for q in qs {
             assert!(q.t1 < 4);
         }
@@ -312,10 +323,11 @@ mod tests {
     #[test]
     fn contains_cell() {
         let grid = Grid::unit(4);
+        let topo = grid.compile();
         let q = RangeQuery { x0: 1, x1: 2, y0: 1, y1: 2, t0: 0, t1: 0 };
-        assert!(q.contains_cell(&grid, grid.cell_at(1, 2)));
-        assert!(!q.contains_cell(&grid, grid.cell_at(0, 0)));
-        assert!(!q.contains_cell(&grid, grid.cell_at(3, 1)));
+        assert!(q.contains_cell(&topo, grid.cell_at(1, 2)));
+        assert!(!q.contains_cell(&topo, grid.cell_at(0, 0)));
+        assert!(!q.contains_cell(&topo, grid.cell_at(3, 1)));
     }
 
     #[test]

@@ -148,7 +148,7 @@ impl MetricSuite {
     pub fn queries(&self, orig: &GriddedDataset) -> Vec<RangeQuery> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         gen_queries(
-            orig.grid(),
+            orig.topology(),
             orig.horizon().max(1),
             self.config.phi,
             self.config.num_queries,
@@ -164,8 +164,8 @@ impl MetricSuite {
 
     /// Evaluate all eight metrics of `syn` against `orig`.
     pub fn evaluate(&self, orig: &GriddedDataset, syn: &GriddedDataset) -> MetricReport {
-        assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
-        let table = TransitionTable::new(orig.grid());
+        assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
+        let table = TransitionTable::new(orig.topology());
         let queries = self.queries(orig);
         let ranges = self.time_ranges(orig);
         MetricReport {

@@ -45,7 +45,7 @@ pub fn transition_error(
     syn: &GriddedDataset,
     table: &TransitionTable,
 ) -> f64 {
-    assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
+    assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
     let horizon = orig.horizon().max(syn.horizon()) as usize;
     let oc = per_ts_move_counts(orig, table);
     let sc = per_ts_move_counts(syn, table);

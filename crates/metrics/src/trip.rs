@@ -7,7 +7,7 @@ use retrasyn_geo::GriddedDataset;
 use std::collections::HashMap;
 
 /// Count trips as (first cell, last cell) pairs.
-pub fn trip_counts(dataset: &GriddedDataset) -> HashMap<(u16, u16), u64> {
+pub fn trip_counts(dataset: &GriddedDataset) -> HashMap<(u32, u32), u64> {
     let mut counts = HashMap::new();
     for s in dataset.iter() {
         *counts.entry((s.first_cell().0, s.last_cell().0)).or_insert(0) += 1;
@@ -17,10 +17,10 @@ pub fn trip_counts(dataset: &GriddedDataset) -> HashMap<(u16, u16), u64> {
 
 /// JSD between the trip distributions over the union of observed trips.
 pub fn trip_error(orig: &GriddedDataset, syn: &GriddedDataset) -> f64 {
-    assert_eq!(orig.grid(), syn.grid(), "datasets must share a grid");
+    assert_eq!(orig.topology(), syn.topology(), "datasets must share a discretization");
     let oc = trip_counts(orig);
     let sc = trip_counts(syn);
-    let mut keys: Vec<(u16, u16)> = oc.keys().chain(sc.keys()).copied().collect();
+    let mut keys: Vec<(u32, u32)> = oc.keys().chain(sc.keys()).copied().collect();
     keys.sort_unstable();
     keys.dedup();
     let o: Vec<f64> = keys.iter().map(|k| *oc.get(k).unwrap_or(&0) as f64).collect();

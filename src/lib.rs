@@ -90,7 +90,9 @@ pub mod prelude {
         BrinkhoffConfig, RandomWalkConfig, RegimeShiftConfig, RoadNetwork, TDriveConfig,
     };
     pub use retrasyn_geo::{
-        CellId, EventTimeline, Grid, Point, StreamDataset, Trajectory, TransitionTable, UserEvent,
+        BoundingBox, CellId, EventTimeline, Grid, GriddedDataset, Point, QuadGrid, QuadLeaf, Space,
+        SpaceDescriptor, StreamDataset, Topology, Trajectory, TransitionTable, UniformGrid,
+        UserEvent,
     };
     pub use retrasyn_ldp::{Oue, PrivacyBudget, WEventLedger};
     pub use retrasyn_metrics::{MetricSuite, SuiteConfig};

@@ -34,7 +34,7 @@ fn retrasyn_full_pipeline_on_taxi_data() {
     // Movement respects grid adjacency everywhere.
     for s in syn.iter() {
         for w in s.cells.windows(2) {
-            assert!(syn.grid().are_adjacent(w[0], w[1]));
+            assert!(syn.topology().are_adjacent(w[0], w[1]));
         }
     }
 }

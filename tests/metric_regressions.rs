@@ -83,7 +83,7 @@ fn kendall_tau_pinned() {
         let mut id = 0;
         for (cell, &n) in counts.iter().enumerate() {
             for _ in 0..n {
-                streams.push(GriddedStream { id, start: 0, cells: vec![CellId(cell as u16)] });
+                streams.push(GriddedStream { id, start: 0, cells: vec![CellId(cell as u32)] });
                 id += 1;
             }
         }
