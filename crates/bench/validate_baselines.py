@@ -14,6 +14,24 @@ import sys
 BASELINES = ("sampler", "oue", "synthesis", "collection", "topology")
 REQUIRED = {"id", "median_ns", "mean_ns", "min_ns", "samples", "iters_per_sample"}
 
+# Arms that must be present per baseline file (beyond well-formedness).
+# The blocked collection kernel ships with a hard acceptance ratio, so a
+# bench run that silently dropped its arm must fail the build.
+REQUIRED_IDS = {
+    "collection": {
+        "collection_per_user_100k_d4096/fused",
+        "collection_per_user_100k_d4096/blocked",
+        "collection_blocked_pool_100k_d4096/1",
+        "collection_blocked_pool_100k_d4096/2",
+        "collection_blocked_pool_100k_d4096/4",
+    },
+}
+
+# The ISSUE 8 acceptance gate: the blocked kernel's median must be at
+# least 1.5x faster than the fused kernel's median *from the same file*
+# (same run, same toolchain, same machine — no cross-machine skew).
+BLOCKED_SPEEDUP_GATE = 1.5
+
 
 def main() -> int:
     root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path("crates/bench")
@@ -52,6 +70,32 @@ def main() -> int:
                     isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0
                 ):
                     error(f"{path} row {row.get('id', i)!r} has non-positive {key}: {value!r}")
+
+        ids = {row.get("id") for row in rows if isinstance(row, dict)}
+        for required_id in sorted(REQUIRED_IDS.get(name, ())):
+            if required_id not in ids:
+                error(f"{path} is missing required bench arm {required_id!r}")
+
+        if name == "collection":
+            medians = {
+                row["id"]: row["median_ns"]
+                for row in rows
+                if isinstance(row, dict)
+                and isinstance(row.get("median_ns"), (int, float))
+                and not isinstance(row.get("median_ns"), bool)
+            }
+            fused = medians.get("collection_per_user_100k_d4096/fused")
+            blocked = medians.get("collection_per_user_100k_d4096/blocked")
+            if fused and blocked:
+                speedup = fused / blocked
+                if speedup < BLOCKED_SPEEDUP_GATE:
+                    error(
+                        f"{path}: blocked kernel regressed — fused/blocked median "
+                        f"ratio {speedup:.2f} < required {BLOCKED_SPEEDUP_GATE}x "
+                        f"(fused {fused:.0f} ns, blocked {blocked:.0f} ns)"
+                    )
+                else:
+                    print(f"blocked collection kernel speedup: {speedup:.2f}x (gate {BLOCKED_SPEEDUP_GATE}x)")
 
     if ok:
         print(f"bench baselines OK: {', '.join(f'BENCH_{n}.json' for n in BASELINES)}")

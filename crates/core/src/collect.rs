@@ -4,24 +4,34 @@
 //! Per-user OUE perturbation dominates per-timestamp cost (Table V) and is
 //! embarrassingly parallel across users: no reporter's randomness depends
 //! on another's. The [`CollectionPool`] mirrors the proven synthesis-pool
-//! architecture on the task-generic `WorkerPool`:
+//! architecture on the task-generic `WorkerPool` and runs either
+//! collection kernel (`CollectionKernel`):
 //!
-//! - the reporter values are sharded into `threads` disjoint contiguous
-//!   ranges (fixed sizes, a pure function of `(n, threads)`);
-//! - one seed per shard is drawn from the caller's RNG *in shard order*,
-//!   whether or not the shard is empty, so RNG consumption depends only on
-//!   the thread count;
-//! - each worker runs the fused perturb→tally round
+//! - **Sequential** ([`CollectionPool::collect_ones`]): the reporter
+//!   values are sharded into `threads` disjoint contiguous ranges (fixed
+//!   sizes, a pure function of `(n, threads)`); one seed per shard is
+//!   drawn from the caller's RNG *in shard order*, whether or not the
+//!   shard is empty, so RNG consumption depends only on the thread count;
+//!   each worker runs the fused perturb→tally round
 //!   ([`Oue::collect_ones_into`]) over its shard into a private
-//!   domain-sized ones accumulator;
-//! - the caller merges accumulators by addition (`u64` addition is exact
-//!   and commutative, so arrival order cannot affect the result).
+//!   domain-sized ones accumulator; the caller merges accumulators by
+//!   addition (`u64` addition is exact and commutative, so arrival order
+//!   cannot affect the result).
+//! - **Blocked** ([`CollectionPool::collect_ones_blocked`]): every draw
+//!   is a pure function of `(key, reporter row, position)`, so the round
+//!   needs exactly **one** key however many workers run it, and the
+//!   merged counts are *bit-identical* at any thread count — not merely
+//!   distribution-equivalent. Dense rounds shard the **domain** into
+//!   [`GANG_POS`]-aligned ranges (each worker sweeps all reporters over
+//!   its range, [`Oue::blocked_tally_range`]) and the caller stitches
+//!   the disjoint ranges; sparse rounds shard the **reporters** with
+//!   global row bases ([`Oue::blocked_tally_sparse`]) and merge by
+//!   addition.
 //!
-//! Determinism contract — identical to synthesis: a fixed
-//! `(seed, threads)` pair is bit-identical across runs, and the merged
-//! counts are distributionally equivalent to the sequential path (each
-//! position count is a sum of independent per-user Bernoulli/binomial
-//! contributions however the users are partitioned).
+//! Determinism contract: under `Sequential`, a fixed `(seed, threads)`
+//! pair is bit-identical across runs and the merged counts are
+//! distributionally equivalent to the sequential path; under `Blocked`,
+//! a fixed seed is bit-identical across runs *and* thread counts.
 //!
 //! Shard buffers (values and ones) shuttle between the caller and the
 //! workers and keep their capacity, so a steady-state collection round
@@ -30,39 +40,72 @@
 use crate::pool::{draw_seeds, PoolJob, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use retrasyn_ldp::{LdpError, Oue, ReportMode};
+use retrasyn_ldp::{LdpError, Oue, Philox, ReportMode, GANG_POS};
 use std::sync::Arc;
 
 /// One worker's owned slice of a collection round plus its private
 /// accumulator.
 #[derive(Debug, Default)]
 struct CollectShard {
-    /// The reporter values assigned to this shard (a contiguous range of
-    /// the round's value slice).
+    /// The reporter values assigned to this shard: a contiguous range of
+    /// the round's value slice (sequential / blocked-sparse), or a full
+    /// copy of it (blocked-dense, where the *domain* is sharded instead).
     values: Vec<usize>,
-    /// Private domain-sized ones accumulator, merged by addition.
+    /// Private ones accumulator — domain-sized and merged by addition,
+    /// except blocked-dense where it is range-sized and stitched.
     ones: Vec<u64>,
 }
 
-/// One unit of collection work: the shard plus an `Arc` snapshot of the
-/// oracle and the shard's seed.
+/// What one collection worker runs over its shard.
+enum CollectTask {
+    /// Fused perturb→tally over this shard's reporters, seeded per shard.
+    Sequential { mode: ReportMode, seed: u64 },
+    /// Blocked dense tally of domain range `lo..hi` over *all* reporters.
+    BlockedDense { ph: Philox, lo: usize, hi: usize },
+    /// Blocked sparse walk over this shard's reporters at global row
+    /// `base`, into a domain-sized accumulator.
+    BlockedSparse { ph: Philox, base: u32 },
+}
+
+/// One unit of collection work: the shard, an `Arc` snapshot of the
+/// oracle, and the task to run.
 struct CollectJob {
     shard: CollectShard,
     oracle: Arc<Oue>,
-    mode: ReportMode,
-    seed: u64,
+    task: CollectTask,
     result: Result<(), LdpError>,
 }
 
 impl PoolJob for CollectJob {
     fn run(&mut self) {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.result = self.oracle.collect_ones_into(
-            &self.shard.values,
-            self.mode,
-            &mut self.shard.ones,
-            &mut rng,
-        );
+        self.result = match self.task {
+            CollectTask::Sequential { mode, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                self.oracle.collect_ones_into(
+                    &self.shard.values,
+                    mode,
+                    &mut self.shard.ones,
+                    &mut rng,
+                )
+            }
+            CollectTask::BlockedDense { ref ph, lo, hi } => {
+                self.shard.ones.clear();
+                self.shard.ones.resize(hi - lo, 0);
+                self.oracle.blocked_tally_range(
+                    &self.shard.values,
+                    0,
+                    ph,
+                    lo,
+                    hi,
+                    &mut self.shard.ones,
+                )
+            }
+            CollectTask::BlockedSparse { ref ph, base } => {
+                self.shard.ones.clear();
+                self.shard.ones.resize(self.oracle.domain(), 0);
+                self.oracle.blocked_tally_sparse(&self.shard.values, base, ph, &mut self.shard.ones)
+            }
+        };
     }
 }
 
@@ -128,8 +171,7 @@ impl CollectionPool {
                 CollectJob {
                     shard: std::mem::take(shard),
                     oracle: Arc::clone(oracle),
-                    mode,
-                    seed: self.seeds[idx],
+                    task: CollectTask::Sequential { mode, seed: self.seeds[idx] },
                     result: Ok(()),
                 },
             );
@@ -137,20 +179,109 @@ impl CollectionPool {
         }
         ones.clear();
         ones.resize(oracle.domain(), 0);
+        self.drain(outstanding, ones).map(|()| values.len() as u64)
+    }
+
+    /// Run one **blocked-kernel** collection round keyed by `ph`, filling
+    /// `ones` with the per-position counts. Bit-identical to
+    /// [`Oue::collect_ones_blocked`]`(values, 0, ph, ones)` at **any**
+    /// thread count, because every Bernoulli draw is addressed by
+    /// `(key, row, position)` rather than consumed from shared RNG state:
+    ///
+    /// - dense regime ([`Oue::blocked_dense`]): the *domain* is sharded
+    ///   into [`GANG_POS`]-aligned ranges — each worker sweeps every
+    ///   reporter over its own range, keeping its accumulator tile
+    ///   L1-resident — and the disjoint ranges are stitched back;
+    /// - sparse regime: the *reporters* are sharded with their global row
+    ///   bases and the domain-sized accumulators merge by exact addition.
+    ///
+    /// No seeds are drawn here — the single `ph` key is the round's entire
+    /// randomness. Zero heap allocations after warm-up. Returns the number
+    /// of reporters.
+    pub fn collect_ones_blocked(
+        &mut self,
+        oracle: &Arc<Oue>,
+        values: &[usize],
+        ph: &Philox,
+        ones: &mut Vec<u64>,
+    ) -> Result<u64, LdpError> {
+        let shard_count = self.pool.threads();
+        ones.clear();
+        ones.resize(oracle.domain(), 0);
+        if values.is_empty() {
+            return Ok(0);
+        }
+        let mut outstanding = 0usize;
+        if oracle.blocked_dense() {
+            // Domain-sharded: gang-aligned ranges, full reporter copy per
+            // worker.
+            let gangs = oracle.domain().div_ceil(GANG_POS);
+            let chunk = gangs.div_ceil(shard_count).max(1) * GANG_POS;
+            for (idx, shard) in self.shards.iter_mut().enumerate() {
+                let lo = (idx * chunk).min(oracle.domain());
+                let hi = ((idx + 1) * chunk).min(oracle.domain());
+                if lo >= hi {
+                    continue;
+                }
+                shard.values.clear();
+                shard.values.extend_from_slice(values);
+                self.pool.submit(
+                    idx,
+                    CollectJob {
+                        shard: std::mem::take(shard),
+                        oracle: Arc::clone(oracle),
+                        task: CollectTask::BlockedDense { ph: *ph, lo, hi },
+                        result: Ok(()),
+                    },
+                );
+                outstanding += 1;
+            }
+        } else {
+            // Reporter-sharded: contiguous value ranges with global row
+            // bases.
+            let chunk = values.len().div_ceil(shard_count).max(1);
+            for (idx, shard) in self.shards.iter_mut().enumerate() {
+                let lo = (idx * chunk).min(values.len());
+                let hi = ((idx + 1) * chunk).min(values.len());
+                shard.values.clear();
+                shard.values.extend_from_slice(&values[lo..hi]);
+                if shard.values.is_empty() {
+                    continue;
+                }
+                self.pool.submit(
+                    idx,
+                    CollectJob {
+                        shard: std::mem::take(shard),
+                        oracle: Arc::clone(oracle),
+                        task: CollectTask::BlockedSparse { ph: *ph, base: lo as u32 },
+                        result: Ok(()),
+                    },
+                );
+                outstanding += 1;
+            }
+        }
+        self.drain(outstanding, ones).map(|()| values.len() as u64)
+    }
+
+    /// Receive `outstanding` finished jobs, folding each successful
+    /// shard's accumulator into `ones` (stitched for blocked-dense range
+    /// shards, exact addition otherwise — both bit-identical regardless
+    /// of arrival order) and returning the lowest-shard error if any
+    /// worker failed, so the reported failure is scheduling-independent.
+    fn drain(&mut self, outstanding: usize, ones: &mut [u64]) -> Result<(), LdpError> {
         let mut err: Option<(usize, LdpError)> = None;
         for _ in 0..outstanding {
             let (idx, job) = self.pool.recv();
             match job.result {
-                // Addition is exact and commutative: merging in arrival
-                // order is bit-identical to merging in shard order.
                 Ok(()) => {
-                    for (acc, &x) in ones.iter_mut().zip(&job.shard.ones) {
+                    let dst = match job.task {
+                        CollectTask::BlockedDense { lo, hi, .. } => &mut ones[lo..hi],
+                        _ => &mut ones[..],
+                    };
+                    for (acc, &x) in dst.iter_mut().zip(&job.shard.ones) {
                         *acc += x;
                     }
                 }
-                // Keep the lowest-shard error so the reported failure is
-                // scheduling-independent (like the sequential path, which
-                // surfaces the first offending value in input order).
                 Err(e) => {
                     if err.as_ref().is_none_or(|&(i, _)| idx < i) {
                         err = Some((idx, e));
@@ -161,7 +292,7 @@ impl CollectionPool {
         }
         match err {
             Some((_, e)) => Err(e),
-            None => Ok(values.len() as u64),
+            None => Ok(()),
         }
     }
 }
@@ -218,6 +349,49 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let n =
             pool.collect_ones(&oracle, &[], ReportMode::Aggregate, &mut ones, &mut rng).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(ones, vec![0u64; 8]);
+    }
+
+    #[test]
+    fn blocked_pool_is_bit_identical_to_unsharded_kernel() {
+        // Dense (ε = 1 → q ≈ 0.27) shards the domain, sparse (ε = 3.5 →
+        // q ≈ 0.029) shards the reporters; both must reproduce the
+        // unsharded blocked round bit-for-bit at every thread count. The
+        // ragged 321-position domain exercises the stitched tail shard.
+        for eps in [1.0, 3.5] {
+            let oracle = Arc::new(Oue::new(eps, 321).unwrap());
+            let values: Vec<usize> = (0..500).map(|i| (i * 13 + 7) % 321).collect();
+            let ph = Philox::new(0xabad_1dea_0042_0099);
+            let mut expect = Vec::new();
+            oracle.collect_ones_blocked(&values, 0, &ph, &mut expect).unwrap();
+            for threads in [1usize, 3, 4, 7] {
+                let mut pool = CollectionPool::new(threads);
+                let mut ones = Vec::new();
+                let n = pool.collect_ones_blocked(&oracle, &values, &ph, &mut ones).unwrap();
+                assert_eq!(n, 500);
+                assert_eq!(ones, expect, "eps={eps} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_pool_reports_out_of_domain() {
+        for eps in [1.0, 3.5] {
+            let oracle = Arc::new(Oue::new(eps, 8).unwrap());
+            let mut pool = CollectionPool::new(2);
+            let mut ones = Vec::new();
+            let res = pool.collect_ones_blocked(&oracle, &[1, 2, 8], &Philox::new(1), &mut ones);
+            assert!(res.is_err(), "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn blocked_pool_empty_round_is_all_zero() {
+        let oracle = Arc::new(Oue::new(1.0, 8).unwrap());
+        let mut pool = CollectionPool::new(2);
+        let mut ones = vec![7u64; 3];
+        let n = pool.collect_ones_blocked(&oracle, &[], &Philox::new(5), &mut ones).unwrap();
         assert_eq!(n, 0);
         assert_eq!(ones, vec![0u64; 8]);
     }

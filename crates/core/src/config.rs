@@ -2,7 +2,7 @@
 
 use crate::allocation::AllocationKind;
 use crate::compact::CompactionPolicy;
-use retrasyn_ldp::ReportMode;
+use retrasyn_ldp::{CollectionKernel, ReportMode};
 
 /// How the w-event budget is spread over the window (§III-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +56,15 @@ pub struct RetraSynConfig {
     /// parallelizes; the O(domain) [`ReportMode::Aggregate`] shortcut
     /// always runs sequentially.
     pub collection_threads: usize,
+    /// Collection kernel for [`ReportMode::PerUser`] rounds (see
+    /// [`CollectionKernel`]). `Sequential` (default) keeps the historical
+    /// fused perturb→tally stream; `Blocked` switches to the
+    /// counter-based Philox kernel — a different (still
+    /// distribution-identical) random stream that is bit-identical
+    /// across `collection_threads` values, not just across runs.
+    /// [`ReportMode::Aggregate`] rounds ignore the kernel: their
+    /// O(domain) binomial shortcut has no per-user pass to accelerate.
+    pub collection_kernel: CollectionKernel,
     /// Epoch compaction policy (`None` = never compact, the default).
     /// When set, a step that leaves more resident cells than the policy's
     /// high-water mark drains finished streams out of the tail arena into
@@ -84,6 +93,7 @@ impl RetraSynConfig {
             enter_quit: true,
             synthesis_threads: 1,
             collection_threads: 1,
+            collection_kernel: CollectionKernel::Sequential,
             compaction: None,
         }
     }
@@ -133,6 +143,12 @@ impl RetraSynConfig {
         self
     }
 
+    /// Select the collection kernel for per-user rounds.
+    pub fn with_collection_kernel(mut self, kernel: CollectionKernel) -> Self {
+        self.collection_kernel = kernel;
+        self
+    }
+
     /// Enable epoch compaction above `high_water_cells` resident cells.
     pub fn with_compaction(mut self, high_water_cells: usize) -> Self {
         assert!(high_water_cells >= 1, "high-water mark must be >= 1");
@@ -155,6 +171,7 @@ mod tests {
         assert!(c.dmu);
         assert!(c.enter_quit);
         assert_eq!(c.report_mode, ReportMode::Aggregate);
+        assert_eq!(c.collection_kernel, CollectionKernel::Sequential);
     }
 
     #[test]
@@ -167,6 +184,7 @@ mod tests {
             .per_user_reports()
             .with_synthesis_threads(2)
             .with_collection_threads(4)
+            .with_collection_kernel(CollectionKernel::Blocked)
             .with_compaction(10_000);
         assert_eq!(c.lambda, 13.6);
         assert_eq!(c.allocation, AllocationKind::Uniform);
@@ -175,6 +193,7 @@ mod tests {
         assert_eq!(c.report_mode, ReportMode::PerUser);
         assert_eq!(c.synthesis_threads, 2);
         assert_eq!(c.collection_threads, 4);
+        assert_eq!(c.collection_kernel, CollectionKernel::Blocked);
         assert_eq!(c.compaction, Some(CompactionPolicy::new(10_000)));
         assert_eq!(RetraSynConfig::new(1.0, 10).compaction, None);
     }

@@ -39,7 +39,7 @@ use crate::wal::{Dec, Enc, Fingerprint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use retrasyn_geo::{GriddedDataset, Space, Topology, TransitionState, TransitionTable, UserEvent};
-use retrasyn_ldp::{Estimate, Oue, ReportMode, WEventLedger};
+use retrasyn_ldp::{CollectionKernel, Estimate, Oue, Philox, ReportMode, WEventLedger};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -506,6 +506,10 @@ impl RetraSyn {
             .u64(c.enter_quit as u64)
             .usize(c.synthesis_threads)
             .usize(c.collection_threads)
+            .u64(match c.collection_kernel {
+                CollectionKernel::Sequential => 0,
+                CollectionKernel::Blocked => 1,
+            })
             .space(self.table.topology().descriptor());
         f.finish()
     }
@@ -721,13 +725,18 @@ impl RetraSyn {
 
     /// Shared collection tail: run one OUE round over
     /// [`Self::scratch_values`] with per-report budget `eps`, filling
-    /// [`Self::scratch_est`]. Sharded across the persistent
+    /// [`Self::scratch_est`]. Per-user rounds run the configured
+    /// [`CollectionKernel`] — `Sequential` keeps the historical fused
+    /// perturb→tally stream (one seed per shard when pooled); `Blocked`
+    /// draws exactly **one** key from the session RNG and hands it to the
+    /// counter-based kernel, whose output is bit-identical at every
+    /// `collection_threads` value. Sharded across the persistent
     /// [`CollectionPool`] when `collection_threads > 1` *and* the round
-    /// simulates per-user reports — the per-user perturb→tally work is
-    /// what parallelizes; the O(domain) `Aggregate` shortcut would only
+    /// simulates per-user reports — the per-user work is what
+    /// parallelizes; the O(domain) `Aggregate` shortcut would only
     /// multiply its binomial draws by the shard count, so it always runs
-    /// sequentially. Every buffer involved is engine scratch — zero heap
-    /// allocations after warm-up.
+    /// sequentially and ignores the kernel. Every buffer involved is
+    /// engine scratch — zero heap allocations after warm-up.
     fn run_collection(&mut self, eps: f64) {
         let n = self.scratch_values.len() as u64;
         if n == 0 {
@@ -737,7 +746,23 @@ impl RetraSyn {
         self.ensure_oracle(eps, self.domain_len().max(2));
         let oracle = Arc::clone(self.oracle.as_ref().expect("ensured above"));
         let values = std::mem::take(&mut self.scratch_values);
-        if self.config.collection_threads > 1 && self.config.report_mode == ReportMode::PerUser {
+        let per_user = self.config.report_mode == ReportMode::PerUser;
+        if per_user && self.config.collection_kernel == CollectionKernel::Blocked {
+            // Blocked counter-based kernel: the round's entire randomness
+            // is one key (a single u64 draw, however many threads run),
+            // and the pooled round is bit-identical to the unsharded one.
+            let ph = Philox::new(self.rng.random());
+            if self.config.collection_threads > 1 {
+                let threads = self.config.collection_threads;
+                let pool = self.collector.get_or_insert_with(|| CollectionPool::new(threads));
+                pool.collect_ones_blocked(&oracle, &values, &ph, &mut self.scratch_ones)
+                    .expect("states are in domain");
+            } else {
+                oracle
+                    .collect_ones_blocked(&values, 0, &ph, &mut self.scratch_ones)
+                    .expect("states are in domain");
+            }
+        } else if per_user && self.config.collection_threads > 1 {
             let threads = self.config.collection_threads;
             let pool = self.collector.get_or_insert_with(|| CollectionPool::new(threads));
             pool.collect_ones(

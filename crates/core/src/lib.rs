@@ -81,6 +81,7 @@ pub use engine::{RetraSyn, StepTimings, TimingReport};
 pub use model::GlobalMobilityModel;
 pub use pool::SynthesisPool;
 pub use population::{UserRegistry, UserStatus};
+pub use retrasyn_ldp::CollectionKernel;
 pub use sampler::{AliasTable, SamplerCache};
 pub use session::{
     BatchSender, ChannelSource, EventSource, FnSource, IterSource, StepOutcome, StreamingEngine,

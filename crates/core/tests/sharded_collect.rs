@@ -10,10 +10,10 @@ mod common;
 use common::{chi2_crit, two_sample_chi_square};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use retrasyn_core::{CollectionPool, RetraSyn, RetraSynConfig, StreamingEngine};
+use retrasyn_core::{CollectionKernel, CollectionPool, RetraSyn, RetraSynConfig, StreamingEngine};
 use retrasyn_datagen::RandomWalkConfig;
 use retrasyn_geo::Grid;
-use retrasyn_ldp::{Oue, ReportMode};
+use retrasyn_ldp::{Oue, Philox, ReportMode};
 use std::sync::Arc;
 
 fn skewed_values(n: usize, domain: usize) -> Vec<usize> {
@@ -178,6 +178,94 @@ fn budget_division_engine_deterministic_with_pooled_collection() {
     };
     assert_eq!(run(4), run(4));
     assert_ne!(run(1), run(4));
+}
+
+/// The pooled blocked round must put its 1s at the same positions (in
+/// distribution) as the sequential fused kernel — the two kernels sample
+/// the identical per-bit OUE process from different random streams.
+#[test]
+fn pooled_blocked_counts_match_sequential_kernel_distribution() {
+    let domain = 96;
+    let oracle = Arc::new(Oue::new(1.0, domain).unwrap());
+    let values = skewed_values(1200, domain);
+    let mut pool = CollectionPool::new(4);
+    let mut seq_hist = vec![0u64; domain];
+    let mut blk_hist = vec![0u64; domain];
+    let mut rng = StdRng::seed_from_u64(300);
+    let mut ones = Vec::new();
+    for round in 0..8u64 {
+        oracle.collect_ones_into(&values, ReportMode::PerUser, &mut ones, &mut rng).unwrap();
+        for (acc, &x) in seq_hist.iter_mut().zip(&ones) {
+            *acc += x;
+        }
+        let ph = Philox::new(0x00de_fec8_0000_0000 | round);
+        pool.collect_ones_blocked(&oracle, &values, &ph, &mut ones).unwrap();
+        for (acc, &x) in blk_hist.iter_mut().zip(&ones) {
+            *acc += x;
+        }
+    }
+    let (sn, bn) = (seq_hist.iter().sum::<u64>(), blk_hist.iter().sum::<u64>());
+    assert!(sn > 10_000 && bn > 10_000, "too few ones: {sn} vs {bn}");
+    let (chi, dof) = two_sample_chi_square(&seq_hist, &blk_hist, sn, bn);
+    assert!(
+        chi < chi2_crit(dof),
+        "pooled blocked counts diverge: chi={chi:.1} dof={dof} (crit {:.1})",
+        chi2_crit(dof)
+    );
+}
+
+/// The blocked kernel's acceptance pin: a full engine run under
+/// `CollectionKernel::Blocked` is bit-identical across
+/// `collection_threads ∈ {1, 4}` — not merely per `(seed, threads)` —
+/// because the round's randomness is one addressed key, not a sharded
+/// stream. The blocked stream must still differ from the sequential
+/// kernel's (proof the kernel engaged), and `Aggregate` rounds must
+/// ignore the kernel entirely.
+#[test]
+fn blocked_engine_bit_identical_across_collection_threads() {
+    let ds = walk_dataset(54);
+    let grid = Grid::unit(5);
+    let run = |threads: usize, kernel: CollectionKernel, per_user: bool| {
+        let mut config = RetraSynConfig::new(1.0, 5)
+            .with_lambda(10.0)
+            .with_collection_threads(threads)
+            .with_collection_kernel(kernel);
+        if per_user {
+            config = config.per_user_reports();
+        }
+        let mut engine = RetraSyn::population_division(config, grid.clone(), 42);
+        let out = engine.run(&ds);
+        engine.ledger().verify().expect("w-event invariant");
+        out
+    };
+    let blocked_seq = run(1, CollectionKernel::Blocked, true);
+    // Repeatable, and — the new contract — thread-count invariant.
+    assert_eq!(blocked_seq, run(1, CollectionKernel::Blocked, true));
+    assert_eq!(blocked_seq, run(4, CollectionKernel::Blocked, true));
+    // Different stream than the sequential kernel: the kernel engaged.
+    assert_ne!(blocked_seq, run(1, CollectionKernel::Sequential, true));
+    // Aggregate rounds have no per-user pass: the kernel is a no-op.
+    assert_eq!(
+        run(1, CollectionKernel::Blocked, false),
+        run(1, CollectionKernel::Sequential, false)
+    );
+}
+
+/// The collection kernel shapes the released bytes, so it must be part
+/// of the session fingerprint (recovery refuses to replay a WAL into an
+/// engine configured with the other kernel).
+#[test]
+fn fingerprint_distinguishes_collection_kernels() {
+    let grid = Grid::unit(4);
+    let fp = |kernel: CollectionKernel| {
+        let config = RetraSynConfig::new(1.0, 5)
+            .with_lambda(10.0)
+            .per_user_reports()
+            .with_collection_kernel(kernel);
+        RetraSyn::population_division(config, grid.clone(), 7).fingerprint()
+    };
+    assert_eq!(fp(CollectionKernel::Sequential), fp(CollectionKernel::Sequential));
+    assert_ne!(fp(CollectionKernel::Sequential), fp(CollectionKernel::Blocked));
 }
 
 /// Pooled collection must not distort what the engine learns: the

@@ -25,11 +25,13 @@ pub mod error;
 pub mod grr;
 pub mod oracle;
 pub mod oue;
+pub mod philox;
 pub mod postprocess;
 
 pub use audit::{audit_grr, audit_oue, AuditReport};
 pub use budget::{PrivacyBudget, WEventLedger};
 pub use error::LdpError;
 pub use grr::Grr;
-pub use oracle::{Estimate, FrequencyOracle, ReportMode};
-pub use oue::{BitReport, Oue};
+pub use oracle::{CollectionKernel, Estimate, FrequencyOracle, ReportMode};
+pub use oue::{BitReport, Oue, GANG_POS};
+pub use philox::{Philox, PhiloxRng};

@@ -30,6 +30,28 @@ pub enum ReportMode {
     Aggregate,
 }
 
+/// Which dense-capable kernel executes a [`ReportMode::PerUser`] OUE
+/// collection round. Both kernels sample the per-bit OUE process; they
+/// consume **different random streams**, so the choice is part of the
+/// determinism contract (fixed `(seed, threads, kernel)` → bit-identical
+/// output) and of the engine fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectionKernel {
+    /// The historical kernel: one sequential `next_u64` per
+    /// (reporter × position) from the caller's (or shard's) xoshiro
+    /// stream — one draw chain, loop-carried RNG dependence. Default, and
+    /// the stream all pre-existing blessed snapshots were taken under.
+    #[default]
+    Sequential,
+    /// The counter-based kernel ([`crate::Oue::collect_ones_blocked`]):
+    /// one Philox4×32-10 key per round, draws addressed by
+    /// `(reporter, position)` and generated in independent 8-block gangs
+    /// with no carry chain, accumulated through L1-resident domain tiles.
+    /// Output is invariant to the `(reporter × domain)` partition, hence
+    /// to the collection thread count.
+    Blocked,
+}
+
 /// The result of one collection round.
 #[derive(Debug, Clone)]
 pub struct Estimate {

@@ -16,6 +16,7 @@
 
 use crate::binomial;
 use crate::error::LdpError;
+use crate::philox::{Philox, PhiloxRng};
 use rand::Rng;
 
 /// A perturbed unary-encoded report: a packed bit vector of domain length.
@@ -99,18 +100,55 @@ pub struct Oue {
     /// with bias below 2^−64 — finer than the 2^−53 granularity of an
     /// `f64` comparison.
     thresh_q: u64,
+    /// `⌊q · 2^32⌋`: the 32-bit threshold of the blocked kernel, which
+    /// compares one Philox word per position (bias below 2^−32 —
+    /// undetectable at any reporter count this side of 2^64 draws).
+    thresh_q32: u32,
 }
 
 /// The probability a true 1-bit is reported as 1.
 pub const OUE_P: f64 = 0.5;
 
-/// At or above this `q` the fused kernel uses the dense branchless
-/// Bernoulli pass (one predictable-latency draw per position); below it
-/// reports are sparse enough that geometric skipping (one logarithm per
-/// reported 1, ≈ d·q of them) is cheaper. The crossover is the ratio of
-/// a pipelined `next_u64`+compare+add (~1 ns) to a serial `ln` draw
-/// (~13 ns) — measured in `BENCH_collection.json`.
+/// `p = 1/2` as an exact 16-bit comparison threshold (`halfword <
+/// 2^15`; the tie at 2^15 has a zero low half, so it never extends).
+const OUE_P_THRESH16: u32 = 1 << 15;
+
+/// At or above this `q` the **sequential** fused kernel uses the dense
+/// branchless Bernoulli pass (one predictable-latency draw per
+/// position); below it reports are sparse enough that geometric skipping
+/// (one logarithm per reported 1, ≈ d·q of them) is cheaper. The
+/// crossover is the ratio of a pipelined `next_u64`+compare+add
+/// (measured 1.34 ns/position at x86-64-v3) to a serial `ln` landing
+/// (18–21 ns): q* ≈ 1.34/18 ≈ 0.074. Re-measure with
+/// `collection_probe` if `BENCH_collection.json` moves on new hardware.
 const DENSE_MIN_Q: f64 = 0.08;
+
+/// Dense/sparse crossover of the **blocked** kernel. Blocked dense draws
+/// are cheaper than sequential ones (the Philox halfword gangs pipeline
+/// with no RNG carry chain: measured 0.77 ns/position at x86-64-v3 vs
+/// 1.34 ns fused), while a sparse landing costs the same serial `ln`
+/// either way (18–21 ns) — so the crossover sits lower than the
+/// sequential kernel's: q* = 0.77/18 ≈ 0.043, i.e. dense pays off
+/// already at ε ≲ ln(1/0.04 − 1) ≈ 3.2. Measured by the
+/// `collection_probe` crossover sweep; re-measure alongside
+/// `DENSE_MIN_Q` if `BENCH_collection.json` regresses on new hardware.
+const BLOCKED_DENSE_MIN_Q: f64 = 0.04;
+
+/// Positions covered by one Philox gang: 8 lanes × 8 halfwords per
+/// block. The dense blocked kernel spends **16 random bits per
+/// Bernoulli draw** — halving the Philox work per position relative to
+/// a 32-bit draw — and stays *exact* w.r.t. the 32-bit threshold by
+/// spending another 16 addressed bits on the 2^−16-rare halfword that
+/// ties the threshold's high half (see [`Oue::blocked_tally_range`]).
+/// Public because domain-sharded pooled rounds must align their shard
+/// boundaries to it ([`Oue::blocked_tally_range`] requires it).
+pub const GANG_POS: usize = 64;
+
+/// Dense blocked-kernel domain tile: positions accumulated per pass over
+/// the reporters. 2048 × 8-byte counters = 16 KiB — half a typical L1d,
+/// leaving the rest for the streaming gang words — so at large domains
+/// the accumulator never falls out of L1 (a multiple of [`GANG_POS`]).
+const DOMAIN_TILE: usize = 2048;
 
 impl Oue {
     /// Create an OUE mechanism with budget `eps` over `domain` values.
@@ -124,7 +162,8 @@ impl Oue {
         let q = 1.0 / (eps.exp() + 1.0);
         // q < 1/2, so q·2^64 < 2^63 never saturates the cast.
         let thresh_q = (q * (u64::MAX as f64 + 1.0)) as u64;
-        Ok(Oue { eps, domain, q, inv_ln_1mq: (1.0 - q).ln().recip(), thresh_q })
+        let thresh_q32 = (q * (u32::MAX as f64 + 1.0)) as u32;
+        Ok(Oue { eps, domain, q, inv_ln_1mq: (1.0 - q).ln().recip(), thresh_q, thresh_q32 })
     }
 
     /// Privacy budget ε.
@@ -176,14 +215,33 @@ impl Oue {
             return Err(LdpError::ValueOutOfDomain { value, domain: self.domain });
         }
         report.reset(self.domain);
-        // ln(1−q) is finite and negative: q < 1/2 for every valid ε.
-        let denom = (1.0 - self.q).ln();
+        self.sparse_walk(value, rng, &mut |i| report.set(i, true));
+        Ok(())
+    }
+
+    /// The geometric-skipping walk shared by every sparse path
+    /// ([`Self::perturb_into`], the sparse regime of
+    /// [`Self::perturb_tally_into`] and the blocked kernel's sparse
+    /// regime): `emit(i)` is called once for every reported-1 position.
+    /// The gap to the next reported 1 is drawn as
+    /// `⌊ln(1−u)·inv_ln_1mq⌋` — distributionally identical to the
+    /// independent per-bit Bernoulli(q) process — with the cast
+    /// saturating and the advance checked so walks that overshoot the
+    /// domain terminate. The true position's bit comes solely from its
+    /// own Bernoulli(p = 1/2) draw at the end, never from the walk.
+    #[inline]
+    fn sparse_walk<R: Rng + ?Sized>(
+        &self,
+        value: usize,
+        rng: &mut R,
+        emit: &mut impl FnMut(usize),
+    ) {
         let mut i = 0usize;
         while i < self.domain {
             let u: f64 = rng.random();
-            // Geometric(q) number of unreported positions before the next
-            // reported one. (1−u) avoids ln(0); u = 0 gives skip 0.
-            let skip = ((1.0 - u).ln() / denom) as u64;
+            // (1−u) avoids ln(0); u = 0 gives skip 0. ln(1−q) is finite
+            // and negative: q < 1/2 for every valid ε.
+            let skip = ((1.0 - u).ln() * self.inv_ln_1mq) as u64;
             i = match usize::try_from(skip).ok().and_then(|s| i.checked_add(s)) {
                 Some(next) => next,
                 None => break,
@@ -192,14 +250,13 @@ impl Oue {
                 break;
             }
             if i != value {
-                report.set(i, true);
+                emit(i);
             }
             i += 1;
         }
-        // The true position reports 1 with probability p = 1/2, regardless
-        // of whether the geometric walk landed on it.
-        report.set(value, rng.random::<f64>() < OUE_P);
-        Ok(())
+        if rng.random::<f64>() < OUE_P {
+            emit(value);
+        }
     }
 
     /// Fused perturb→tally for a single user: sample the report's 1s and
@@ -258,29 +315,7 @@ impl Oue {
             return Ok(());
         }
         // Sparse regime: geometric skips between the rare reported 1s.
-        let mut i = 0usize;
-        while i < self.domain {
-            let u: f64 = rng.random();
-            // Saturating f64→u64 cast; checked_add handles walks that
-            // overshoot the domain.
-            let skip = ((1.0 - u).ln() * self.inv_ln_1mq) as u64;
-            i = match usize::try_from(skip).ok().and_then(|s| i.checked_add(s)) {
-                Some(next) => next,
-                None => break,
-            };
-            if i >= self.domain {
-                break;
-            }
-            // The true position's count comes from its own Bernoulli(p)
-            // draw below, never from the geometric walk.
-            if i != value {
-                ones[i] += 1;
-            }
-            i += 1;
-        }
-        if rng.random::<f64>() < OUE_P {
-            ones[value] += 1;
-        }
+        self.sparse_walk(value, rng, &mut |i| ones[i] += 1);
         Ok(())
     }
 
@@ -325,6 +360,212 @@ impl Oue {
                         + binomial::sample(n - truth, self.q, rng);
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Whether the blocked kernel runs its dense regime at this `q`
+    /// (determines how [`crate::CollectionKernel::Blocked`] rounds shard:
+    /// dense shards the *domain* range, sparse the reporter range).
+    pub fn blocked_dense(&self) -> bool {
+        self.q >= BLOCKED_DENSE_MIN_Q
+    }
+
+    /// Run one full collection round with the **blocked counter-based
+    /// kernel** ([`crate::CollectionKernel::Blocked`]): every
+    /// `(reporter, position)` Bernoulli draw is addressed as a pure
+    /// function of `ph`'s key, the reporter's global row `base + i` and
+    /// the position — no sequential RNG state anywhere in the round.
+    ///
+    /// Two regimes, both sampling the per-bit OUE process:
+    ///
+    /// - **dense** (`q ≥ 0.04`, see [`Self::blocked_dense`]): one Philox
+    ///   word per position, generated in independent 8-block gangs and
+    ///   compared-and-added against the 32-bit threshold with no
+    ///   loop-carried dependence (autovectorizable), accumulated through
+    ///   L1-resident domain tiles ([`Self::blocked_tally_range`]);
+    /// - **sparse** (`q < 0.04`, large ε): the shared geometric-skipping
+    ///   walk over a per-reporter [`PhiloxRng`] row stream
+    ///   ([`Self::blocked_tally_sparse`]).
+    ///
+    /// Because every draw is addressed, the merged counts are invariant
+    /// to how the `(reporter × position)` rectangle is partitioned — a
+    /// pooled round is bit-identical to this sequential one at any
+    /// thread count. The stream differs from the sequential kernel's, so
+    /// the two kernels are distinct members of the determinism contract.
+    pub fn collect_ones_blocked(
+        &self,
+        values: &[usize],
+        base: u32,
+        ph: &Philox,
+        ones: &mut Vec<u64>,
+    ) -> Result<(), LdpError> {
+        ones.clear();
+        ones.resize(self.domain, 0);
+        if self.blocked_dense() {
+            self.blocked_tally_range(values, base, ph, 0, self.domain, ones)
+        } else {
+            self.blocked_tally_sparse(values, base, ph, ones)
+        }
+    }
+
+    /// Dense-regime blocked tally of domain positions `lo..hi` over all
+    /// `values` (reporter rows `base..base + values.len()`), accumulating
+    /// into `ones[p - lo]`. `lo` must be [`GANG_POS`]-aligned; `hi` is
+    /// either the domain or another aligned shard boundary. The counts
+    /// this writes depend only on `(ph, base, values, position)` — never
+    /// on the `(lo, hi)` partition — which is what makes domain-sharded
+    /// pooled rounds bit-identical to sequential ones.
+    ///
+    /// Each position consumes a 16-bit **halfword**: position `p` of row
+    /// `r` reads bits `16h..16h+16` of word `j` of block
+    /// `(8·⌊p/64⌋ + p mod 8, r)`, where `j = ⌊(p mod 64)/16⌋` and
+    /// `h = ⌊(p mod 16)/8⌋` — a gang of 8 blocks covers 64 positions in
+    /// SoA order without a transpose. The draw is exact against the same
+    /// 32-bit threshold as a full-word draw: `hw < ⌊t/2^16⌋` accepts,
+    /// and the 2^−16-rare tie `hw = ⌊t/2^16⌋` is resolved by 16 more
+    /// addressed bits from the extension block `[blk, row, 1, 0]`
+    /// (counter word 2 = 1, a stream no other path touches), accepting
+    /// iff `ext < t mod 2^16`. The hot loop only counts `hw < ⌊t/2^16⌋`
+    /// and flags ties per gang, so the common path stays branch-free;
+    /// tie patching and the true-bit fixup (replacing the position's
+    /// Bernoulli(q) credit with its Bernoulli(p = 1/2) draw) both
+    /// regenerate single draws in O(1) — counter-based random access
+    /// makes them free of any second pass.
+    pub fn blocked_tally_range(
+        &self,
+        values: &[usize],
+        base: u32,
+        ph: &Philox,
+        lo: usize,
+        hi: usize,
+        ones: &mut [u64],
+    ) -> Result<(), LdpError> {
+        self.check_blocked_inputs(values, base)?;
+        assert!(lo.is_multiple_of(GANG_POS), "range start must be gang-aligned");
+        assert!(lo <= hi && hi <= self.domain, "range {lo}..{hi} outside domain {}", self.domain);
+        assert_eq!(ones.len(), hi - lo, "accumulator length != range length");
+        // High half of the threshold, widened to gang8's 64-bit lanes.
+        let t16 = u64::from(self.thresh_q32 >> 16);
+        let mut tlo = lo;
+        while tlo < hi {
+            let thi = (tlo + DOMAIN_TILE).min(hi);
+            for (i, &v) in values.iter().enumerate() {
+                let row = base + i as u32;
+                let mut p = tlo;
+                while p + GANG_POS <= thi {
+                    let gang = ph.gang8(((p / GANG_POS) * 8) as u32, row);
+                    let acc = &mut ones[p - lo..p - lo + GANG_POS];
+                    // Ties against the threshold's high half, counted
+                    // across the gang (a count, not an OR-fold — masks
+                    // subtract straight into lanes with no bool
+                    // repacking); nonzero ⇒ patch below (expected once
+                    // per ~2^10 gangs).
+                    let mut ties = [0u64; 8];
+                    for (j, words) in gang.iter().enumerate() {
+                        for (l, &w) in words.iter().enumerate() {
+                            let (a, b) = (w & 0xffff, w >> 16);
+                            acc[j * 16 + l] += u64::from(a < t16);
+                            acc[j * 16 + 8 + l] += u64::from(b < t16);
+                            ties[l] += u64::from(a == t16) + u64::from(b == t16);
+                        }
+                    }
+                    if ties.iter().any(|&t| t != 0) {
+                        for o in 0..GANG_POS {
+                            if self.halfword(ph, row, p + o) == t16 as u32 {
+                                ones[p + o - lo] += self.tie_break(ph, row, p + o);
+                            }
+                        }
+                    }
+                    p += GANG_POS;
+                }
+                for q in p..thi {
+                    ones[q - lo] += self.draw_q16(ph, row, q);
+                }
+                if v >= tlo && v < thi {
+                    // The pass above added this position's Bernoulli(q)
+                    // draw; net the slot to its Bernoulli(1/2) draw
+                    // (nested events: q < 1/2, so this never underflows).
+                    ones[v - lo] += u64::from(self.halfword(ph, row, v) < OUE_P_THRESH16)
+                        - self.draw_q16(ph, row, v);
+                }
+            }
+            tlo = thi;
+        }
+        Ok(())
+    }
+
+    /// The 16-bit halfword position `p` of row `row` consumes (the
+    /// position-to-bits mapping of [`Self::blocked_tally_range`]).
+    fn halfword(&self, ph: &Philox, row: u32, p: usize) -> u32 {
+        let o = p % GANG_POS;
+        let (j, h, l) = (o / 16, (o % 16) / 8, o % 8);
+        let w = ph.block(((p / GANG_POS) * 8 + l) as u32, row)[j];
+        (w >> (16 * h)) & 0xffff
+    }
+
+    /// The exact Bernoulli(q) draw of `(row, p)` under the blocked dense
+    /// kernel: accept below the threshold's high half, extend on a tie.
+    fn draw_q16(&self, ph: &Philox, row: u32, p: usize) -> u64 {
+        let t16 = self.thresh_q32 >> 16;
+        let hw = self.halfword(ph, row, p);
+        match hw.cmp(&t16) {
+            std::cmp::Ordering::Less => 1,
+            std::cmp::Ordering::Equal => self.tie_break(ph, row, p),
+            std::cmp::Ordering::Greater => 0,
+        }
+    }
+
+    /// Resolve a threshold tie at `(row, p)`: 16 extension bits from the
+    /// position's block at counter word 2 = 1 — a stream disjoint from
+    /// every primary draw — against the threshold's low half. The
+    /// composite accept probability is exactly `thresh_q32 / 2^32`.
+    fn tie_break(&self, ph: &Philox, row: u32, p: usize) -> u64 {
+        let o = p % GANG_POS;
+        let (j, h, l) = (o / 16, (o % 16) / 8, o % 8);
+        let ew = ph.block_raw([((p / GANG_POS) * 8 + l) as u32, row, 1, 0])[j];
+        let ext = (ew >> (16 * h)) & 0xffff;
+        u64::from(ext < (self.thresh_q32 & 0xffff))
+    }
+
+    /// Sparse-regime blocked tally: each reporter's geometric-skipping
+    /// walk draws from its own [`PhiloxRng`] row stream (row
+    /// `base + i`), so — like the dense pass — the merged counts are
+    /// invariant to how reporters are sharded. `ones` spans the full
+    /// domain.
+    pub fn blocked_tally_sparse(
+        &self,
+        values: &[usize],
+        base: u32,
+        ph: &Philox,
+        ones: &mut [u64],
+    ) -> Result<(), LdpError> {
+        self.check_blocked_inputs(values, base)?;
+        if ones.len() != self.domain {
+            return Err(LdpError::MalformedReport(format!(
+                "tally length {} != domain {}",
+                ones.len(),
+                self.domain
+            )));
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let mut rng = PhiloxRng::new(*ph, base + i as u32);
+            self.sparse_walk(v, &mut rng, &mut |p| ones[p] += 1);
+        }
+        Ok(())
+    }
+
+    /// Shared validation of a blocked round: every value in domain, and
+    /// the reporter rows must fit the 32-bit counter word.
+    fn check_blocked_inputs(&self, values: &[usize], base: u32) -> Result<(), LdpError> {
+        if let Some(&v) = values.iter().find(|&&v| v >= self.domain) {
+            return Err(LdpError::ValueOutOfDomain { value: v, domain: self.domain });
+        }
+        if values.len() > (u32::MAX - base) as usize {
+            return Err(LdpError::MalformedReport(format!(
+                "blocked round of {} reporters at row base {base} overflows the u32 row counter",
+                values.len()
+            )));
         }
         Ok(())
     }
@@ -502,6 +743,40 @@ mod tests {
     fn debias_zero_users() {
         let oue = Oue::new(1.0, 3).unwrap();
         assert_eq!(oue.debias(&[0, 0, 0], 0), vec![0.0; 3]);
+    }
+
+    /// The vectorized gang pass of `blocked_tally_range` must agree
+    /// bit-for-bit with the scalar per-position draw (`draw_q16` plus the
+    /// true-bit fixup) — the same function the tail and patch paths use.
+    /// Swept across enough keys that threshold ties (the 2^−16-rare
+    /// extension path) are actually exercised.
+    #[test]
+    fn blocked_gang_pass_matches_scalar_draws_including_ties() {
+        let domain = 192; // three full gangs — all vector path
+        let oue = Oue::new(1.0, domain).unwrap();
+        let values: Vec<usize> = (0..40).map(|i| (i * 13 + 2) % domain).collect();
+        let t16 = oue.thresh_q32 >> 16;
+        let mut ties_seen = 0u64;
+        let mut ones = Vec::new();
+        for key in 0..1400u64 {
+            let ph = Philox::new(key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            oue.collect_ones_blocked(&values, 0, &ph, &mut ones).unwrap();
+            let mut expect = vec![0u64; domain];
+            for (i, &v) in values.iter().enumerate() {
+                let row = i as u32;
+                for (p, e) in expect.iter_mut().enumerate() {
+                    ties_seen += u64::from(oue.halfword(&ph, row, p) == t16);
+                    *e += if p == v {
+                        u64::from(oue.halfword(&ph, row, p) < OUE_P_THRESH16)
+                    } else {
+                        oue.draw_q16(&ph, row, p)
+                    };
+                }
+            }
+            assert_eq!(ones, expect, "key={key}");
+        }
+        // ~1400·40·192·2^−16 ≈ 164 expected ties; the patch path ran.
+        assert!(ties_seen > 20, "tie path never exercised ({ties_seen} ties)");
     }
 
     #[test]

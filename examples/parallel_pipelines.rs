@@ -9,14 +9,17 @@
 //! perturb→tally round, `synthesis_threads` shards the synthesis step) —
 //! and demonstrates the determinism contract: a fixed `(seed, threads)`
 //! pair is bit-identical run to run, while the pooled random stream
-//! diverges from the sequential one.
+//! diverges from the sequential one. The blocked counter-based kernel
+//! (`CollectionKernel::Blocked`) goes further: its collection draws are
+//! addressed, not streamed, so its output is bit-identical *across*
+//! collection thread counts.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use retrasyn::prelude::*;
 
 fn run(dataset: &StreamDataset, grid: &Grid, threads: usize) -> retrasyn::geo::GriddedDataset {
-    // Exact per-user reports so the fused perturb→tally kernel (not the
+    // Exact per-user reports so the per-user collection kernel (not the
     // aggregate binomial shortcut) is what the collection pool shards.
     let config = RetraSynConfig::new(1.0, 10)
         .with_lambda(15.0)
@@ -32,6 +35,29 @@ fn run(dataset: &StreamDataset, grid: &Grid, threads: usize) -> retrasyn::geo::G
         synthetic.num_streams(),
         1e3 * report.user_side,
         1e3 * report.synthesis,
+    );
+    synthetic
+}
+
+/// The blocked-kernel run varies *only* the collection thread count
+/// (synthesis stays sequential) to isolate the kernel's contract.
+fn run_blocked(
+    dataset: &StreamDataset,
+    grid: &Grid,
+    collection_threads: usize,
+) -> retrasyn::geo::GriddedDataset {
+    let config = RetraSynConfig::new(1.0, 10)
+        .with_lambda(15.0)
+        .per_user_reports()
+        .with_collection_kernel(CollectionKernel::Blocked)
+        .with_collection_threads(collection_threads);
+    let mut engine = RetraSyn::population_division(config, grid.clone(), 42);
+    let synthetic = engine.run(dataset);
+    engine.ledger().verify().expect("w-event LDP accounting holds");
+    println!(
+        "blocked collection_threads={collection_threads}: streams={} user_side={:.4}ms/ts",
+        synthetic.num_streams(),
+        1e3 * engine.timing_report().user_side,
     );
     synthetic
 }
@@ -53,4 +79,20 @@ fn main() {
         "the pooled random stream should diverge from the sequential one"
     );
     println!("divergence : pooled stream differs from sequential (pools engaged)");
+
+    // The blocked counter-based kernel addresses every collection draw by
+    // (key, reporter row, position), so sharding cannot change the bits:
+    // the pooled round equals the unsharded one exactly.
+    let blocked_seq = run_blocked(&dataset, &grid, 1);
+    let blocked_pooled = run_blocked(&dataset, &grid, 4);
+    assert!(
+        blocked_seq.iter().eq(blocked_pooled.iter()),
+        "blocked kernel must be bit-identical across collection thread counts"
+    );
+    println!("invariance : blocked kernel is bit-identical at 1 and 4 collection threads");
+    assert!(
+        !blocked_seq.iter().eq(sequential.iter()),
+        "the blocked kernel draws a different random stream than the sequential kernel"
+    );
+    println!("kernels    : blocked stream differs from sequential (kernel engaged)");
 }

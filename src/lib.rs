@@ -81,10 +81,10 @@ pub use retrasyn_metrics as metrics;
 pub mod prelude {
     pub use retrasyn_core::{
         AllocationKind, BaselineKind, BatchSender, ChannelSource, CheckpointUse, Checkpointer,
-        CompactionPolicy, CompactionStats, Division, EventSource, FnSource, FsyncPolicy,
-        IterSource, LdpIds, LdpIdsConfig, Recovery, RetraSyn, RetraSynConfig, SnapshotStream,
-        SnapshotView, StepOutcome, StreamingEngine, TimelineSource, WalContents, WalError,
-        WalReplay, WalSource, WalWriter,
+        CollectionKernel, CompactionPolicy, CompactionStats, Division, EventSource, FnSource,
+        FsyncPolicy, IterSource, LdpIds, LdpIdsConfig, Recovery, RetraSyn, RetraSynConfig,
+        SnapshotStream, SnapshotView, StepOutcome, StreamingEngine, TimelineSource, WalContents,
+        WalError, WalReplay, WalSource, WalWriter,
     };
     pub use retrasyn_datagen::{
         BrinkhoffConfig, RandomWalkConfig, RegimeShiftConfig, RoadNetwork, TDriveConfig,
