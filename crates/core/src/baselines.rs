@@ -32,7 +32,7 @@
 
 use crate::model::GlobalMobilityModel;
 use crate::population::{UserRegistry, UserStatus};
-use crate::session::{StepOutcome, StreamingEngine};
+use crate::session::{check_events, SessionError, StepOutcome, StreamingEngine};
 use crate::store::SnapshotView;
 use crate::synthesis::SyntheticDb;
 use rand::rngs::StdRng;
@@ -204,13 +204,28 @@ impl LdpIds {
         self.model.replace_all(&full);
     }
 
-    /// Advance one timestamp.
+    /// Advance one timestamp. Panicking wrapper over [`Self::try_step`].
     pub fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
-        assert!(
-            !self.session_released,
-            "baseline already released its session; call reset() to start a new stream"
-        );
-        assert_eq!(t, self.next_t, "timestamps must be consecutive from 0");
+        match self.try_step(t, events) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Advance one timestamp, reporting misuse and malformed events as a
+    /// typed [`SessionError`] instead of panicking. Validation is a pure
+    /// pre-pass (no RNG consumed, no state mutated), so an `Err` leaves
+    /// the baseline untouched and steppable; the historical path
+    /// `.expect`ed mid-loop on a non-adjacent `Move`, after the timestamp
+    /// had already advanced.
+    pub fn try_step(&mut self, t: u64, events: &[UserEvent]) -> Result<StepOutcome, SessionError> {
+        if self.session_released {
+            return Err(SessionError::Released);
+        }
+        if t != self.next_t {
+            return Err(SessionError::timestamp(self.next_t, t));
+        }
+        check_events(&self.table, t, events)?;
         self.next_t += 1;
 
         // Movement states only; enter/quit holders have nothing to report.
@@ -221,6 +236,7 @@ impl LdpIds {
                 target_active += 1;
             }
             if let TransitionState::Move { .. } = e.state {
+                // Safe after the check_events pre-pass.
                 let idx = self.table.index_of(e.state).expect("adjacent move");
                 states.push((e.user, idx));
             }
@@ -234,11 +250,11 @@ impl LdpIds {
 
         let size = *self.fixed_size.get_or_insert(target_active.max(1));
         self.synthetic.step_no_eq(t, &self.model, &self.table, size, &mut self.rng);
-        StepOutcome {
+        Ok(StepOutcome {
             t,
             active: self.synthetic.active_count(),
             finished: self.synthetic.finished_count(),
-        }
+        })
     }
 
     /// Borrowed, zero-copy view of the synthetic database as of the last
@@ -266,12 +282,21 @@ impl LdpIds {
     ///
     /// If the session was already released.
     pub fn release(&mut self) -> GriddedDataset {
-        assert!(
-            !self.session_released,
-            "baseline already released its session; call reset() to start a new stream"
-        );
+        match self.try_release() {
+            Ok(dataset) => dataset,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Close the session (see [`Self::release`]), failing with
+    /// [`SessionError::Released`] instead of panicking when the session
+    /// was already released.
+    pub fn try_release(&mut self) -> Result<GriddedDataset, SessionError> {
+        if self.session_released {
+            return Err(SessionError::Released);
+        }
         self.session_released = true;
-        self.synthetic.release(self.table.topology(), self.next_t)
+        Ok(self.synthetic.release(self.table.topology(), self.next_t))
     }
 
     /// Start a new session: restore the freshly-constructed state in
@@ -488,16 +513,16 @@ impl StreamingEngine for LdpIds {
         LdpIds::next_timestamp(self)
     }
 
-    fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
-        LdpIds::step(self, t, events)
+    fn try_step(&mut self, t: u64, events: &[UserEvent]) -> Result<StepOutcome, SessionError> {
+        LdpIds::try_step(self, t, events)
     }
 
     fn snapshot(&self) -> SnapshotView<'_> {
         LdpIds::snapshot(self)
     }
 
-    fn release(&mut self) -> GriddedDataset {
-        LdpIds::release(self)
+    fn try_release(&mut self) -> Result<GriddedDataset, SessionError> {
+        LdpIds::try_release(self)
     }
 
     fn ledger(&self) -> &WEventLedger {

@@ -37,11 +37,46 @@
 //! workers and keep their capacity, so a steady-state collection round
 //! performs zero heap allocations after warm-up.
 
-use crate::pool::{draw_seeds, PoolJob, WorkerPool};
+use crate::pool::{draw_seeds, PoolError, PoolJob, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use retrasyn_ldp::{LdpError, Oue, Philox, ReportMode, GANG_POS};
 use std::sync::Arc;
+
+/// Why a sharded collection round failed.
+#[derive(Debug)]
+pub enum CollectError {
+    /// The LDP mechanism itself rejected the round (e.g. an out-of-domain
+    /// reporter value). Deterministic: the same inputs fail the same way
+    /// on every replay.
+    Ldp(LdpError),
+    /// The worker pool died mid-round. The pool is poisoned and must be
+    /// dropped; the partially merged accumulator is unusable.
+    Pool(PoolError),
+}
+
+impl std::fmt::Display for CollectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectError::Ldp(e) => write!(f, "{e}"),
+            CollectError::Pool(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {}
+
+impl From<LdpError> for CollectError {
+    fn from(e: LdpError) -> Self {
+        CollectError::Ldp(e)
+    }
+}
+
+impl From<PoolError> for CollectError {
+    fn from(e: PoolError) -> Self {
+        CollectError::Pool(e)
+    }
+}
 
 /// One worker's owned slice of a collection round plus its private
 /// accumulator.
@@ -153,7 +188,7 @@ impl CollectionPool {
         mode: ReportMode,
         ones: &mut Vec<u64>,
         rng: &mut R,
-    ) -> Result<u64, LdpError> {
+    ) -> Result<u64, CollectError> {
         let shard_count = self.pool.threads();
         draw_seeds(&mut self.seeds, shard_count, rng);
         let chunk = values.len().div_ceil(shard_count).max(1);
@@ -174,7 +209,7 @@ impl CollectionPool {
                     task: CollectTask::Sequential { mode, seed: self.seeds[idx] },
                     result: Ok(()),
                 },
-            );
+            )?;
             outstanding += 1;
         }
         ones.clear();
@@ -204,7 +239,7 @@ impl CollectionPool {
         values: &[usize],
         ph: &Philox,
         ones: &mut Vec<u64>,
-    ) -> Result<u64, LdpError> {
+    ) -> Result<u64, CollectError> {
         let shard_count = self.pool.threads();
         ones.clear();
         ones.resize(oracle.domain(), 0);
@@ -233,7 +268,7 @@ impl CollectionPool {
                         task: CollectTask::BlockedDense { ph: *ph, lo, hi },
                         result: Ok(()),
                     },
-                );
+                )?;
                 outstanding += 1;
             }
         } else {
@@ -256,7 +291,7 @@ impl CollectionPool {
                         task: CollectTask::BlockedSparse { ph: *ph, base: lo as u32 },
                         result: Ok(()),
                     },
-                );
+                )?;
                 outstanding += 1;
             }
         }
@@ -268,10 +303,12 @@ impl CollectionPool {
     /// shards, exact addition otherwise — both bit-identical regardless
     /// of arrival order) and returning the lowest-shard error if any
     /// worker failed, so the reported failure is scheduling-independent.
-    fn drain(&mut self, outstanding: usize, ones: &mut [u64]) -> Result<(), LdpError> {
+    /// A [`PoolError`] (dead worker) aborts the drain immediately — the
+    /// remaining replies can never arrive.
+    fn drain(&mut self, outstanding: usize, ones: &mut [u64]) -> Result<(), CollectError> {
         let mut err: Option<(usize, LdpError)> = None;
         for _ in 0..outstanding {
-            let (idx, job) = self.pool.recv();
+            let (idx, job) = self.pool.recv()?;
             match job.result {
                 Ok(()) => {
                     let dst = match job.task {
@@ -291,7 +328,7 @@ impl CollectionPool {
             self.shards[idx] = job.shard;
         }
         match err {
-            Some((_, e)) => Err(e),
+            Some((_, e)) => Err(CollectError::Ldp(e)),
             None => Ok(()),
         }
     }

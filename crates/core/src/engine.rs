@@ -26,13 +26,14 @@
 //! a session driven by a [`crate::TimelineSource`].
 
 use crate::allocation::{AllocationKind, Allocator};
+use crate::collect::CollectError;
 use crate::collect::CollectionPool;
 use crate::compact::CompactionStats;
 use crate::config::{Division, RetraSynConfig};
 use crate::dmu;
 use crate::model::GlobalMobilityModel;
 use crate::population::{UserRegistry, UserStatus};
-use crate::session::{StepOutcome, StreamingEngine};
+use crate::session::{check_events, SessionError, StepOutcome, StreamingEngine};
 use crate::store::SnapshotView;
 use crate::synthesis::SyntheticDb;
 use crate::wal::{Dec, Enc, Fingerprint};
@@ -291,13 +292,38 @@ impl RetraSyn {
     /// the participating streams at `t` (from
     /// [`retrasyn_geo::EventTimeline::at`] or any
     /// [`crate::EventSource`]). Timestamps must be fed in order starting
-    /// from 0.
+    /// from 0. Panicking wrapper over [`Self::try_step`]; the panic
+    /// message is the error's `Display` rendering.
     pub fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
-        assert!(
-            !self.released,
-            "engine already released its session; call reset() to start a new stream"
-        );
-        assert_eq!(t, self.next_t, "timestamps must be consecutive from 0");
+        match self.try_step(t, events) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Advance one timestamp, reporting misuse and mid-step faults as a
+    /// typed [`SessionError`] instead of panicking.
+    ///
+    /// The batch is validated in a pure pre-pass (no RNG consumed, no
+    /// state mutated) before ingestion: a released session, a
+    /// non-consecutive timestamp, an out-of-domain cell or a non-adjacent
+    /// `Move` all return a *pre-state* error that leaves the engine
+    /// untouched and steppable — in release builds as well as debug (the
+    /// historical path only `debug_assert`ed the event domain, silently
+    /// mis-tallying malformed input in release mode). For well-formed
+    /// input the step is bit-identical to what it always was.
+    ///
+    /// A *mid-step* error (collection or pool failure) leaves the session
+    /// in an unspecified state: recover it from its WAL (e.g. via a
+    /// [`Supervisor`](crate::supervise::Supervisor)) or [`Self::reset`].
+    pub fn try_step(&mut self, t: u64, events: &[UserEvent]) -> Result<StepOutcome, SessionError> {
+        if self.released {
+            return Err(SessionError::Released);
+        }
+        if t != self.next_t {
+            return Err(SessionError::timestamp(self.next_t, t));
+        }
+        check_events(&self.table, t, events)?;
         self.next_t += 1;
         self.steps += 1;
 
@@ -318,17 +344,20 @@ impl RetraSyn {
             if !self.config.enter_quit && !matches!(e.state, TransitionState::Move { .. }) {
                 continue;
             }
+            // Safe after the check_events pre-pass: every cell is in
+            // domain and every Move is adjacency-constrained.
             let idx =
                 self.table.index_of(e.state).expect("timeline events are reachability-constrained");
             debug_assert!(idx < domain);
             states.push((e.user, idx));
         }
 
-        match self.division {
+        let collected = match self.division {
             Division::Population => self.collect_population(t, &states),
             Division::Budget => self.collect_budget(t, &states),
-        }
+        };
         self.scratch_states = states;
+        collected?;
         for &u in &self.scratch_quitters {
             self.registry.mark_quitted(u);
             // A quitted user never reports again: drop its RandomReport
@@ -343,7 +372,7 @@ impl RetraSyn {
         // Real-time synthesis (§III-D).
         let timer = Instant::now();
         if self.config.enter_quit {
-            self.synthetic.step_parallel(
+            self.synthetic.try_step_parallel(
                 t,
                 &self.model,
                 &self.table,
@@ -351,18 +380,18 @@ impl RetraSyn {
                 self.config.lambda,
                 &mut self.rng,
                 self.config.synthesis_threads,
-            );
+            )?;
         } else {
             let size = *self.fixed_size.get_or_insert(target_active);
             self.synthetic.step_no_eq(t, &self.model, &self.table, size, &mut self.rng);
         }
         self.timings.synthesis += timer.elapsed().as_secs_f64();
         self.maybe_compact(t);
-        StepOutcome {
+        Ok(StepOutcome {
             t,
             active: self.synthetic.active_count(),
             finished: self.synthetic.finished_count(),
-        }
+        })
     }
 
     /// Epoch-compact the synthetic store when the resident arena exceeds
@@ -436,12 +465,21 @@ impl RetraSyn {
     ///
     /// If the session was already released.
     pub fn release(&mut self) -> GriddedDataset {
-        assert!(
-            !self.released,
-            "engine already released its session; call reset() to start a new stream"
-        );
+        match self.try_release() {
+            Ok(dataset) => dataset,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Close the session (see [`Self::release`]), failing with
+    /// [`SessionError::Released`] instead of panicking when the session
+    /// was already released.
+    pub fn try_release(&mut self) -> Result<GriddedDataset, SessionError> {
+        if self.released {
+            return Err(SessionError::Released);
+        }
         self.released = true;
-        self.synthetic.release(self.table.topology(), self.next_t)
+        Ok(self.synthetic.release(self.table.topology(), self.next_t))
     }
 
     /// Start a new session: restore the freshly-constructed state in
@@ -635,7 +673,7 @@ impl RetraSyn {
 
     /// Population-division collection (Algorithm 1 lines 7–14). Fills
     /// [`Self::scratch_est`] with the round's estimate.
-    fn collect_population(&mut self, t: u64, states: &[(u64, usize)]) {
+    fn collect_population(&mut self, t: u64, states: &[(u64, usize)]) -> Result<(), SessionError> {
         // Line 7: register arrivals (quitters still deliver their farewell
         // state if sampled, so they are registered too).
         for &(u, _) in states {
@@ -683,18 +721,19 @@ impl RetraSyn {
         let timer = Instant::now();
         self.scratch_values.clear();
         self.scratch_values.extend(eligible.iter().map(|&(_, s)| s));
-        self.run_collection(self.config.eps);
+        let collected = self.run_collection(self.config.eps);
         self.timings.user_side += timer.elapsed().as_secs_f64();
         for &(u, _) in &eligible {
             self.registry.mark_reported(u, t);
             self.ledger.record_user_report(u, t);
         }
         self.scratch_eligible = eligible;
+        collected
     }
 
     /// Budget-division collection: everyone reports with ε_t. Fills
     /// [`Self::scratch_est`] with the round's estimate.
-    fn collect_budget(&mut self, t: u64, states: &[(u64, usize)]) {
+    fn collect_budget(&mut self, t: u64, states: &[(u64, usize)]) -> Result<(), SessionError> {
         let eps_t = match self.allocator.kind() {
             AllocationKind::Uniform => self.config.eps / self.config.w as f64,
             AllocationKind::Sample => {
@@ -713,14 +752,15 @@ impl RetraSyn {
         let eps_t = eps_t.min(self.ledger.remaining_budget(t));
         if eps_t <= 1e-9 || states.is_empty() {
             self.scratch_est.reset_empty(self.domain_len());
-            return;
+            return Ok(());
         }
         self.ledger.record_budget(t, eps_t);
         let timer = Instant::now();
         self.scratch_values.clear();
         self.scratch_values.extend(states.iter().map(|&(_, s)| s));
-        self.run_collection(eps_t);
+        let collected = self.run_collection(eps_t);
         self.timings.user_side += timer.elapsed().as_secs_f64();
+        collected
     }
 
     /// Shared collection tail: run one OUE round over
@@ -737,17 +777,26 @@ impl RetraSyn {
     /// multiply its binomial draws by the shard count, so it always runs
     /// sequentially and ignores the kernel. Every buffer involved is
     /// engine scratch — zero heap allocations after warm-up.
-    fn run_collection(&mut self, eps: f64) {
+    ///
+    /// The collected states are in domain by construction (the `try_step`
+    /// pre-pass validated every event), so a mechanism error here is a
+    /// genuine mid-step fault — surfaced as a typed [`SessionError`]
+    /// rather than the historical `.expect("states are in domain")`
+    /// aborts. A dead pool worker additionally drops the poisoned
+    /// collection pool so post-recovery rounds spawn a fresh one.
+    fn run_collection(&mut self, eps: f64) -> Result<(), SessionError> {
         let n = self.scratch_values.len() as u64;
         if n == 0 {
             self.scratch_est.reset_empty(self.domain_len());
-            return;
+            return Ok(());
         }
         self.ensure_oracle(eps, self.domain_len().max(2));
         let oracle = Arc::clone(self.oracle.as_ref().expect("ensured above"));
         let values = std::mem::take(&mut self.scratch_values);
         let per_user = self.config.report_mode == ReportMode::PerUser;
-        if per_user && self.config.collection_kernel == CollectionKernel::Blocked {
+        let result: Result<(), CollectError> = if per_user
+            && self.config.collection_kernel == CollectionKernel::Blocked
+        {
             // Blocked counter-based kernel: the round's entire randomness
             // is one key (a single u64 draw, however many threads run),
             // and the pooled round is bit-identical to the unsharded one.
@@ -755,12 +804,11 @@ impl RetraSyn {
             if self.config.collection_threads > 1 {
                 let threads = self.config.collection_threads;
                 let pool = self.collector.get_or_insert_with(|| CollectionPool::new(threads));
-                pool.collect_ones_blocked(&oracle, &values, &ph, &mut self.scratch_ones)
-                    .expect("states are in domain");
+                pool.collect_ones_blocked(&oracle, &values, &ph, &mut self.scratch_ones).map(|_| ())
             } else {
                 oracle
                     .collect_ones_blocked(&values, 0, &ph, &mut self.scratch_ones)
-                    .expect("states are in domain");
+                    .map_err(CollectError::Ldp)
             }
         } else if per_user && self.config.collection_threads > 1 {
             let threads = self.config.collection_threads;
@@ -772,7 +820,7 @@ impl RetraSyn {
                 &mut self.scratch_ones,
                 &mut self.rng,
             )
-            .expect("states are in domain");
+            .map(|_| ())
         } else {
             oracle
                 .collect_ones_into(
@@ -781,12 +829,22 @@ impl RetraSyn {
                     &mut self.scratch_ones,
                     &mut self.rng,
                 )
-                .expect("states are in domain");
-        }
+                .map_err(CollectError::Ldp)
+        };
         self.scratch_values = values;
-        oracle.debias_into(&self.scratch_ones, n, &mut self.scratch_est.freqs);
-        self.scratch_est.n = n;
-        self.scratch_est.variance = oracle.variance(n);
+        match result {
+            Ok(()) => {
+                oracle.debias_into(&self.scratch_ones, n, &mut self.scratch_est.freqs);
+                self.scratch_est.n = n;
+                self.scratch_est.variance = oracle.variance(n);
+                Ok(())
+            }
+            Err(CollectError::Pool(e)) => {
+                self.collector = None;
+                Err(SessionError::Pool(e))
+            }
+            Err(CollectError::Ldp(e)) => Err(SessionError::Collection { detail: e.to_string() }),
+        }
     }
 
     /// Make the cached collection oracle current for `(eps, domain)`. The
@@ -855,16 +913,16 @@ impl StreamingEngine for RetraSyn {
         RetraSyn::next_timestamp(self)
     }
 
-    fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
-        RetraSyn::step(self, t, events)
+    fn try_step(&mut self, t: u64, events: &[UserEvent]) -> Result<StepOutcome, SessionError> {
+        RetraSyn::try_step(self, t, events)
     }
 
     fn snapshot(&self) -> SnapshotView<'_> {
         RetraSyn::snapshot(self)
     }
 
-    fn release(&mut self) -> GriddedDataset {
-        RetraSyn::release(self)
+    fn try_release(&mut self) -> Result<GriddedDataset, SessionError> {
+        RetraSyn::try_release(self)
     }
 
     fn ledger(&self) -> &WEventLedger {

@@ -50,6 +50,14 @@
 //!   arena into frozen flat storage under a [`CompactionPolicy`] high-water
 //!   mark, so resident memory tracks the live population while snapshots
 //!   and release stay bit-identical to the non-compacting path.
+//! - [`ingest`]: validation and quarantine for untrusted live sources —
+//!   [`ValidatedSource`] screens every batch against the engine input
+//!   contract (domain, adjacency, uniqueness, lifecycle), diverting bad
+//!   events to a bounded quarantine under a pluggable [`IngestPolicy`].
+//! - [`supervise`]: crash-supervised sessions — [`Supervisor`] runs each
+//!   step under `catch_unwind` with WAL-backed retry/recovery and
+//!   quarantines deterministic poison batches to a sidecar, so one bad
+//!   batch can no longer take down a long-running stream.
 //!
 //! Ablation variants are configuration flags: `dmu: false` reproduces
 //! *AllUpdate*, `enter_quit: false` reproduces *NoEQ* (Table IV).
@@ -63,31 +71,35 @@ pub mod compact;
 pub mod config;
 pub mod dmu;
 pub mod engine;
+pub mod ingest;
 pub mod model;
 pub mod pool;
 pub mod population;
 pub mod sampler;
 pub mod session;
 pub mod store;
+pub mod supervise;
 pub mod synthesis;
 pub mod wal;
 
 pub use allocation::AllocationKind;
 pub use baselines::{BaselineKind, LdpIds, LdpIdsConfig};
-pub use collect::CollectionPool;
+pub use collect::{CollectError, CollectionPool};
 pub use compact::{CompactionPolicy, CompactionStats};
 pub use config::{Division, RetraSynConfig};
 pub use engine::{RetraSyn, StepTimings, TimingReport};
+pub use ingest::{IngestPolicy, IngestStats, QuarantinedEvent, ValidatedSource};
 pub use model::GlobalMobilityModel;
-pub use pool::SynthesisPool;
+pub use pool::{PoolError, SynthesisPool};
 pub use population::{UserRegistry, UserStatus};
 pub use retrasyn_ldp::CollectionKernel;
 pub use sampler::{AliasTable, SamplerCache};
 pub use session::{
-    BatchSender, ChannelSource, EventSource, FnSource, IterSource, StepOutcome, StreamingEngine,
-    TimelineSource,
+    BatchSender, ChannelSource, EventFault, EventSource, FnSource, IterSource, SessionError,
+    StallPolicy, StepOutcome, StreamingEngine, TimelineSource,
 };
 pub use store::{SnapshotStream, SnapshotView};
+pub use supervise::{StepVerdict, SuperviseError, Supervisor, SupervisorStats};
 pub use synthesis::SyntheticDb;
 pub use wal::{
     CheckpointUse, Checkpointer, FsyncPolicy, Recovery, WalContents, WalError, WalReplay,

@@ -66,6 +66,37 @@ use std::thread::JoinHandle;
 /// ordering (matches the sequential shrink path).
 pub(crate) const MIN_SHRINK_WEIGHT: f64 = 1e-12;
 
+/// A worker pool died mid-batch: a worker panicked, or every worker hung
+/// up. The pool is *poisoned* after this error — outstanding shard state
+/// held by the dead worker is lost, so the owner must drop the pool (a
+/// fresh one is spawned on the next parallel pass) and treat the
+/// in-progress step as failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// A single worker thread panicked mid-job; `worker` is its index in
+    /// spawn order (shards `idx` with `idx % threads == worker` were routed
+    /// to it).
+    WorkerPanicked {
+        /// Index of the dead worker, in spawn order.
+        worker: usize,
+    },
+    /// Every worker exited — the reply channel disconnected.
+    Disconnected,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { worker } => {
+                write!(f, "pool worker {worker} panicked mid-job")
+            }
+            PoolError::Disconnected => f.write_str("all pool workers exited unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
 /// A self-contained unit of shard work: owns its inputs and result
 /// buffers, is transformed in place on a worker thread.
 pub(crate) trait PoolJob: Send + 'static {
@@ -130,32 +161,37 @@ impl<J: PoolJob> WorkerPool<J> {
         self.handles.iter().map(|h| h.thread().id()).collect()
     }
 
-    /// Queue `job` for shard `idx` on worker `idx % threads`.
-    pub(crate) fn submit(&self, idx: usize, job: J) {
-        self.senders[idx % self.senders.len()]
+    /// Queue `job` for shard `idx` on worker `idx % threads`. Fails with
+    /// [`PoolError::WorkerPanicked`] if that worker is gone (its job
+    /// channel disconnected).
+    pub(crate) fn submit(&self, idx: usize, job: J) -> Result<(), PoolError> {
+        let worker = idx % self.senders.len();
+        self.senders[worker]
             .send(Tagged { idx, job })
-            .expect("pool worker exited unexpectedly");
+            .map_err(|_| PoolError::WorkerPanicked { worker })
     }
 
-    /// Receive one completed job and its shard index, panicking loudly if
-    /// a worker died instead of hanging forever: a panicked worker never
-    /// sends its reply, and the shared channel only disconnects when
-    /// *every* worker is gone, so a bare `recv` would block permanently on
-    /// the first worker panic.
-    pub(crate) fn recv(&self) -> (usize, J) {
+    /// Receive one completed job and its shard index, detecting a dead
+    /// worker instead of hanging forever: a panicked worker never sends
+    /// its reply, and the shared channel only disconnects when *every*
+    /// worker is gone, so a bare blocking `recv` would wait permanently on
+    /// the first worker panic. The caller decides whether a [`PoolError`]
+    /// is recoverable (drop the pool, recover the session) or fatal (the
+    /// legacy infallible paths panic loudly with the error's message).
+    pub(crate) fn recv(&self) -> Result<(usize, J), PoolError> {
         use std::sync::mpsc::RecvTimeoutError;
         loop {
             match self.replies.recv_timeout(std::time::Duration::from_millis(100)) {
-                Ok(Tagged { idx, job }) => return (idx, job),
+                Ok(Tagged { idx, job }) => return Ok((idx, job)),
                 Err(RecvTimeoutError::Timeout) => {
                     // Workers only exit when their job channel disconnects
                     // (pool drop) or they panic; during a batch the senders
                     // are alive, so a finished worker means a panic.
-                    assert!(!self.handles.iter().any(|h| h.is_finished()), "pool worker panicked");
+                    if let Some(worker) = self.handles.iter().position(|h| h.is_finished()) {
+                        return Err(PoolError::WorkerPanicked { worker });
+                    }
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("all pool workers exited unexpectedly")
-                }
+                Err(RecvTimeoutError::Disconnected) => return Err(PoolError::Disconnected),
             }
         }
     }
@@ -328,13 +364,18 @@ impl SynthesisPool {
     /// `shards[i]` is processed by worker `i % threads` with
     /// `StdRng::seed_from_u64(seeds[i])`; shard states come back in place,
     /// preserving both order and buffer capacity.
+    ///
+    /// On a [`PoolError`] the pass is incomplete: shard states held by the
+    /// dead worker are lost, so the owning database is in an unspecified
+    /// state and must be recovered or reset, and this pool must be
+    /// dropped.
     pub(crate) fn run_shards(
         &self,
         shards: &mut [ShardState],
         seeds: &[u64],
         cache: &Arc<SamplerCache>,
         task: ShardTask,
-    ) {
+    ) -> Result<(), PoolError> {
         debug_assert_eq!(shards.len(), seeds.len());
         let mut outstanding = 0usize;
         for (idx, state) in shards.iter_mut().enumerate() {
@@ -355,13 +396,14 @@ impl SynthesisPool {
                     seed: seeds[idx],
                     task,
                 },
-            );
+            )?;
             outstanding += 1;
         }
         for _ in 0..outstanding {
-            let (idx, job) = self.pool.recv();
+            let (idx, job) = self.pool.recv()?;
             shards[idx] = job.state;
         }
+        Ok(())
     }
 }
 
@@ -405,15 +447,44 @@ mod tests {
         }
         let pool: WorkerPool<Doubler> = WorkerPool::new(3, "test-pool");
         for idx in 0..8 {
-            pool.submit(idx, Doubler { xs: vec![idx as u64; 4] });
+            pool.submit(idx, Doubler { xs: vec![idx as u64; 4] }).unwrap();
         }
         let mut seen = [false; 8];
         for _ in 0..8 {
-            let (idx, job) = pool.recv();
+            let (idx, job) = pool.recv().unwrap();
             assert!(!seen[idx]);
             seen[idx] = true;
             assert_eq!(job.xs, vec![2 * idx as u64; 4]);
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    /// A panicking job surfaces as a typed `PoolError` carrying the dead
+    /// worker's index — never a process abort, never a permanent hang —
+    /// and the pool still shuts down cleanly afterwards.
+    #[test]
+    fn worker_panic_reports_typed_error_with_index() {
+        struct Bomb {
+            explode: bool,
+        }
+        impl PoolJob for Bomb {
+            fn run(&mut self) {
+                if self.explode {
+                    panic!("injected worker fault");
+                }
+            }
+        }
+        let pool: WorkerPool<Bomb> = WorkerPool::new(2, "bomb-pool");
+        pool.submit(0, Bomb { explode: false }).unwrap();
+        pool.submit(1, Bomb { explode: true }).unwrap();
+        let mut errors = Vec::new();
+        for _ in 0..2 {
+            if let Err(e) = pool.recv() {
+                errors.push(e);
+            }
+        }
+        assert_eq!(errors, vec![PoolError::WorkerPanicked { worker: 1 }]);
+        assert!(errors[0].to_string().contains("panicked"));
+        drop(pool); // the dead worker must not wedge the shutdown join
     }
 }

@@ -46,13 +46,236 @@
 //! assert_eq!(released.horizon(), gridded.horizon());
 //! ```
 
+use crate::pool::PoolError;
 use crate::store::SnapshotView;
 use crate::wal::{Recovery, WalError};
-use retrasyn_geo::{EventTimeline, GriddedDataset, StreamDataset, Topology, UserEvent};
+use retrasyn_geo::{
+    EventTimeline, GriddedDataset, StreamDataset, Topology, TransitionState, TransitionTable,
+    UserEvent,
+};
 use retrasyn_ldp::WEventLedger;
+use std::fmt;
 use std::path::Path;
-use std::sync::mpsc::{Receiver, SendError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, SyncSender, TrySendError};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a single [`UserEvent`] was rejected — the shared vocabulary of the
+/// engines' hard validation ([`StreamingEngine::try_step`]) and the
+/// [`ValidatedSource`](crate::ingest::ValidatedSource) screening layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventFault {
+    /// A cell index outside the engine's compiled discretization.
+    OutOfDomain,
+    /// A `Move` between two cells that are not adjacent in the topology.
+    NonAdjacentMove,
+    /// A second report from the same user within one batch.
+    DuplicateReporter,
+    /// A `Move` or `Quit` from a user that never entered the stream.
+    NotEntered,
+    /// An `Enter` from a user that is already active.
+    ReEnter,
+}
+
+impl fmt::Display for EventFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventFault::OutOfDomain => "cell outside the discretization",
+            EventFault::NonAdjacentMove => "movement between non-adjacent cells",
+            EventFault::DuplicateReporter => "duplicate report from one user in a single batch",
+            EventFault::NotEntered => "report from a user that never entered the stream",
+            EventFault::ReEnter => "re-entry of an already active user",
+        })
+    }
+}
+
+/// Typed failure of a fallible session operation
+/// ([`try_step`](StreamingEngine::try_step) /
+/// [`try_release`](StreamingEngine::try_release) /
+/// [`try_run_gridded`](StreamingEngine::try_run_gridded)).
+///
+/// The panicking wrappers (`step`, `release`, `run_gridded`) panic with
+/// exactly the [`Display`](fmt::Display) rendering of these variants, so
+/// pre-existing callers observe the same messages they always did.
+///
+/// Variants split into two classes. *Pre-state* errors
+/// ([`TimestampGap`](Self::TimestampGap),
+/// [`TimestampRegression`](Self::TimestampRegression),
+/// [`Released`](Self::Released), [`TopologyMismatch`](Self::TopologyMismatch),
+/// [`MidSession`](Self::MidSession), [`InvalidEvent`](Self::InvalidEvent))
+/// are detected *before* any engine state mutates: the session is untouched
+/// and further steps may proceed. *Mid-step* errors
+/// ([`Collection`](Self::Collection), [`Pool`](Self::Pool)) leave the
+/// engine in an unspecified state — recover the session from its WAL
+/// (e.g. via a [`Supervisor`](crate::supervise::Supervisor)) or
+/// [`reset`](StreamingEngine::reset) it.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The step's timestamp is ahead of the expected consecutive timestamp.
+    TimestampGap {
+        /// The timestamp the engine expected ([`StreamingEngine::next_timestamp`]).
+        expected: u64,
+        /// The timestamp the caller supplied.
+        got: u64,
+    },
+    /// The step's timestamp is behind the expected consecutive timestamp.
+    TimestampRegression {
+        /// The timestamp the engine expected ([`StreamingEngine::next_timestamp`]).
+        expected: u64,
+        /// The timestamp the caller supplied.
+        got: u64,
+    },
+    /// The session was already released; `reset()` starts a new one.
+    Released,
+    /// A dataset's discretization does not match the engine's topology.
+    TopologyMismatch {
+        /// Descriptor of the engine's compiled topology.
+        expected: String,
+        /// Descriptor of the dataset's discretization.
+        got: String,
+    },
+    /// A full-dataset replay was requested on an engine that is not fresh.
+    MidSession {
+        /// The timestamp the engine would ingest next.
+        next: u64,
+    },
+    /// A batch contained an event that fails hard validation. Detected
+    /// before any state mutates — the offending batch was not ingested.
+    InvalidEvent {
+        /// The timestamp of the offending batch.
+        t: u64,
+        /// The reporting user.
+        user: u64,
+        /// What was wrong with the event.
+        fault: EventFault,
+    },
+    /// The LDP collection round failed mid-step.
+    Collection {
+        /// The underlying mechanism error.
+        detail: String,
+    },
+    /// A worker pool died mid-step (a worker panicked or hung up). The
+    /// owning engine drops the poisoned pool; a fresh one is spawned on
+    /// the next parallel step after recovery.
+    Pool(PoolError),
+    /// A checkpoint could not be written or restored.
+    Checkpoint {
+        /// The underlying failure.
+        detail: String,
+    },
+    /// A WAL operation failed while the session was being persisted or
+    /// recovered.
+    Wal(WalError),
+}
+
+impl SessionError {
+    /// Classify a non-consecutive timestamp as gap (ahead) or regression
+    /// (behind).
+    pub(crate) fn timestamp(expected: u64, got: u64) -> Self {
+        if got > expected {
+            SessionError::TimestampGap { expected, got }
+        } else {
+            SessionError::TimestampRegression { expected, got }
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::TimestampGap { expected, got } => write!(
+                f,
+                "timestamps must be consecutive from 0: expected {expected}, got {got} (gap)"
+            ),
+            SessionError::TimestampRegression { expected, got } => write!(
+                f,
+                "timestamps must be consecutive from 0: expected {expected}, got {got} (regression)"
+            ),
+            SessionError::Released => f.write_str(
+                "engine already released its session; call reset() to start a new stream",
+            ),
+            SessionError::TopologyMismatch { expected, got } => write!(
+                f,
+                "dataset discretization mismatch: engine compiled {expected}, dataset carries {got}"
+            ),
+            SessionError::MidSession { next } => write!(
+                f,
+                "run replays a dataset from t = 0 but the engine is mid-session or \
+                 already released (next timestamp {next}); call reset() to start a fresh \
+                 session (or feed the remaining batches through drive())"
+            ),
+            SessionError::InvalidEvent { t, user, fault } => {
+                write!(f, "invalid event at t = {t} from user {user}: {fault}")
+            }
+            SessionError::Collection { detail } => write!(f, "collection round failed: {detail}"),
+            SessionError::Pool(e) => write!(f, "{e}"),
+            SessionError::Checkpoint { detail } => write!(f, "checkpoint failure: {detail}"),
+            SessionError::Wal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Pool(e) => Some(e),
+            SessionError::Wal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PoolError> for SessionError {
+    fn from(e: PoolError) -> Self {
+        SessionError::Pool(e)
+    }
+}
+
+impl From<WalError> for SessionError {
+    fn from(e: WalError) -> Self {
+        SessionError::Wal(e)
+    }
+}
+
+/// Hard per-event validation shared by every engine's
+/// [`try_step`](StreamingEngine::try_step): cell indices must lie inside
+/// the compiled topology and `Move`s must connect adjacent cells. Runs as
+/// a pure pre-pass — before any engine state (timestamps, registries, RNG
+/// streams) mutates — so a failed batch leaves the session untouched and
+/// steppable.
+///
+/// Lifecycle faults (duplicates, moves of never-entered users) are *not*
+/// checked here: the engines tolerate them by construction, and the
+/// [`ValidatedSource`](crate::ingest::ValidatedSource) screening layer
+/// handles them at the ingest boundary.
+pub(crate) fn check_events(
+    table: &TransitionTable,
+    t: u64,
+    events: &[UserEvent],
+) -> Result<(), SessionError> {
+    let topo = table.topology();
+    let cells = topo.num_cells();
+    for e in events {
+        let fault = match e.state {
+            TransitionState::Move { from, to } => {
+                if from.index() >= cells || to.index() >= cells {
+                    Some(EventFault::OutOfDomain)
+                } else if !topo.are_adjacent(from, to) {
+                    Some(EventFault::NonAdjacentMove)
+                } else {
+                    None
+                }
+            }
+            TransitionState::Enter(c) | TransitionState::Quit(c) => {
+                (c.index() >= cells).then_some(EventFault::OutOfDomain)
+            }
+        };
+        if let Some(fault) = fault {
+            return Err(SessionError::InvalidEvent { t, user: e.user, fault });
+        }
+    }
+    Ok(())
+}
 
 /// What one completed [`StreamingEngine::step`] reports back to the driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +418,28 @@ pub struct ChannelSource {
     buf: Vec<UserEvent>,
     /// Return channel for consumed buffers (the recycling variant).
     ret: Option<SyncSender<Vec<UserEvent>>>,
+    /// How long to wait for a producer before invoking the stall policy.
+    deadline: Option<Duration>,
+    /// What a deadline expiry does to the stream.
+    stall: StallPolicy,
+    /// How many deadlines have expired so far.
+    stalls: u64,
+}
+
+/// What a [`ChannelSource`] with a deadline does when the producer misses
+/// it (no batch arrives within the configured window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StallPolicy {
+    /// Synthesize an empty heartbeat batch: the engine steps the timestamp
+    /// with zero reports (every active synthetic stream extends from the
+    /// unchanged model) and the stream keeps its consecutive-timestamp
+    /// contract. A producer that wakes back up resumes seamlessly — its
+    /// batches simply land at later timestamps.
+    #[default]
+    Heartbeat,
+    /// End the stream (as if the producer hung up): `next_batch` returns
+    /// `None`, and the driver releases whatever was synthesized so far.
+    EndStream,
 }
 
 impl ChannelSource {
@@ -202,7 +447,7 @@ impl ChannelSource {
     /// returns the producer handle and the source.
     pub fn bounded(capacity: usize) -> (SyncSender<Vec<UserEvent>>, ChannelSource) {
         let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
-        (tx, ChannelSource { rx, buf: Vec::new(), ret: None })
+        (tx, ChannelSource::new(rx, None))
     }
 
     /// Like [`ChannelSource::bounded`], but consumed batch buffers flow
@@ -215,7 +460,36 @@ impl ChannelSource {
         // One extra slot so the consumer's return of batch n never blocks
         // while the producer still holds slot capacity.
         let (ret_tx, ret_rx) = std::sync::mpsc::sync_channel(capacity + 1);
-        (BatchSender { tx, pool: ret_rx }, ChannelSource { rx, buf: Vec::new(), ret: Some(ret_tx) })
+        (BatchSender { tx, pool: ret_rx }, ChannelSource::new(rx, Some(ret_tx)))
+    }
+
+    fn new(rx: Receiver<Vec<UserEvent>>, ret: Option<SyncSender<Vec<UserEvent>>>) -> Self {
+        ChannelSource {
+            rx,
+            buf: Vec::new(),
+            ret,
+            deadline: None,
+            stall: StallPolicy::default(),
+            stalls: 0,
+        }
+    }
+
+    /// Bound how long the engine waits for the producer: if no batch
+    /// arrives within `deadline`, apply `policy` (synthesize an empty
+    /// heartbeat batch, or end the stream) instead of blocking forever on
+    /// a wedged producer. Composes with both the
+    /// [`bounded`](ChannelSource::bounded) and
+    /// [`recycling`](ChannelSource::recycling) constructors.
+    pub fn with_deadline(mut self, deadline: Duration, policy: StallPolicy) -> Self {
+        self.deadline = Some(deadline);
+        self.stall = policy;
+        self
+    }
+
+    /// How many producer deadlines have expired so far (each one either
+    /// produced a heartbeat batch or ended the stream, per the policy).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
     }
 }
 
@@ -235,7 +509,20 @@ impl EventSource for ChannelSource {
                 }
             }
         }
-        self.buf = self.rx.recv().ok()?;
+        match self.deadline {
+            None => self.buf = self.rx.recv().ok()?,
+            Some(deadline) => match self.rx.recv_timeout(deadline) {
+                Ok(batch) => self.buf = batch,
+                Err(RecvTimeoutError::Disconnected) => return None,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.stalls += 1;
+                    match self.stall {
+                        StallPolicy::Heartbeat => self.buf.clear(),
+                        StallPolicy::EndStream => return None,
+                    }
+                }
+            },
+        }
         Some(&self.buf)
     }
 }
@@ -290,11 +577,34 @@ pub trait StreamingEngine {
     /// Ingest the event batch of timestamp `t` and advance the synthetic
     /// database by one timestamp.
     ///
+    /// Fails with a typed [`SessionError`] instead of panicking: on a
+    /// *pre-state* error (wrong timestamp, released session, invalid
+    /// event) the engine is untouched and remains steppable; on a
+    /// *mid-step* error (collection / pool failure) the session state is
+    /// unspecified and must be recovered or [`reset`](Self::reset) — see
+    /// the [`SessionError`] variant docs for the classification.
+    ///
+    /// Validation of the batch itself is a pure pre-pass (no RNG is
+    /// consumed, no state mutates), so for well-formed input `try_step` is
+    /// bit-identical to what [`step`](Self::step) always did.
+    fn try_step(&mut self, t: u64, events: &[UserEvent]) -> Result<StepOutcome, SessionError>;
+
+    /// Ingest the event batch of timestamp `t` and advance the synthetic
+    /// database by one timestamp — the panicking wrapper over
+    /// [`try_step`](Self::try_step).
+    ///
     /// # Panics
     ///
-    /// If `t` is not [`next_timestamp`](Self::next_timestamp), or if the
-    /// session was already released (call [`reset`](Self::reset) first).
-    fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome;
+    /// If `t` is not [`next_timestamp`](Self::next_timestamp), if the
+    /// session was already released (call [`reset`](Self::reset) first),
+    /// or on any other [`SessionError`] — the panic message is the error's
+    /// [`Display`](std::fmt::Display) rendering.
+    fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
+        match self.try_step(t, events) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
 
     /// Borrowed, zero-copy view of the synthetic database as of the last
     /// completed step — the per-timestamp release of Algorithm 1. Reading
@@ -312,13 +622,25 @@ pub trait StreamingEngine {
     /// [`next_timestamp`](Self::next_timestamp). Zero-copy (the cells move
     /// out of the engine's store) and callable mid-stream; afterwards the
     /// engine is in the *released* state: `step`/`snapshot`/`release`
-    /// panic until [`reset`](Self::reset), while plain accessors (ledger,
+    /// refuse until [`reset`](Self::reset), while plain accessors (ledger,
     /// topology, timings) keep reporting the closed session.
+    ///
+    /// Fails with [`SessionError::Released`] if the session was already
+    /// released.
+    fn try_release(&mut self) -> Result<GriddedDataset, SessionError>;
+
+    /// Terminate the session — the panicking wrapper over
+    /// [`try_release`](Self::try_release).
     ///
     /// # Panics
     ///
     /// If the session was already released.
-    fn release(&mut self) -> GriddedDataset;
+    fn release(&mut self) -> GriddedDataset {
+        match self.try_release() {
+            Ok(dataset) => dataset,
+            Err(e) => panic!("{e}"),
+        }
+    }
 
     /// The runtime w-event privacy ledger of the current session.
     fn ledger(&self) -> &WEventLedger;
@@ -405,24 +727,43 @@ pub trait StreamingEngine {
     /// # Panics
     ///
     /// If the engine is mid-session (a dataset replay starts at `t = 0`,
-    /// so the engine must be fresh — [`reset`](Self::reset) first).
+    /// so the engine must be fresh — [`reset`](Self::reset) first), or if
+    /// the dataset's discretization does not match the engine's topology.
     fn run_gridded(&mut self, dataset: &GriddedDataset) -> GriddedDataset
     where
         Self: Sized,
     {
-        assert_eq!(
-            dataset.topology().descriptor(),
-            self.topology().descriptor(),
-            "dataset discretization mismatch"
-        );
-        assert_eq!(
-            self.next_timestamp(),
-            0,
-            "run replays a dataset from t = 0 but the engine is mid-session or \
-             already released; call reset() to start a fresh session (or feed \
-             the remaining batches through drive())"
-        );
-        self.drive(TimelineSource::from_gridded(dataset))
+        match self.try_run_gridded(dataset) {
+            Ok(released) => released,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Batch mode over an already-discretized dataset, with typed errors:
+    /// the fallible counterpart of [`run_gridded`](Self::run_gridded).
+    /// Fails with [`SessionError::TopologyMismatch`] if the dataset's
+    /// discretization differs from the engine's,
+    /// [`SessionError::MidSession`] if the engine is not fresh, or any
+    /// error a [`try_step`](Self::try_step) / [`try_release`](Self::try_release)
+    /// along the replay reports.
+    fn try_run_gridded(&mut self, dataset: &GriddedDataset) -> Result<GriddedDataset, SessionError>
+    where
+        Self: Sized,
+    {
+        if dataset.topology().descriptor() != self.topology().descriptor() {
+            return Err(SessionError::TopologyMismatch {
+                expected: format!("{:?}", self.topology().descriptor()),
+                got: format!("{:?}", dataset.topology().descriptor()),
+            });
+        }
+        if self.next_timestamp() != 0 {
+            return Err(SessionError::MidSession { next: self.next_timestamp() });
+        }
+        let mut source = TimelineSource::from_gridded(dataset);
+        while let Some(batch) = source.next_batch() {
+            self.try_step(self.next_timestamp(), batch)?;
+        }
+        self.try_release()
     }
 }
 

@@ -41,7 +41,7 @@
 //! whose streams never terminate.
 
 use crate::model::GlobalMobilityModel;
-use crate::pool::{draw_seeds, ShardState, ShardTask, SynthesisPool, MIN_SHRINK_WEIGHT};
+use crate::pool::{draw_seeds, PoolError, ShardState, ShardTask, SynthesisPool, MIN_SHRINK_WEIGHT};
 use crate::sampler::{sample_weighted, SamplerCache};
 use crate::store::{Addr, Columns, SnapshotView, StreamStore, TailArena, TailSink};
 use crate::wal::{Dec, Enc};
@@ -497,10 +497,52 @@ impl SyntheticDb {
         rng: &mut R,
         threads: usize,
     ) {
+        match self.try_step_parallel(t, model, table, target, lambda, rng, threads) {
+            Ok(()) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Self::step_parallel`]: a dead pool worker surfaces as a
+    /// typed [`PoolError`] instead of a panic. On `Err` the database is in
+    /// an unspecified state (the dead worker held shard columns) and the
+    /// poisoned pool has been dropped — the owning session must be
+    /// recovered or reset, after which the next parallel step re-spawns a
+    /// fresh pool.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_step_parallel<R: Rng + ?Sized>(
+        &mut self,
+        t: u64,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        target: usize,
+        lambda: f64,
+        rng: &mut R,
+        threads: usize,
+    ) -> Result<(), PoolError> {
+        let result = self.step_parallel_inner(t, model, table, target, lambda, rng, threads);
+        if result.is_err() {
+            self.pool = None;
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_parallel_inner<R: Rng + ?Sized>(
+        &mut self,
+        t: u64,
+        model: &GlobalMobilityModel,
+        table: &TransitionTable,
+        target: usize,
+        lambda: f64,
+        rng: &mut R,
+        threads: usize,
+    ) -> Result<(), PoolError> {
         let cache = model.sampler().cloned();
         let parallel_ok = threads > 1 && self.store.live.len() >= MIN_PARALLEL && cache.is_some();
         if !parallel_ok {
-            return self.step(t, model, table, target, lambda, rng);
+            self.step(t, model, table, target, lambda, rng);
+            return Ok(());
         }
         let cache: Arc<SamplerCache> = cache.unwrap();
         // An uninitialized database has no live streams, so the
@@ -522,7 +564,7 @@ impl SyntheticDb {
                 &self.seeds,
                 &cache,
                 ShardTask::QuitExtend { lambda },
-            );
+            )?;
         } else {
             // Two-phase parallel downward adjustment. Pass 1: quit draws
             // plus one Efraimidis–Spirakis key per survivor, per shard.
@@ -532,7 +574,7 @@ impl SyntheticDb {
                 &self.seeds,
                 &cache,
                 ShardTask::QuitKeys { lambda },
-            );
+            )?;
             // Global top-`excess` cut over all shards' keys on the caller.
             let survivors: usize = self.shards[..num_shards].iter().map(|s| s.cols.len()).sum();
             let excess = survivors.saturating_sub(target);
@@ -562,7 +604,7 @@ impl SyntheticDb {
                 &self.seeds,
                 &cache,
                 ShardTask::RetireExtend,
-            );
+            )?;
         }
         self.merge_shards(num_shards);
 
@@ -572,8 +614,9 @@ impl SyntheticDb {
         // appends move to the workers.
         if self.store.live.len() < target {
             let missing = target - self.store.live.len();
-            self.spawn_pooled(t, &cache, missing, rng);
+            self.spawn_pooled(t, &cache, missing, rng)?;
         }
+        Ok(())
     }
 
     /// Pooled upward adjustment: draw `missing` enter cells sequentially
@@ -589,7 +632,7 @@ impl SyntheticDb {
         cache: &Arc<SamplerCache>,
         missing: usize,
         rng: &mut R,
-    ) {
+    ) -> Result<(), PoolError> {
         self.spawn_cells.clear();
         self.spawn_cells.extend((0..missing).map(|_| cache.sample_enter(rng)));
         let threads = self.pool.as_ref().expect("pool created above").threads();
@@ -613,10 +656,16 @@ impl SyntheticDb {
         self.seeds.clear();
         self.seeds.resize(num_shards, 0);
         let pool = self.pool.as_ref().expect("pool created above");
-        pool.run_shards(&mut self.shards[..num_shards], &self.seeds, cache, ShardTask::Spawn { t });
+        pool.run_shards(
+            &mut self.shards[..num_shards],
+            &self.seeds,
+            cache,
+            ShardTask::Spawn { t },
+        )?;
         for shard in &mut self.shards[..num_shards] {
             self.store.live.append(&mut shard.cols);
         }
+        Ok(())
     }
 
     /// Create or resize the persistent pool for `threads` workers.

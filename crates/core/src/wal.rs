@@ -366,6 +366,10 @@ pub struct WalWriter {
     next_t: u64,
     since_sync: u64,
     buf: Vec<u8>,
+    /// Byte offset the next record will be written at — the length of the
+    /// header plus every appended record. Lets a supervisor roll back a
+    /// suspect batch with [`WalWriter::truncate_to`].
+    offset: u64,
 }
 
 impl WalWriter {
@@ -393,7 +397,15 @@ impl WalWriter {
         file.write_all(&header)?;
         file.flush()?;
         file.get_ref().sync_data()?;
-        Ok(WalWriter { file, path, policy, next_t: 0, since_sync: 0, buf: Vec::new() })
+        Ok(WalWriter {
+            file,
+            path,
+            policy,
+            next_t: 0,
+            since_sync: 0,
+            buf: Vec::new(),
+            offset: HEADER_LEN as u64,
+        })
     }
 
     /// Reopen an existing WAL to continue appending after recovery. The
@@ -420,6 +432,7 @@ impl WalWriter {
             next_t: contents.batches.len() as u64,
             since_sync: 0,
             buf: Vec::new(),
+            offset: contents.valid_len,
         })
     }
 
@@ -441,6 +454,7 @@ impl WalWriter {
         let crc = crc32(&self.buf);
         self.buf.extend_from_slice(&crc.to_le_bytes());
         self.file.write_all(&self.buf)?;
+        self.offset += self.buf.len() as u64;
         self.next_t += 1;
         self.since_sync += 1;
         match self.policy {
@@ -463,6 +477,32 @@ impl WalWriter {
     /// timestamp).
     pub fn batches_written(&self) -> u64 {
         self.next_t
+    }
+
+    /// Byte offset the next record will land at (header plus every record
+    /// appended so far). A supervisor captures it before an append to be
+    /// able to roll that append back (crate-internal `truncate_to`).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Roll the WAL back to `offset` (a value previously returned by
+    /// [`offset`](Self::offset)), discarding every record appended since,
+    /// and rewind the expected timestamp to `next_t`. The truncation is
+    /// synced before returning, so a crash immediately afterwards recovers
+    /// the rolled-back log, never the suspect records. Used by the
+    /// supervisor to remove a batch whose replay keeps crashing the
+    /// engine.
+    pub(crate) fn truncate_to(&mut self, offset: u64, next_t: u64) -> Result<(), WalError> {
+        debug_assert!(offset >= HEADER_LEN as u64 && offset <= self.offset);
+        self.file.flush()?;
+        self.file.get_ref().set_len(offset)?;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.get_ref().sync_data()?;
+        self.offset = offset;
+        self.next_t = next_t;
+        self.since_sync = 0;
+        Ok(())
     }
 
     /// The WAL file this writer appends to.

@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use retrasyn::geo::TransitionState;
 use retrasyn::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -199,6 +200,187 @@ fn crash_mid_checkpoint_leaves_recovery_intact() {
         assert_eq!(e.release(), prefix_references()[n]);
     }
     cleanup(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor drills: injected engine crashes mid-step.
+
+/// Wraps [`RetraSyn`], injecting panics on demand: a *transient* fault
+/// fires at one timestamp a bounded number of times (the retry after
+/// recovery succeeds); a *poison* fault fires whenever the batch carries a
+/// marker reporter (every replay of that batch crashes, so the supervisor
+/// must quarantine it). Both fire before the inner engine is touched, so a
+/// recovery replay of the durable prefix never re-trips them.
+struct FaultyEngine {
+    inner: RetraSyn,
+    fault_at: u64,
+    transient_remaining: std::cell::Cell<u32>,
+    poison_user: Option<u64>,
+}
+
+impl FaultyEngine {
+    fn transient(inner: RetraSyn, fault_at: u64) -> Self {
+        FaultyEngine {
+            inner,
+            fault_at,
+            transient_remaining: std::cell::Cell::new(1),
+            poison_user: None,
+        }
+    }
+
+    fn poisoned_by(inner: RetraSyn, user: u64) -> Self {
+        FaultyEngine {
+            inner,
+            fault_at: u64::MAX,
+            transient_remaining: std::cell::Cell::new(0),
+            poison_user: Some(user),
+        }
+    }
+}
+
+impl StreamingEngine for FaultyEngine {
+    fn topology(&self) -> &std::sync::Arc<Topology> {
+        self.inner.topology()
+    }
+    fn next_timestamp(&self) -> u64 {
+        self.inner.next_timestamp()
+    }
+    fn try_step(
+        &mut self,
+        t: u64,
+        events: &[UserEvent],
+    ) -> Result<StepOutcome, retrasyn::core::SessionError> {
+        if t == self.fault_at && self.transient_remaining.get() > 0 {
+            self.transient_remaining.set(self.transient_remaining.get() - 1);
+            panic!("injected transient fault at t={t}");
+        }
+        if let Some(user) = self.poison_user {
+            if events.iter().any(|e| e.user == user) {
+                panic!("injected poison batch at t={t}");
+            }
+        }
+        self.inner.try_step(t, events)
+    }
+    fn snapshot(&self) -> SnapshotView<'_> {
+        self.inner.snapshot()
+    }
+    fn try_release(
+        &mut self,
+    ) -> Result<retrasyn::geo::GriddedDataset, retrasyn::core::SessionError> {
+        self.inner.try_release()
+    }
+    fn ledger(&self) -> &WEventLedger {
+        self.inner.ledger()
+    }
+    fn reset(&mut self) {
+        self.inner.reset()
+    }
+    fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint()
+    }
+    fn checkpoint_bytes(&self) -> Option<Vec<u8>> {
+        self.inner.checkpoint_bytes()
+    }
+    fn restore_checkpoint(&mut self, payload: &[u8]) -> Result<(), String> {
+        self.inner.restore_checkpoint(payload)
+    }
+}
+
+fn cleanup_supervised(path: &PathBuf) {
+    cleanup(path);
+    let _ = std::fs::remove_file(Supervisor::<RetraSyn>::poison_sidecar(path));
+}
+
+#[test]
+fn transient_step_panic_recovers_bit_identical() {
+    let gridded = dataset();
+    let expected = engine().run_gridded(&gridded);
+
+    // A crash at the very first step, mid-stream, and at the last step —
+    // each with and without checkpoint sidecars in the replay path.
+    for fault_at in [0, 7, HORIZON as u64 - 1] {
+        for ckpt_every in [None, Some(3)] {
+            let path = temp_path("transient");
+            let faulty = FaultyEngine::transient(engine(), fault_at);
+            let mut sup = Supervisor::create(faulty, &path, 13, FsyncPolicy::EveryBatch)
+                .expect("create supervisor");
+            if let Some(every) = ckpt_every {
+                sup = sup.with_checkpoints(every);
+            }
+            let released = sup
+                .drive(TimelineSource::from_gridded(&gridded))
+                .expect("supervised drive survives the injected crash");
+            assert_eq!(
+                released, expected,
+                "fault_at={fault_at} ckpt={ckpt_every:?}: recovery not bit-identical"
+            );
+            let stats = *sup.stats();
+            assert_eq!(stats.recovered, 1, "fault_at={fault_at}: exactly one recovery");
+            assert_eq!(stats.poisoned, 0);
+            assert_eq!(stats.steps, HORIZON as u64);
+            if ckpt_every.is_some() {
+                assert!(stats.checkpoints > 0, "checkpoint interval never fired");
+            }
+            assert!(
+                !sup.poison_path().exists(),
+                "a recovered transient fault must not be quarantined"
+            );
+            cleanup_supervised(&path);
+        }
+    }
+}
+
+#[test]
+fn poison_batch_is_quarantined_once_and_session_continues() {
+    const POISON_USER: u64 = 999_999;
+    const POISON_AT: usize = 5;
+    let gridded = dataset();
+    let expected = engine().run_gridded(&gridded);
+
+    // Splice a deterministic poison batch into the stream: semantically
+    // valid (it passes every ingest check), but the engine crashes on it —
+    // and on every crash-replay of it. The supervisor must give up after
+    // max_attempts, quarantine it, and deliver the session the stream
+    // would have produced without it.
+    let timeline = EventTimeline::build(&gridded);
+    let mut batches: Vec<Vec<UserEvent>> =
+        (0..HORIZON as u64).map(|t| timeline.at(t).to_vec()).collect();
+    batches.insert(
+        POISON_AT,
+        vec![UserEvent { user: POISON_USER, state: TransitionState::Enter(CellId(0)) }],
+    );
+
+    let path = temp_path("poison");
+    let faulty = FaultyEngine::poisoned_by(engine(), POISON_USER);
+    let mut sup =
+        Supervisor::create(faulty, &path, 13, FsyncPolicy::EveryBatch).expect("create supervisor");
+    let released =
+        sup.drive(IterSource::new(batches.into_iter())).expect("session continues past poison");
+    assert_eq!(released, expected, "poisoned session must equal the stream minus the batch");
+
+    let stats = *sup.stats();
+    assert_eq!(stats.poisoned, 1, "the poison batch is quarantined exactly once");
+    assert_eq!(stats.recovered, 0, "no attempt at the poison batch ever succeeds");
+    assert_eq!(stats.steps, HORIZON as u64);
+
+    // The sidecar records exactly one quarantine with the right shape.
+    let sidecar = std::fs::read_to_string(sup.poison_path()).expect("poison sidecar exists");
+    let lines: Vec<&str> = sidecar.lines().collect();
+    assert_eq!(lines.len(), 1, "exactly one poison record: {lines:?}");
+    assert!(
+        lines[0].starts_with(&format!("t={POISON_AT} attempts=2 events=1 fault=")),
+        "malformed poison record: {}",
+        lines[0]
+    );
+    assert!(lines[0].contains("injected poison batch"), "fault message lost: {}", lines[0]);
+
+    // The WAL holds only the batches that actually entered the session:
+    // replaying it into a fresh engine reproduces the same release.
+    let mut replayed = engine();
+    let recovery = replayed.recover(&path).expect("replay the poisoned session's WAL");
+    assert_eq!(recovery.next_timestamp(), HORIZON as u64);
+    assert_eq!(replayed.release(), expected);
+    cleanup_supervised(&path);
 }
 
 #[test]
