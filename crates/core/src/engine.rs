@@ -41,7 +41,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use retrasyn_geo::{GriddedDataset, Space, Topology, TransitionState, TransitionTable, UserEvent};
 use retrasyn_ldp::{CollectionKernel, Estimate, Oue, Philox, ReportMode, WEventLedger};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,6 +59,16 @@ pub struct StepTimings {
     pub dmu: f64,
     /// Real-time synthesis (point generation + size adjustment).
     pub synthesis: f64,
+}
+
+/// Wall-clock source for [`StepTimings`] telemetry.
+///
+/// The single sanctioned clock read in this module: timings are
+/// observability output (Table V rows), never inputs to collection or
+/// synthesis, so the determinism argument is unaffected.
+#[allow(clippy::disallowed_methods)]
+fn telemetry_clock() -> Instant {
+    Instant::now() // xtask:allow(DET002, timings are telemetry-only and never feed the output stream)
 }
 
 /// Average per-timestamp component times (Table V).
@@ -113,7 +123,7 @@ pub struct RetraSyn {
     /// pruned when their user quits, so the map tracks only users that can
     /// still report (bounded by the live population, not the all-time
     /// arrival count).
-    report_slots: HashMap<u64, u64>,
+    report_slots: BTreeMap<u64, u64>,
     /// Cached collection oracle, rebuilt only when `(ε, domain)` changes —
     /// the collection path runs every timestamp and must not rebuild its
     /// mechanism per step. `Arc` so pooled collection workers share a
@@ -184,7 +194,7 @@ impl RetraSyn {
             next_t: 0,
             released: false,
             fixed_size: None,
-            report_slots: HashMap::new(),
+            report_slots: BTreeMap::new(),
             oracle: None,
             collector: None,
             timings: StepTimings::default(),
@@ -370,7 +380,7 @@ impl RetraSyn {
         self.scratch_est = estimate;
 
         // Real-time synthesis (§III-D).
-        let timer = Instant::now();
+        let timer = telemetry_clock();
         if self.config.enter_quit {
             self.synthetic.try_step_parallel(
                 t,
@@ -718,7 +728,7 @@ impl RetraSyn {
         }
 
         // Lines 13–14: report with the full budget; mark inactive.
-        let timer = Instant::now();
+        let timer = telemetry_clock();
         self.scratch_values.clear();
         self.scratch_values.extend(eligible.iter().map(|&(_, s)| s));
         let collected = self.run_collection(self.config.eps);
@@ -755,7 +765,7 @@ impl RetraSyn {
             return Ok(());
         }
         self.ledger.record_budget(t, eps_t);
-        let timer = Instant::now();
+        let timer = telemetry_clock();
         self.scratch_values.clear();
         self.scratch_values.extend(states.iter().map(|&(_, s)| s));
         let collected = self.run_collection(eps_t);
@@ -870,14 +880,14 @@ impl RetraSyn {
             if t == 0 || !self.config.dmu {
                 // Initialization (Alg. 1 line 5) and the AllUpdate ablation
                 // replace the whole (collected) domain.
-                let timer = Instant::now();
+                let timer = telemetry_clock();
                 self.scratch_full[..domain].copy_from_slice(&estimate.freqs);
                 // Preserve uncollected tail (NoEQ never touches it: zeros).
                 self.model.replace_all(&self.scratch_full);
                 self.timings.model_construction += timer.elapsed().as_secs_f64();
                 sig_ratio = 1.0;
             } else {
-                let timer = Instant::now();
+                let timer = telemetry_clock();
                 dmu::select_significant_into(
                     &self.model.freqs()[..domain],
                     &estimate.freqs,
@@ -887,7 +897,7 @@ impl RetraSyn {
                 let count = dmu::count_selected(&self.scratch_dmu);
                 self.timings.dmu += timer.elapsed().as_secs_f64();
 
-                let timer = Instant::now();
+                let timer = telemetry_clock();
                 self.scratch_sel[..domain].copy_from_slice(&self.scratch_dmu);
                 self.scratch_full[..domain].copy_from_slice(&estimate.freqs);
                 self.model.update_selected(&self.scratch_sel, &self.scratch_full);
@@ -897,7 +907,7 @@ impl RetraSyn {
         }
         // Keep the O(1) alias samplers in sync with the refreshed model;
         // only the rows DMU touched are rebuilt.
-        let timer = Instant::now();
+        let timer = telemetry_clock();
         self.model.rebuild_samplers(&self.table);
         self.timings.model_construction += timer.elapsed().as_secs_f64();
         self.allocator.observe(&self.model.freqs()[..domain], sig_ratio);

@@ -39,7 +39,7 @@
 //! stream passes through bit-identical, and a tainted stream yields
 //! exactly the batches a pre-cleaned copy of it would have.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use retrasyn_geo::{Topology, TransitionState, UserEvent};
@@ -133,9 +133,9 @@ pub struct ValidatedSource<S> {
     policy: IngestPolicy,
     /// Users currently active (entered, not yet quit) in the *delivered*
     /// stream.
-    entered: HashSet<u64>,
+    entered: BTreeSet<u64>,
     /// Reporters seen so far in the current batch.
-    seen: HashSet<u64>,
+    seen: BTreeSet<u64>,
     /// The screened batch handed downstream.
     out: Vec<UserEvent>,
     quarantine: VecDeque<QuarantinedEvent>,
@@ -155,8 +155,8 @@ impl<S: EventSource> ValidatedSource<S> {
             inner,
             topo,
             policy,
-            entered: HashSet::new(),
-            seen: HashSet::new(),
+            entered: BTreeSet::new(),
+            seen: BTreeSet::new(),
             out: Vec::new(),
             quarantine: VecDeque::new(),
             quarantine_cap: DEFAULT_QUARANTINE_CAP,
@@ -302,8 +302,8 @@ impl<S: EventSource> EventSource for ValidatedSource<S> {
 /// it can run while the inner source's batch borrow is alive.
 fn classify(
     topo: &Topology,
-    seen: &HashSet<u64>,
-    entered: &HashSet<u64>,
+    seen: &BTreeSet<u64>,
+    entered: &BTreeSet<u64>,
     event: &UserEvent,
 ) -> Option<EventFault> {
     let cells = topo.num_cells();

@@ -317,6 +317,7 @@ impl PoolJob for SynthJob {
                 // Victims arrive sorted descending, so each `swap_remove`
                 // moves a row from past the remaining victim positions.
                 for k in 0..state.victims.len() {
+                    // xtask:order(victims arrive sorted descending, per the comment above)
                     state.cols.swap_remove_into(state.victims[k] as usize, &mut state.finished);
                 }
                 state.victims.clear();

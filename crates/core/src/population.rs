@@ -25,7 +25,7 @@
 //! distinct report time.
 
 use crate::wal::{Dec, Enc};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One ring-buffer slot: the users that reported at `t`, recycled when the
 /// window wraps back around to `t mod w`.
@@ -53,7 +53,7 @@ pub enum UserStatus {
 /// window `w`.
 #[derive(Debug, Clone)]
 pub struct UserRegistry {
-    status: HashMap<u64, UserStatus>,
+    status: BTreeMap<u64, UserStatus>,
     /// Window size `w`: a reporter at `t` is recycled at `t + w`.
     window: u64,
     /// Ring of `w` report slots; a reporter at `t` lives in slot
@@ -63,7 +63,7 @@ pub struct UserRegistry {
     /// tracked by `active_pos` for O(1) removal).
     active_set: Vec<u64>,
     /// Position of each Active user inside `active_set`.
-    active_pos: HashMap<u64, u32>,
+    active_pos: BTreeMap<u64, u32>,
     /// Reused sorted copy of `active_set`, rebuilt lazily after a
     /// mutation; `active_set` itself is never reordered by reads.
     sorted_buf: Vec<u64>,
@@ -76,11 +76,11 @@ impl UserRegistry {
     pub fn new(w: usize) -> Self {
         assert!(w >= 1, "window must be >= 1");
         UserRegistry {
-            status: HashMap::new(),
+            status: BTreeMap::new(),
             window: w as u64,
             ring: vec![ReportSlot { t: u64::MAX, users: Vec::new() }; w],
             active_set: Vec::new(),
-            active_pos: HashMap::new(),
+            active_pos: BTreeMap::new(),
             sorted_buf: Vec::new(),
             sorted_valid: false,
         }
@@ -95,7 +95,7 @@ impl UserRegistry {
 
     fn remove_active(&mut self, user: u64) {
         if let Some(pos) = self.active_pos.remove(&user) {
-            self.active_set.swap_remove(pos as usize);
+            self.active_set.swap_remove(pos as usize); // xtask:order(reads go through active_users(), which rebuilds sorted_buf)
             if let Some(&moved) = self.active_set.get(pos as usize) {
                 self.active_pos.insert(moved, pos);
             }
@@ -105,7 +105,7 @@ impl UserRegistry {
 
     /// Register a newly arrived user as Active (no effect if known).
     pub fn register(&mut self, user: u64) {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.status.entry(user) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.status.entry(user) {
             e.insert(UserStatus::Active);
             self.add_active(user);
         }
@@ -368,7 +368,7 @@ mod tests {
         for u in 0..8 {
             r.register(u);
         }
-        let mut inactive_until: HashMap<u64, u64> = HashMap::new();
+        let mut inactive_until: BTreeMap<u64, u64> = BTreeMap::new();
         for t in 0..40u64 {
             r.recycle(t);
             for (&u, &until) in &inactive_until {

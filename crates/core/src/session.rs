@@ -602,6 +602,7 @@ pub trait StreamingEngine {
     fn step(&mut self, t: u64, events: &[UserEvent]) -> StepOutcome {
         match self.try_step(t, events) {
             Ok(outcome) => outcome,
+            // xtask:allow(ERR001, documented panicking wrapper; callers needing errors use the try_* twin and the message is should_panic-pinned)
             Err(e) => panic!("{e}"),
         }
     }
@@ -638,6 +639,7 @@ pub trait StreamingEngine {
     fn release(&mut self) -> GriddedDataset {
         match self.try_release() {
             Ok(dataset) => dataset,
+            // xtask:allow(ERR001, documented panicking wrapper; callers needing errors use the try_* twin and the message is should_panic-pinned)
             Err(e) => panic!("{e}"),
         }
     }
@@ -735,6 +737,7 @@ pub trait StreamingEngine {
     {
         match self.try_run_gridded(dataset) {
             Ok(released) => released,
+            // xtask:allow(ERR001, documented panicking wrapper; callers needing errors use the try_* twin and the message is should_panic-pinned)
             Err(e) => panic!("{e}"),
         }
     }

@@ -293,11 +293,11 @@ impl Columns {
     /// cells never move.
     #[inline]
     pub(crate) fn swap_remove_into(&mut self, i: usize, out: &mut Columns) {
-        out.heads.push(self.heads.swap_remove(i));
-        out.ids.push(self.ids.swap_remove(i));
-        out.starts.push(self.starts.swap_remove(i));
-        out.lens.push(self.lens.swap_remove(i));
-        out.links.push(self.links.swap_remove(i));
+        out.heads.push(self.heads.swap_remove(i)); // xtask:allow(DET003, swap_remove_into is the audited retirement primitive; row order is a pure function of the seeded draws)
+        out.ids.push(self.ids.swap_remove(i)); // xtask:allow(DET003, swap_remove_into is the audited retirement primitive; row order is a pure function of the seeded draws)
+        out.starts.push(self.starts.swap_remove(i)); // xtask:allow(DET003, swap_remove_into is the audited retirement primitive; row order is a pure function of the seeded draws)
+        out.lens.push(self.lens.swap_remove(i)); // xtask:allow(DET003, swap_remove_into is the audited retirement primitive; row order is a pure function of the seeded draws)
+        out.links.push(self.links.swap_remove(i)); // xtask:allow(DET003, swap_remove_into is the audited retirement primitive; row order is a pure function of the seeded draws)
     }
 
     /// Extend stream `i` by one cell: its old head becomes a tail node in

@@ -112,7 +112,7 @@ pub(crate) fn quit_pass_cols<R: Rng + ?Sized, S: TailSink>(
             }
             i += 1;
         } else {
-            cols.swap_remove_into(i, finished);
+            cols.swap_remove_into(i, finished); // xtask:allow(DET003, retirement visits rows in deterministic index order; the row permutation is seed-determined)
         }
     }
 }
@@ -320,7 +320,7 @@ impl SyntheticDb {
                         live.extend_row(i, table.move_targets(from)[pos], tail);
                         i += 1;
                     } else {
-                        live.swap_remove_into(i, finished);
+                        live.swap_remove_into(i, finished); // xtask:allow(DET003, retirement visits rows in deterministic index order; the row permutation is seed-determined)
                     }
                 }
                 self.scan_buf = buf;
@@ -376,7 +376,7 @@ impl SyntheticDb {
             if rng.random::<f64>() >= q {
                 i += 1;
             } else {
-                live.swap_remove_into(i, finished);
+                live.swap_remove_into(i, finished); // xtask:allow(DET003, retirement visits rows in deterministic index order; the row permutation is seed-determined)
             }
         }
     }
@@ -432,7 +432,7 @@ impl SyntheticDb {
         self.victims.sort_unstable_by(|a, b| b.cmp(a));
         let StreamStore { live, finished, .. } = &mut self.store;
         for k in 0..self.victims.len() {
-            live.swap_remove_into(self.victims[k] as usize, finished);
+            live.swap_remove_into(self.victims[k] as usize, finished); // xtask:order(victims are sorted descending just above, so removals never disturb pending positions)
         }
         self.victims.clear();
     }

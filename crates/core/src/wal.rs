@@ -105,6 +105,21 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+/// Little-endian `u32` at `off`. Callers bounds-check the enclosing
+/// region before decoding fixed fields, so this centralizes the
+/// fixed-width reads that would otherwise each carry a
+/// `try_into().expect(…)` on the recovery path.
+fn le_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
+/// Little-endian `u64` at `off`; same contract as [`le_u32`].
+fn le_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
 // ---------------------------------------------------------------------------
 // FNV-1a fingerprinting (session identity).
 
@@ -277,10 +292,10 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
     pub(crate) fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(le_u32(self.take(4)?, 0))
     }
     pub(crate) fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(le_u64(self.take(8)?, 0))
     }
     pub(crate) fn usize(&mut self) -> Result<usize, String> {
         let v = self.u64()?;
@@ -557,15 +572,15 @@ impl WalContents {
                 detail: format!("bad magic {:02x?}, expected \"RSWAL002\"", &bytes[..8]),
             });
         }
-        let stored_crc = u32::from_le_bytes(bytes[HEADER_LEN - 4..HEADER_LEN].try_into().unwrap());
+        let stored_crc = le_u32(bytes, HEADER_LEN - 4);
         if crc32(&bytes[..HEADER_LEN - 4]) != stored_crc {
             return Err(WalError::Corrupt {
                 offset: 0,
                 detail: "header checksum mismatch".to_string(),
             });
         }
-        let seed = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-        let fingerprint = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let seed = le_u64(bytes, 8);
+        let fingerprint = le_u64(bytes, 16);
 
         let mut batches = Vec::new();
         let mut pos = HEADER_LEN;
@@ -595,13 +610,12 @@ fn parse_record(bytes: &[u8], expected_t: u64) -> Result<(Vec<UserEvent>, usize)
     if bytes.len() < 4 {
         return Err("torn length prefix".to_string());
     }
-    let payload_len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let payload_len = le_u32(bytes, 0) as usize;
     let record_len = 4 + payload_len + 4;
     if bytes.len() < record_len {
         return Err("torn record body".to_string());
     }
-    let stored_crc =
-        u32::from_le_bytes(bytes[4 + payload_len..record_len].try_into().expect("4 bytes"));
+    let stored_crc = le_u32(bytes, 4 + payload_len);
     if crc32(&bytes[..4 + payload_len]) != stored_crc {
         return Err("record checksum mismatch".to_string());
     }
@@ -713,6 +727,7 @@ impl<S: EventSource> EventSource for WalSource<S> {
         let batch = self.inner.next_batch()?;
         self.writer
             .append_batch(self.next_t, batch)
+            // xtask:allow(ERR001, EventSource has no error channel; the supervisor catches the unwind and rolls the WAL back)
             .unwrap_or_else(|e| panic!("failed to append batch t={} to WAL: {e}", self.next_t));
         self.next_t += 1;
         Some(batch)
@@ -814,11 +829,11 @@ pub(crate) fn load_checkpoint(
     if &bytes[..8] != CKPT_MAGIC {
         return Err(corrupt(0, format!("bad magic {:02x?}", &bytes[..8])));
     }
-    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let stored_crc = le_u32(&bytes, bytes.len() - 4);
     if crc32(&bytes[..bytes.len() - 4]) != stored_crc {
         return Err(corrupt(0, "checksum mismatch".to_string()));
     }
-    let fp = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let fp = le_u64(&bytes, 8);
     if fp != fingerprint {
         return Err(WalError::Mismatch {
             detail: format!(
@@ -827,8 +842,8 @@ pub(crate) fn load_checkpoint(
             ),
         });
     }
-    let t = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
-    let payload_len = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")) as usize;
+    let t = le_u64(&bytes, 16);
+    let payload_len = le_u64(&bytes, 24) as usize;
     if bytes.len() != 32 + payload_len + 4 {
         return Err(corrupt(
             24,

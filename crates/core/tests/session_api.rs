@@ -22,7 +22,7 @@ use retrasyn_core::{
 };
 use retrasyn_datagen::RandomWalkConfig;
 use retrasyn_geo::{CellId, EventTimeline, Grid, GriddedDataset, UserEvent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn dataset(users: usize, timestamps: u64, seed: u64) -> GriddedDataset {
     let ds = RandomWalkConfig { users, timestamps, churn: 0.06, ..Default::default() }
@@ -61,7 +61,7 @@ fn check_prefix_property(mut engine: RetraSyn, gridded: &GriddedDataset) {
         per_t.push(materialize(&engine));
     }
     let released = engine.release();
-    let by_id: HashMap<u64, _> = released.iter().map(|s| (s.id, s)).collect();
+    let by_id: BTreeMap<u64, _> = released.iter().map(|s| (s.id, s)).collect();
     for (t, snapshot) in per_t.iter().enumerate() {
         // Exactly the streams that had started by t, by construction of
         // the release: no stream may appear in the snapshot and vanish.

@@ -161,6 +161,42 @@ fn engine_bit_identical_per_seed_and_collection_threads() {
     assert_eq!(run(1, false, 42), run(4, false, 42));
 }
 
+/// Regression pin for the RandomReport strategy, whose per-user report
+/// slots live in an ordered map: a full engine run — released bytes
+/// *and* checkpoint bytes — must be bit-identical across runs at each
+/// `collection_threads ∈ {1, 4}`. The slot map is consulted inside the
+/// eligibility filter every timestamp, so any iteration-order leak from
+/// the container into the draw sequence would break this pin.
+#[test]
+fn random_report_engine_bit_identical_per_thread_count() {
+    use retrasyn_core::AllocationKind;
+    let ds = walk_dataset(55);
+    let grid = Grid::unit(5);
+    let run = |threads: usize| {
+        let config = RetraSynConfig::new(1.0, 5)
+            .with_lambda(10.0)
+            .with_collection_threads(threads)
+            .with_allocation(AllocationKind::RandomReport)
+            .per_user_reports();
+        let mut engine = RetraSyn::population_division(config, grid.clone(), 77);
+        let gridded = ds.discretize(&grid);
+        let timeline = retrasyn_geo::EventTimeline::build(&gridded);
+        for t in 0..gridded.horizon() {
+            engine.step(t, timeline.at(t));
+        }
+        let ckpt = engine.checkpoint_bytes().expect("engine checkpoints");
+        let out = engine.release();
+        engine.ledger().verify().expect("w-event invariant");
+        (out, ckpt)
+    };
+    for threads in [1usize, 4] {
+        let (out_a, ckpt_a) = run(threads);
+        let (out_b, ckpt_b) = run(threads);
+        assert_eq!(out_a, out_b, "threads={threads}: released bytes must pin");
+        assert_eq!(ckpt_a, ckpt_b, "threads={threads}: checkpoint bytes must pin");
+    }
+}
+
 /// Budget division shards too (everyone reports, ε_t per step).
 #[test]
 fn budget_division_engine_deterministic_with_pooled_collection() {

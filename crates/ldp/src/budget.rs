@@ -15,7 +15,7 @@
 //! turning the privacy proof of Theorem 3 into an executable check.
 
 use crate::error::LdpError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A validated privacy budget ε > 0.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
@@ -71,7 +71,7 @@ pub struct WEventLedger {
     per_ts_eps: Vec<f64>,
     /// For the *population-division* path: timestamps at which each user
     /// reported (each report spends `eps_total`).
-    user_reports: HashMap<u64, Vec<u64>>,
+    user_reports: BTreeMap<u64, Vec<u64>>,
 }
 
 impl WEventLedger {
@@ -79,7 +79,7 @@ impl WEventLedger {
     pub fn new(eps: f64, w: usize) -> Self {
         assert!(w >= 1, "window size must be >= 1");
         assert!(eps.is_finite() && eps > 0.0, "eps must be positive");
-        WEventLedger { eps_total: eps, w, per_ts_eps: Vec::new(), user_reports: HashMap::new() }
+        WEventLedger { eps_total: eps, w, per_ts_eps: Vec::new(), user_reports: BTreeMap::new() }
     }
 
     /// Total budget ε.
@@ -152,7 +152,10 @@ impl WEventLedger {
             }
         }
         // Population division: each user's reports are >= w apart, so any
-        // w-window contains at most one full-eps report per user.
+        // w-window contains at most one full-eps report per user. The map
+        // is ordered by user id, so when several users violate the
+        // invariant the reported one is always the smallest id — error
+        // messages are reproducible across runs and platforms.
         for (user, times) in &self.user_reports {
             let mut sorted = times.clone();
             sorted.sort_unstable();
@@ -300,6 +303,30 @@ mod tests {
         ledger.record_user_report(1, 2);
         ledger.record_user_report(1, 6);
         assert!(ledger.verify().is_ok());
+    }
+
+    /// Regression: with several violating users, the reported violation
+    /// used to follow HashMap iteration order — a different user (and a
+    /// different error message) run to run. The ledger now scans users
+    /// in id order, so the smallest violating id is always the one
+    /// reported, regardless of recording order.
+    #[test]
+    fn violation_reporting_is_deterministic() {
+        // Record in three different orders; every permutation must
+        // produce the identical error message.
+        let users: [&[u64]; 3] = [&[30, 20, 10], &[10, 30, 20], &[20, 10, 30]];
+        let mut messages = Vec::new();
+        for order in users {
+            let mut ledger = WEventLedger::new(1.0, 5);
+            for &u in order {
+                ledger.record_user_report(u, 0);
+                ledger.record_user_report(u, 2); // gap 2 < w = 5: violation
+            }
+            messages.push(ledger.verify().unwrap_err().to_string());
+        }
+        assert_eq!(messages[0], messages[1]);
+        assert_eq!(messages[1], messages[2]);
+        assert!(messages[0].contains("user 10"), "smallest id wins: {}", messages[0]);
     }
 
     #[test]

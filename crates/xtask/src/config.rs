@@ -1,0 +1,291 @@
+//! Analyzer configuration, loaded from `xtask.toml` at the workspace
+//! root.
+//!
+//! The parser understands exactly the TOML subset the config needs —
+//! `[section]` headers, `key = "string"`, `key = true/false`, and
+//! (possibly multi-line) `key = ["a", "b"]` string arrays, with `#`
+//! comments — because the analyzer must not pull in registry
+//! dependencies. Unknown sections or keys are hard errors so a typo'd
+//! config cannot silently disable a lint.
+
+use std::fmt;
+use std::path::Path;
+
+/// Analyzer configuration. See `xtask.toml` for the workspace instance
+/// and field-by-field commentary.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Root-relative path prefixes to skip entirely (fixture corpora,
+    /// build output). `target` directories and dot-directories are
+    /// always skipped.
+    pub skip: Vec<String>,
+    /// Root-relative files subject to the DET lints. Files carrying an
+    /// `xtask: deterministic` marker comment are included as well.
+    pub det_modules: Vec<String>,
+    /// Root-relative files subject to ERR001 (server-facing fallible
+    /// surfaces). Files carrying an `xtask: error-surface` marker
+    /// comment are included as well.
+    pub err_surfaces: Vec<String>,
+    /// Method names whose calls count as RNG draws for DET001.
+    pub rng_methods: Vec<String>,
+    /// Type names treated as unordered containers for DET001/DET003.
+    pub unordered_types: Vec<String>,
+    /// Forbidden wall-clock / ambient-entropy paths for DET002, written
+    /// as `Type::method` or a bare function name.
+    pub entropy_sources: Vec<String>,
+    /// Method names that reorder state for DET003 (`swap_remove`-like).
+    pub order_methods: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            skip: Vec::new(),
+            det_modules: Vec::new(),
+            err_surfaces: Vec::new(),
+            rng_methods: [
+                "random",
+                "random_range",
+                "random_bool",
+                "next_u32",
+                "next_u64",
+                "fill_bytes",
+                "shuffle",
+                "sample_from",
+                "sample_standard",
+                "gen_range",
+                "gen_bool",
+            ]
+            .map(str::to_string)
+            .to_vec(),
+            unordered_types: ["HashMap", "HashSet"].map(str::to_string).to_vec(),
+            entropy_sources: [
+                "Instant::now",
+                "SystemTime::now",
+                "thread_rng",
+                "from_entropy",
+                "OsRng",
+            ]
+            .map(str::to_string)
+            .to_vec(),
+            order_methods: ["swap_remove", "swap_remove_into"].map(str::to_string).to_vec(),
+        }
+    }
+}
+
+/// A configuration load/parse failure.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the failure (0 when not line-specific).
+    pub line: usize,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "xtask.toml:{}: {}", self.line, self.detail)
+        } else {
+            write!(f, "xtask.toml: {}", self.detail)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Load configuration from a file, layering it over the defaults.
+    /// List-valued keys *replace* the default lists.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError { line: 0, detail: format!("{}: {e}", path.display()) })?;
+        Self::parse(&text)
+    }
+
+    /// Parse configuration text (see [`Config::load`]).
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        detail: "unclosed section header".into(),
+                    });
+                };
+                section = name.trim().to_string();
+                if !matches!(section.as_str(), "paths" | "determinism" | "errors") {
+                    return Err(ConfigError {
+                        line: lineno,
+                        detail: format!("unknown section [{section}]"),
+                    });
+                }
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    detail: format!("expected key = value, got {line:?}"),
+                });
+            };
+            let key = line[..eq].trim().to_string();
+            let mut value = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming until brackets balance.
+            while value.starts_with('[') && !array_closed(&value) {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        detail: format!("unterminated array for key {key}"),
+                    });
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            let slot: &mut Vec<String> = match (section.as_str(), key.as_str()) {
+                ("paths", "skip") => &mut cfg.skip,
+                ("determinism", "modules") => &mut cfg.det_modules,
+                ("determinism", "rng_methods") => &mut cfg.rng_methods,
+                ("determinism", "unordered_types") => &mut cfg.unordered_types,
+                ("determinism", "entropy_sources") => &mut cfg.entropy_sources,
+                ("determinism", "order_methods") => &mut cfg.order_methods,
+                ("errors", "surfaces") => &mut cfg.err_surfaces,
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        detail: format!("unknown key {key:?} in section [{section}]"),
+                    })
+                }
+            };
+            *slot = parse_string_array(&value)
+                .map_err(|detail| ConfigError { line: lineno, detail })?;
+        }
+        Ok(cfg)
+    }
+
+    /// Whether a root-relative path (forward slashes) is skipped.
+    pub fn is_skipped(&self, rel: &str) -> bool {
+        self.skip.iter().any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+    }
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn array_closed(value: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    let b = value.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'[' if !in_str => depth += 1,
+            b']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    depth == 0
+}
+
+/// Parse `["a", "b"]` into its strings (empty arrays allowed).
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let Some(body) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return Err(format!("expected a [\"…\"] string array, got {v:?}"));
+    };
+    let mut out = Vec::new();
+    let b = body.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b' ' | b'\t' | b',' => i += 1,
+            b'"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        i += 1;
+                    }
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err("unterminated string in array".into());
+                }
+                i += 1;
+                out.push(s);
+            }
+            other => return Err(format!("unexpected {:?} in array", other as char)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            "# comment\n[paths]\nskip = [\"target\", \"crates/xtask/tests/fixtures\"]\n\n\
+             [determinism]\nmodules = [\n  \"a.rs\", # trailing\n  \"b.rs\",\n]\n\
+             [errors]\nsurfaces = [\"c.rs\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.skip, vec!["target", "crates/xtask/tests/fixtures"]);
+        assert_eq!(cfg.det_modules, vec!["a.rs", "b.rs"]);
+        assert_eq!(cfg.err_surfaces, vec!["c.rs"]);
+        // Untouched keys keep their defaults.
+        assert!(cfg.rng_methods.contains(&"random_range".to_string()));
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(Config::parse("[paths]\nskpi = []\n").is_err());
+        assert!(Config::parse("[nope]\n").is_err());
+        assert!(Config::parse("[determinism]\nmodules = \"not-an-array\"\n").is_err());
+    }
+
+    #[test]
+    fn skip_prefix_matching() {
+        let cfg = Config {
+            skip: vec!["target".into(), "crates/xtask/tests/fixtures".into()],
+            ..Config::default()
+        };
+        assert!(cfg.is_skipped("target/debug/foo.rs"));
+        assert!(cfg.is_skipped("crates/xtask/tests/fixtures/det001_bad.rs"));
+        assert!(!cfg.is_skipped("crates/xtask/tests/lints.rs"));
+        assert!(!cfg.is_skipped("targets/foo.rs"));
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let cfg = Config::parse("[paths]\nskip = [\"has#hash\"] # real comment\n").unwrap();
+        assert_eq!(cfg.skip, vec!["has#hash"]);
+    }
+}

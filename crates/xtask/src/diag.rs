@@ -1,0 +1,143 @@
+//! Rustc-style diagnostics with stable lint ids.
+
+use std::fmt;
+
+/// One finding, anchored to a source span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable lint id (`DET001`, …, `XT000`/`XT001` for the meta lints).
+    pub lint: &'static str,
+    /// Root-relative path of the file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Width of the underlined span in bytes (≥ 1).
+    pub width: u32,
+    /// One-line description of the violation.
+    pub message: String,
+    /// The offending source line, for rendering.
+    pub line_text: String,
+    /// Optional `= help:` trailer (usually the suppression recipe).
+    pub help: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.lint, self.message)?;
+        let gutter = digits(self.line);
+        writeln!(f, "{:gutter$} --> {}:{}:{}", "", self.path, self.line, self.col)?;
+        writeln!(f, "{:gutter$} |", "")?;
+        writeln!(f, "{} | {}", self.line, self.line_text)?;
+        let pad = self.col.max(1) as usize - 1;
+        let carets = "^".repeat(self.width.max(1) as usize);
+        writeln!(f, "{:gutter$} | {:pad$}{carets}", "", "")?;
+        if let Some(help) = &self.help {
+            writeln!(f, "{:gutter$} = help: {help}", "")?;
+        }
+        Ok(())
+    }
+}
+
+fn digits(n: u32) -> usize {
+    (n.max(1)).ilog10() as usize + 1
+}
+
+/// The outcome of a full `check` run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Gating findings, sorted by (path, line, col, lint).
+    pub errors: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// Sort findings into stable presentation order.
+    pub fn finish(&mut self) {
+        self.errors.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.lint).cmp(&(b.path.as_str(), b.line, b.col, b.lint))
+        });
+    }
+
+    /// True when the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Render every finding plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.errors {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// The one-line summary (`xtask check: …`).
+    pub fn summary(&self) -> String {
+        if self.errors.is_empty() {
+            return format!("xtask check: {} files scanned, 0 findings", self.files);
+        }
+        // Count findings per lint id, in id order.
+        let mut counts: Vec<(&str, usize)> = Vec::new();
+        for d in &self.errors {
+            match counts.iter_mut().find(|(id, _)| *id == d.lint) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((d.lint, 1)),
+            }
+        }
+        counts.sort_unstable();
+        let breakdown: Vec<String> = counts.iter().map(|(id, n)| format!("{id}: {n}")).collect();
+        format!(
+            "xtask check: {} files scanned, {} findings ({})",
+            self.files,
+            self.errors.len(),
+            breakdown.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: &'static str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            lint,
+            path: path.to_string(),
+            line,
+            col: 5,
+            width: 6,
+            message: "m".into(),
+            line_text: "    foobar();".into(),
+            help: None,
+        }
+    }
+
+    #[test]
+    fn rendering_is_rustc_shaped() {
+        let d = diag("DET002", "crates/core/src/engine.rs", 373);
+        let s = d.to_string();
+        assert!(s.contains("error[DET002]: m"));
+        assert!(s.contains("--> crates/core/src/engine.rs:373:5"));
+        assert!(s.contains("^^^^^^"));
+    }
+
+    #[test]
+    fn report_sorts_and_summarizes() {
+        let mut r = Report { files: 3, ..Default::default() };
+        r.errors.push(diag("ERR001", "b.rs", 9));
+        r.errors.push(diag("DET001", "a.rs", 2));
+        r.errors.push(diag("ERR001", "a.rs", 1));
+        r.finish();
+        assert_eq!(r.errors[0].path, "a.rs");
+        assert_eq!(r.errors[0].line, 1);
+        assert_eq!(r.summary(), "xtask check: 3 files scanned, 3 findings (DET001: 1, ERR001: 2)");
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,524 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The analyzer's lints are token-level patterns, so the lexer's only
+//! obligations are (a) never mistaking comment or string *contents* for
+//! code, and (b) producing accurate line/column spans. It handles every
+//! literal form that can embed code-looking text: line and (nested)
+//! block comments, string literals with escapes, raw strings with any
+//! hash count, byte and raw-byte strings, char literals, and lifetimes
+//! (so `'a` is not the start of an unterminated char literal).
+//!
+//! It does **not** build a syntax tree; lints walk the flat token
+//! stream and match brace/bracket structure themselves.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// Single punctuation character (`{`, `.`, `:`, `!`, ...).
+    Punct,
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+}
+
+/// One code token with its 1-based source position.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's source text.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+/// One comment (line or block), kept out of the code-token stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// Full comment text including the `//` or `/* */` markers.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for line
+    /// comments; block comments may span lines).
+    pub end_line: u32,
+    /// True when nothing but whitespace precedes the comment on its
+    /// starting line.
+    pub own_line: bool,
+    /// True for doc comments (`///`, `//!`, `/** */`, `/*! */`). Doc
+    /// comments are documentation: directive parsing ignores them, so
+    /// lint syntax can be *described* in rustdoc without being *applied*.
+    pub doc: bool,
+}
+
+impl Comment<'_> {
+    /// The comment body without its `//`/`/*` markers.
+    pub fn body(&self) -> &str {
+        let t = self.text;
+        if let Some(rest) = t.strip_prefix("//") {
+            rest.trim_start_matches(['/', '!'])
+        } else {
+            t.trim_start_matches("/*")
+                .trim_start_matches(['*', '!'])
+                .trim_end_matches("*/")
+                .trim_end_matches('*')
+        }
+    }
+}
+
+/// The result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Code tokens in source order (comments excluded).
+    pub toks: Vec<Tok<'a>>,
+    /// Comments in source order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    line_start: usize,
+    out: Lexed<'a>,
+}
+
+impl<'a> Lexer<'a> {
+    fn col(&self, at: usize) -> u32 {
+        (at - self.line_start + 1) as u32
+    }
+
+    fn newline(&mut self) {
+        self.line += 1;
+        self.line_start = self.i;
+    }
+
+    /// Advance one byte, keeping line accounting. Call only when inside
+    /// a multi-byte element (string/comment) where bytes are opaque.
+    fn bump_raw(&mut self) {
+        if self.b[self.i] == b'\n' {
+            self.i += 1;
+            self.newline();
+        } else {
+            self.i += 1;
+        }
+    }
+
+    fn push_tok(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.toks.push(Tok { kind, text: &self.src[start..self.i], line, col });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let own = self.src[self.line_start..start].trim().is_empty();
+        let doc = {
+            let rest = &self.b[start + 2..];
+            // `///` or `//!` but not the common `////…` separator rule.
+            matches!(rest.first(), Some(b'!'))
+                || (matches!(rest.first(), Some(b'/')) && !matches!(rest.get(1), Some(b'/')))
+        };
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            text: &self.src[start..self.i],
+            line,
+            end_line: line,
+            own_line: own,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let own = self.src[self.line_start..start].trim().is_empty();
+        let doc = {
+            let rest = &self.b[start + 2..];
+            matches!(rest.first(), Some(b'!'))
+                || (matches!(rest.first(), Some(b'*'))
+                    && !matches!(rest.get(1), Some(b'*') | Some(b'/')))
+        };
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.b.get(self.i + 1) == Some(&b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.b.get(self.i + 1) == Some(&b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.bump_raw();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: &self.src[start..self.i],
+            line,
+            end_line: self.line,
+            own_line: own,
+            doc,
+        });
+    }
+
+    /// Consume a `"…"` string body starting at the opening quote.
+    fn quoted_string(&mut self) {
+        debug_assert_eq!(self.b[self.i], b'"');
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    self.i += 1;
+                    if self.i < self.b.len() {
+                        self.bump_raw();
+                    }
+                }
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.bump_raw(),
+            }
+        }
+    }
+
+    /// Consume a raw string starting at the first `#` or `"` after the
+    /// `r`/`br` prefix. Returns false if this is not a raw string (e.g.
+    /// `r#ident`), leaving the position untouched.
+    fn raw_string(&mut self) -> bool {
+        let save = (self.i, self.line, self.line_start);
+        let mut hashes = 0usize;
+        while self.b.get(self.i) == Some(&b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        if self.b.get(self.i) != Some(&b'"') {
+            (self.i, self.line, self.line_start) = save;
+            return false;
+        }
+        self.i += 1;
+        'body: while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                // A closing quote needs `hashes` following `#`s.
+                for k in 0..hashes {
+                    if self.b.get(self.i + 1 + k) != Some(&b'#') {
+                        self.bump_raw();
+                        continue 'body;
+                    }
+                }
+                self.i += 1 + hashes;
+                return true;
+            }
+            self.bump_raw();
+        }
+        true
+    }
+
+    /// At a `'`: lex either a lifetime or a char literal.
+    fn quote(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let col = self.col(start);
+        let next = self.b.get(self.i + 1).copied();
+        match next {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.i += 2;
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    self.bump_raw();
+                }
+                self.i = (self.i + 1).min(self.b.len());
+                self.push_tok(TokKind::Literal, start, line, col);
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'x'` is a char literal; `'xy…` (no closing quote right
+                // after one ident char) is a lifetime.
+                let mut j = self.i + 1;
+                while j < self.b.len() && is_ident_continue(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'')
+                    && j > self.i + 1
+                    && self.src[self.i + 1..j].chars().count() == 1
+                {
+                    self.i = j + 1;
+                    self.push_tok(TokKind::Literal, start, line, col);
+                } else {
+                    self.i = j;
+                    self.push_tok(TokKind::Lifetime, start, line, col);
+                }
+            }
+            // `'('`-style char literal of a punctuation char: the byte
+            // after next is the closing quote.
+            Some(_) if self.b.get(self.i + 2) == Some(&b'\'') => {
+                self.i += 3;
+                self.push_tok(TokKind::Literal, start, line, col);
+            }
+            // Stray quote (or EOF): emit it as punctuation.
+            _ => {
+                self.i += 1;
+                self.push_tok(TokKind::Punct, start, line, col);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let col = self.col(start);
+        if self.b[self.i] == b'0'
+            && matches!(self.b.get(self.i + 1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.i += 2;
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+            self.push_tok(TokKind::Literal, start, line, col);
+            return;
+        }
+        while self.i < self.b.len() && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_') {
+            self.i += 1;
+        }
+        // A fractional part only if the dot is not `..` and not a method
+        // call (`1.max(…)`).
+        if self.b.get(self.i) == Some(&b'.') {
+            let after = self.b.get(self.i + 1).copied();
+            let fractional = match after {
+                Some(c) if c.is_ascii_digit() => true,
+                Some(b'.') => false,
+                Some(c) if is_ident_start(c) => false,
+                _ => true, // trailing `1.`
+            };
+            if fractional {
+                self.i += 1;
+                while self.i < self.b.len()
+                    && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_')
+                {
+                    self.i += 1;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.b.get(self.i), Some(b'e' | b'E'))
+            && matches!(self.b.get(self.i + 1), Some(c) if c.is_ascii_digit() || *c == b'+' || *c == b'-')
+        {
+            self.i += 2;
+            while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                self.i += 1;
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.push_tok(TokKind::Literal, start, line, col);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let col = self.col(start);
+        // Raw/byte string prefixes: r" r#" b" b' br" br#" rb is not Rust.
+        match self.b[self.i] {
+            b'r' => {
+                if matches!(self.b.get(self.i + 1), Some(b'"') | Some(b'#')) {
+                    self.i += 1;
+                    if self.raw_string() {
+                        self.push_tok(TokKind::Literal, start, line, col);
+                        return;
+                    }
+                    // `r#ident`: fall through, consuming the `#` as part
+                    // of the identifier.
+                    if self.b.get(self.i) == Some(&b'#') {
+                        self.i += 1;
+                    }
+                }
+            }
+            b'b' => match self.b.get(self.i + 1) {
+                Some(b'"') => {
+                    self.i += 1;
+                    self.quoted_string();
+                    self.push_tok(TokKind::Literal, start, line, col);
+                    return;
+                }
+                Some(b'\'') => {
+                    self.i += 1;
+                    self.quote();
+                    // Re-tag the pushed token to span the `b` prefix.
+                    if let Some(last) = self.out.toks.last_mut() {
+                        last.text = &self.src[start..self.i];
+                        last.col = col;
+                        last.kind = TokKind::Literal;
+                    }
+                    return;
+                }
+                Some(b'r') if matches!(self.b.get(self.i + 2), Some(b'"') | Some(b'#')) => {
+                    self.i += 2;
+                    if self.raw_string() {
+                        self.push_tok(TokKind::Literal, start, line, col);
+                        return;
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.push_tok(TokKind::Ident, start, line, col);
+    }
+
+    fn run(mut self) -> Lexed<'a> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.i += 1;
+                    self.newline();
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.b.get(self.i + 1) == Some(&b'/') => self.line_comment(),
+                b'/' if self.b.get(self.i + 1) == Some(&b'*') => self.block_comment(),
+                b'"' => {
+                    let start = self.i;
+                    let line = self.line;
+                    let col = self.col(start);
+                    self.quoted_string();
+                    self.push_tok(TokKind::Literal, start, line, col);
+                }
+                b'\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    let start = self.i;
+                    let line = self.line;
+                    let col = self.col(start);
+                    self.i += 1;
+                    self.push_tok(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lex `src` into code tokens and comments.
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer { src, b: src.as_bytes(), i: 0, line: 1, line_start: 0, out: Lexed::default() }.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.iter().map(|t| t.text.to_string()).collect()
+    }
+
+    #[test]
+    fn code_in_strings_is_opaque() {
+        let lexed = lex(r#"let x = "unsafe { HashMap } // not a comment";"#);
+        assert_eq!(lexed.comments.len(), 0);
+        let idents: Vec<_> =
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect();
+        assert_eq!(idents, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"contains "quotes" and unsafe"#; let t = 1;"####;
+        let idents: Vec<_> = lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.to_string())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(texts(src), vec!["a", "b"]);
+        assert_eq!(lex(src).comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let q = '\''; let n = '\n'; let u = '\u{1F600}';";
+        let lits = lex(src).toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "let a = 1;\n  let bb = 2;";
+        let lexed = lex(src);
+        let bb = lexed.toks.iter().find(|t| t.text == "bb").unwrap();
+        assert_eq!((bb.line, bb.col), (2, 7));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        assert!(texts("for i in 0..10 {}").contains(&"..".chars().next().unwrap().to_string()));
+        let toks = texts("let x = 1.max(2); let y = 1.5; let z = 0x_fe;");
+        assert!(toks.contains(&"max".to_string()));
+        assert!(toks.contains(&"1.5".to_string()));
+        assert!(toks.contains(&"0x_fe".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let src =
+            "/// doc\n//! inner doc\n// plain\n/** block doc */\n/* plain block */\nfn f() {}";
+        let docs: Vec<bool> = lex(src).comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, true, false, true, false]);
+    }
+
+    #[test]
+    fn own_line_detection() {
+        let src = "let x = 1; // trailing\n// leading\nlet y = 2;";
+        let own: Vec<bool> = lex(src).comments.iter().map(|c| c.own_line).collect();
+        assert_eq!(own, vec![false, true]);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let src = r###"let a = b"bytes"; let b = br#"raw"#; let r#fn = 1;"###;
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.text == "r#fn"));
+        let lits = lexed.toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 3); // two strings + `1`
+    }
+}

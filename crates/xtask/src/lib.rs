@@ -1,0 +1,91 @@
+//! `xtask` — the in-repo determinism & safety analyzer.
+//!
+//! A dependency-free static analyzer enforcing the invariants this
+//! workspace's correctness argument rests on: bit-level determinism of
+//! the collection/synthesis pipeline (blessed snapshots, sharded
+//! bit-identity), justified `unsafe`, and panic-free server surfaces.
+//! Rustc and clippy cannot see these — they are *repo* invariants, not
+//! language invariants — so the analyzer encodes them as lints with
+//! stable ids (see [`lints::LINTS`]).
+//!
+//! Run it as `cargo run -p xtask -- check`. It lexes every tracked
+//! `.rs` file (a real lexer — comments, raw strings, and doc comments
+//! are understood, so string/comment contents never trigger lints),
+//! applies the lint suite per the `xtask.toml` config, and exits
+//! non-zero on any finding. Suppressions are inline
+//! `xtask:allow(ID, reason)` comments; stale suppressions are
+//! themselves findings (XT001).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod scan;
+
+use config::Config;
+use diag::{Diagnostic, Report};
+use scan::FileScan;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one file's source text. `rel_path` must be root-relative with
+/// forward slashes (it is matched against the config's module lists).
+pub fn check_file_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let known = lints::known_ids();
+    let scan = FileScan::new(rel_path, source, &known);
+    let mut out = Vec::new();
+    lints::check_scan(&scan, cfg, &mut out);
+    out
+}
+
+/// Lint every `.rs` file under `root` (skipping `target`,
+/// dot-directories, and the config's `skip` prefixes), returning the
+/// sorted findings.
+pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, root, cfg, &mut files)?;
+    // Deterministic scan order regardless of filesystem enumeration.
+    files.sort();
+    let mut report = Report::default();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        report.errors.extend(check_file_source(rel, &source, cfg));
+        report.files += 1;
+    }
+    report.finish();
+    Ok(report)
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = rel_path(root, &path);
+        if cfg.is_skipped(&rel) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            walk(root, &path, cfg, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

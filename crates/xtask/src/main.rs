@@ -1,0 +1,81 @@
+//! CLI for the in-repo analyzer.
+//!
+//! ```text
+//! cargo run -p xtask -- check [--root DIR] [--config FILE]
+//! cargo run -p xtask -- lints
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O failure.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::config::Config;
+use xtask::lints::LINTS;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("lints") => {
+            // A reader hanging up early (`xtask lints | head`) is not an
+            // error; stop writing instead of panicking on EPIPE.
+            let mut out = std::io::stdout().lock();
+            for l in LINTS {
+                if writeln!(out, "{}  {}\n        invariant: {}", l.id, l.summary, l.invariant)
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: xtask check [--root DIR] [--config FILE] | xtask lints");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--config" => config = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("xtask check: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        // Default to the workspace root: two levels above this crate.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let config_path = config.unwrap_or_else(|| root.join("xtask.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::check_workspace(&root, &cfg) {
+        Ok(report) => {
+            let _ = write!(std::io::stdout().lock(), "{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Per-file analysis context: lexed tokens plus the comment-borne
+//! metadata the lints consume — suppression directives, order markers,
+//! module markers, `SAFETY:` justifications, and `#[cfg(test)]` /
+//! `#[test]` spans.
+//!
+//! ## Directives
+//!
+//! Directives live in *plain* comments (doc comments are ignored, so
+//! documentation may quote directive syntax freely):
+//!
+//! - `xtask:allow(LINT_ID, reason)` — suppress findings of `LINT_ID` on
+//!   the same line, or on the next line when the comment stands alone.
+//!   The reason is mandatory; an allow that suppresses nothing is
+//!   itself reported (XT001) so annotations cannot rot.
+//! - `xtask:order(reason)` — the DET003 sort-before-observe marker:
+//!   asserts the reordered state is sorted (or otherwise canonicalized)
+//!   before any order-sensitive observation.
+//! - `xtask: deterministic` — marks the file as a deterministic module
+//!   (equivalent to listing it in `[determinism] modules`).
+//! - `xtask: error-surface` — marks the file as an ERR001 surface
+//!   (equivalent to listing it in `[errors] surfaces`).
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use std::cell::Cell;
+
+/// A parsed `allow` or `order` directive.
+#[derive(Debug)]
+pub struct Directive {
+    /// Lint id for allows; `"ORDER"` for order markers.
+    pub id: String,
+    /// 1-based line the directive's comment starts on.
+    pub line: u32,
+    /// Whether the comment stands alone on its line (then it also
+    /// covers the next line).
+    pub own_line: bool,
+    /// Set when a finding consumed this directive.
+    pub used: Cell<bool>,
+}
+
+impl Directive {
+    /// Whether this directive covers a finding on `line`.
+    pub fn covers(&self, line: u32) -> bool {
+        self.line == line || (self.own_line && self.line + 1 == line)
+    }
+}
+
+/// A malformed directive (bad syntax, missing reason, unknown lint id).
+#[derive(Debug)]
+pub struct Malformed {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong.
+    pub detail: String,
+}
+
+/// Everything the lints need to know about one file.
+pub struct FileScan<'a> {
+    /// Root-relative path with forward slashes.
+    pub rel_path: String,
+    /// The file's lines (for diagnostics rendering).
+    pub lines: Vec<&'a str>,
+    /// Code tokens.
+    pub toks: Vec<Tok<'a>>,
+    /// All comments.
+    pub comments: Vec<Comment<'a>>,
+    /// `in_test[line - 1]` is true when the line sits inside a
+    /// `#[cfg(test)]` item or `#[test]` function.
+    pub in_test: Vec<bool>,
+    /// Suppression directives (`xtask:allow`).
+    pub allows: Vec<Directive>,
+    /// Order markers (`xtask:order`).
+    pub orders: Vec<Directive>,
+    /// Malformed directives.
+    pub malformed: Vec<Malformed>,
+    /// File carries the `xtask: deterministic` marker.
+    pub det_marker: bool,
+    /// File carries the `xtask: error-surface` marker.
+    pub err_marker: bool,
+}
+
+impl<'a> FileScan<'a> {
+    /// Lex and annotate one file. `known_lints` is the set of valid ids
+    /// for `allow` directives (typos are malformed, not silent).
+    pub fn new(rel_path: &str, source: &'a str, known_lints: &[&str]) -> Self {
+        let lexed = lex(source);
+        let lines: Vec<&str> = source.lines().collect();
+        let mut scan = FileScan {
+            rel_path: rel_path.to_string(),
+            in_test: vec![false; lines.len()],
+            lines,
+            toks: lexed.toks,
+            comments: lexed.comments,
+            allows: Vec::new(),
+            orders: Vec::new(),
+            malformed: Vec::new(),
+            det_marker: false,
+            err_marker: false,
+        };
+        scan.parse_directives(known_lints);
+        scan.mark_test_spans();
+        scan
+    }
+
+    /// True when `line` (1-based) is inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.in_test.get(line as usize - 1).copied().unwrap_or(false)
+    }
+
+    /// Consume a matching allow for (`lint`, `line`); true if found.
+    pub fn try_allow(&self, lint: &str, line: u32) -> bool {
+        for a in &self.allows {
+            if a.id == lint && a.covers(line) {
+                a.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume a matching order marker for `line`; true if found.
+    pub fn try_order_marker(&self, line: u32) -> bool {
+        for o in &self.orders {
+            if o.covers(line) {
+                o.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a (non-doc or doc) comment containing `SAFETY:` ends
+    /// within `window` lines above `line`, or starts on `line` itself.
+    pub fn has_safety_comment(&self, line: u32, window: u32) -> bool {
+        self.comments.iter().any(|c| {
+            c.text.contains("SAFETY:")
+                && (c.line == line || (c.end_line < line && c.end_line + window >= line))
+        })
+    }
+
+    fn parse_directives(&mut self, known_lints: &[&str]) {
+        for c in &self.comments {
+            if c.doc {
+                continue;
+            }
+            let body = c.body();
+            let mut rest = body;
+            while let Some(pos) = rest.find("xtask:") {
+                let after = &rest[pos + "xtask:".len()..];
+                let after_trim = after.trim_start();
+                if let Some(args) = after_trim.strip_prefix("allow(") {
+                    match parse_paren_args(args) {
+                        Ok((id, reason)) => {
+                            if !known_lints.contains(&id.as_str()) {
+                                self.malformed.push(Malformed {
+                                    line: c.line,
+                                    detail: format!("unknown lint id {id:?} in allow directive"),
+                                });
+                            } else if reason.is_empty() {
+                                self.malformed.push(Malformed {
+                                    line: c.line,
+                                    detail: format!("allow({id}) is missing its reason"),
+                                });
+                            } else {
+                                self.allows.push(Directive {
+                                    id,
+                                    line: c.line,
+                                    own_line: c.own_line,
+                                    used: Cell::new(false),
+                                });
+                            }
+                        }
+                        Err(detail) => self.malformed.push(Malformed { line: c.line, detail }),
+                    }
+                } else if let Some(args) = after_trim.strip_prefix("order(") {
+                    match parse_order_reason(args) {
+                        Ok(()) => self.orders.push(Directive {
+                            id: "ORDER".to_string(),
+                            line: c.line,
+                            own_line: c.own_line,
+                            used: Cell::new(false),
+                        }),
+                        Err(detail) => self.malformed.push(Malformed { line: c.line, detail }),
+                    }
+                } else if after_trim.starts_with("deterministic") {
+                    self.det_marker = true;
+                } else if after_trim.starts_with("error-surface") {
+                    self.err_marker = true;
+                } else {
+                    self.malformed.push(Malformed {
+                        line: c.line,
+                        detail: format!(
+                            "unrecognized directive `xtask:{}`",
+                            after_trim.split_whitespace().next().unwrap_or("")
+                        ),
+                    });
+                }
+                rest = &rest[pos + "xtask:".len()..];
+            }
+        }
+    }
+
+    /// Mark lines belonging to `#[cfg(test)]` items and `#[test]` /
+    /// `#[should_panic]`-style test functions.
+    fn mark_test_spans(&mut self) {
+        let toks = &self.toks;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].text != "#" || toks.get(i + 1).map(|t| t.text) != Some("[") {
+                i += 1;
+                continue;
+            }
+            let attr_start_line = toks[i].line;
+            let Some(attr_end) = match_close(toks, i + 1, "[", "]") else {
+                break;
+            };
+            let attr = &toks[i + 2..attr_end];
+            let testy = is_test_attr(attr);
+            let mut j = attr_end + 1;
+            if !testy {
+                i = j;
+                continue;
+            }
+            // Skip any further attributes on the same item.
+            while j < toks.len()
+                && toks[j].text == "#"
+                && toks.get(j + 1).map(|t| t.text) == Some("[")
+            {
+                match match_close(toks, j + 1, "[", "]") {
+                    Some(e) => j = e + 1,
+                    None => break,
+                }
+            }
+            // The item extends to its first `;`, or through its brace
+            // block if a `{` comes first.
+            let mut end_line = attr_start_line;
+            let mut k = j;
+            while k < toks.len() {
+                match toks[k].text {
+                    ";" => {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                    "{" => {
+                        if let Some(close) = match_close(toks, k, "{", "}") {
+                            end_line = toks[close].line;
+                            k = close;
+                        }
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            for line in attr_start_line..=end_line {
+                if let Some(slot) = self.in_test.get_mut(line as usize - 1) {
+                    *slot = true;
+                }
+            }
+            i = k + 1;
+        }
+    }
+}
+
+/// Whether attribute tokens (inside `#[…]`) mark test-only code:
+/// `test`, `cfg(test)`, `cfg(all(test, …))`, `tokio::test`-style paths.
+fn is_test_attr(attr: &[Tok<'_>]) -> bool {
+    let Some(first) = attr.first() else { return false };
+    if first.kind != TokKind::Ident {
+        return false;
+    }
+    match first.text {
+        "test" => true,
+        "cfg" => attr.iter().any(|t| t.kind == TokKind::Ident && t.text == "test"),
+        _ => attr.iter().any(|t| t.kind == TokKind::Ident && t.text == "test"),
+    }
+}
+
+/// Index of the token closing the group opened at `open_idx` (which
+/// must hold `open`), or `None` if unbalanced.
+pub fn match_close(toks: &[Tok<'_>], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    debug_assert_eq!(toks[open_idx].text, open);
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Parse `ID, reason)` from an allow directive.
+fn parse_paren_args(args: &str) -> Result<(String, String), String> {
+    let Some(close) = args.find(')') else {
+        return Err("allow directive is missing its closing `)`".to_string());
+    };
+    let inner = &args[..close];
+    let Some((id, reason)) = inner.split_once(',') else {
+        return Err(format!(
+            "allow directive needs a reason: allow({}, <why this is sound>)",
+            inner.trim()
+        ));
+    };
+    Ok((id.trim().to_string(), reason.trim().to_string()))
+}
+
+/// Parse `reason)` from an order marker.
+fn parse_order_reason(args: &str) -> Result<(), String> {
+    let Some(close) = args.find(')') else {
+        return Err("order marker is missing its closing `)`".to_string());
+    };
+    if args[..close].trim().is_empty() {
+        return Err("order marker needs a reason: order(<where the sort happens>)".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDS: &[&str] = &["DET001", "ERR001"];
+
+    #[test]
+    fn allow_parsing_and_coverage() {
+        let src = "fn f() {\n    g(); // xtask:allow(ERR001, message contract pinned)\n}\n";
+        let scan = FileScan::new("f.rs", src, IDS);
+        assert_eq!(scan.allows.len(), 1);
+        assert!(scan.try_allow("ERR001", 2));
+        assert!(scan.allows[0].used.get());
+        assert!(!scan.try_allow("ERR001", 3), "trailing allow covers only its line");
+        assert!(!scan.try_allow("DET001", 2), "ids must match");
+    }
+
+    #[test]
+    fn own_line_allow_covers_next_line() {
+        let src = "// xtask:allow(DET001, draws are position-addressed)\nlet x = 1;\n";
+        let scan = FileScan::new("f.rs", src, IDS);
+        assert!(scan.try_allow("DET001", 1));
+        let scan = FileScan::new("f.rs", src, IDS);
+        assert!(scan.try_allow("DET001", 2));
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        for (src, needle) in [
+            ("// xtask:allow(ERR001)\n", "reason"),
+            ("// xtask:allow(NOPE42, something)\n", "unknown lint id"),
+            ("// xtask:allow(ERR001, \n", "closing"),
+            ("// xtask:order()\n", "reason"),
+            ("// xtask:frobnicate\n", "unrecognized"),
+        ] {
+            let scan = FileScan::new("f.rs", src, IDS);
+            assert_eq!(scan.malformed.len(), 1, "{src:?}");
+            assert!(
+                scan.malformed[0].detail.contains(needle),
+                "{src:?}: {}",
+                scan.malformed[0].detail
+            );
+        }
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_directives() {
+        let src = "/// Suppress with xtask:allow(ERR001, reason) on the line.\nfn f() {}\n";
+        let scan = FileScan::new("f.rs", src, IDS);
+        assert!(scan.allows.is_empty());
+        assert!(scan.malformed.is_empty());
+    }
+
+    #[test]
+    fn markers_set_flags() {
+        let scan = FileScan::new("f.rs", "// xtask: deterministic\n", IDS);
+        assert!(scan.det_marker && !scan.err_marker);
+        let scan = FileScan::new("f.rs", "// xtask: error-surface\n", IDS);
+        assert!(scan.err_marker && !scan.det_marker);
+    }
+
+    #[test]
+    fn cfg_test_mod_span() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let scan = FileScan::new("f.rs", src, IDS);
+        assert!(!scan.is_test_line(1));
+        assert!(scan.is_test_line(2));
+        assert!(scan.is_test_line(4));
+        assert!(scan.is_test_line(5));
+        assert!(!scan.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_and_cfg_test_use_spans() {
+        let src = "#[test]\nfn t() {\n    x();\n}\nfn live() {}\n#[cfg(test)]\nuse foo::bar;\nfn live2() {}\n";
+        let scan = FileScan::new("f.rs", src, IDS);
+        assert!(scan.is_test_line(3));
+        assert!(!scan.is_test_line(5));
+        assert!(scan.is_test_line(7));
+        assert!(!scan.is_test_line(8));
+    }
+
+    #[test]
+    fn safety_comment_window() {
+        let src = "// SAFETY: caller upholds the contract.\n// (details)\nlet x = 1;\nlet y = 2;\nlet z = 3;\nlet w = 4;\n";
+        let scan = FileScan::new("f.rs", src, IDS);
+        assert!(scan.has_safety_comment(3, 3));
+        assert!(scan.has_safety_comment(4, 3));
+        assert!(!scan.has_safety_comment(6, 3));
+    }
+}

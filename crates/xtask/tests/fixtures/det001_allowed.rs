@@ -1,0 +1,20 @@
+// xtask: deterministic
+// Fixture: the same draw with an allow directive must be clean, and a
+// draw inside a loop over a *sorted* copy must not fire at all.
+use std::collections::HashMap;
+
+fn resample(rng: &mut Rng) -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    counts.insert(1, 2);
+    let mut acc = 0;
+    for (user, _slots) in &counts {
+        // xtask:allow(DET001, draw is keyed by user id, not by visit order)
+        acc += user + rng.random_range(0..10);
+    }
+    let mut sorted: Vec<u64> = counts.keys().copied().collect();
+    sorted.sort_unstable();
+    for user in &sorted {
+        acc += user + rng.random_range(0..10); // ordered: no finding
+    }
+    acc
+}

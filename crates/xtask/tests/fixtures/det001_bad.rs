@@ -1,0 +1,13 @@
+// xtask: deterministic
+// Fixture: RNG draw inside HashMap iteration must fire DET001.
+use std::collections::HashMap;
+
+fn resample(rng: &mut Rng) -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    counts.insert(1, 2);
+    let mut acc = 0;
+    for (user, _slots) in &counts {
+        acc += user + rng.random_range(0..10); // <- DET001
+    }
+    acc
+}

@@ -1,0 +1,7 @@
+// xtask: deterministic
+// Fixture: an allowed entropy source must be clean.
+use std::time::Instant;
+
+fn step() -> Instant {
+    Instant::now() // xtask:allow(DET002, telemetry only; never feeds the output stream)
+}

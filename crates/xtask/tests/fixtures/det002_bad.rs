@@ -1,0 +1,18 @@
+// xtask: deterministic
+// Fixture: wall-clock and ambient entropy must fire DET002 (but not in
+// test code).
+use std::time::Instant;
+
+fn step() -> u64 {
+    let t0 = Instant::now(); // <- DET002
+    let rng = thread_rng(); // <- DET002
+    t0.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let _t = std::time::Instant::now(); // test code: no finding
+    }
+}

@@ -1,0 +1,10 @@
+// xtask: deterministic
+// Fixture: an order(<reason>) marker documents sort-before-observe and
+// must suppress DET003.
+use std::collections::HashMap;
+
+fn evict(active: &mut Vec<u64>, status: &mut HashMap<u64, bool>, pos: usize) {
+    active.swap_remove(pos); // xtask:order(active_users() sorts before any draw observes this)
+    // xtask:order(only the sorted key list is ever iterated downstream)
+    status.retain(|_, alive| *alive);
+}

@@ -1,0 +1,9 @@
+// xtask: deterministic
+// Fixture: unmarked swap_remove and retain-on-HashMap must fire DET003.
+use std::collections::HashMap;
+
+fn evict(active: &mut Vec<u64>, status: &mut HashMap<u64, bool>, pos: usize) {
+    active.swap_remove(pos); // <- DET003
+    status.retain(|_, alive| *alive); // <- DET003
+    active.retain(|u| *u != 0); // Vec retain keeps order: no finding
+}

@@ -1,0 +1,11 @@
+// xtask: error-surface
+// Fixture: an ERR001 allow with a reason (documented panic contract)
+// must be clean.
+
+fn run(input: Option<u64>) -> u64 {
+    match input {
+        Some(v) => v,
+        // xtask:allow(ERR001, panicking wrapper over try_run; message pinned by should_panic test)
+        None => panic!("no input"),
+    }
+}

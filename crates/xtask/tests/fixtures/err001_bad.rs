@@ -1,0 +1,20 @@
+// xtask: error-surface
+// Fixture: unwrap/expect/panic! on a server surface must fire ERR001
+// outside test code.
+
+fn handle(input: Option<u64>, raw: &[u8]) -> u64 {
+    let v = input.unwrap(); // <- ERR001
+    let b: [u8; 4] = raw.try_into().expect("4 bytes"); // <- ERR001
+    if v == 0 {
+        panic!("zero is not a session id"); // <- ERR001
+    }
+    u32::from_le_bytes(b) as u64 + v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::handle(Some(1), &[1, 0, 0, 0]).checked_add(1).unwrap(), 3);
+    }
+}

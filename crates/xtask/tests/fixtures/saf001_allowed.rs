@@ -1,0 +1,12 @@
+// Fixture: a SAFETY: comment within three lines (or on the same line)
+// satisfies SAF001.
+
+fn read_first(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is non-null, aligned, and points
+    // to a live byte for the duration of this call.
+    unsafe { *p }
+}
+
+fn read_second(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: same contract as read_first.
+}

@@ -1,0 +1,16 @@
+// Fixture: `unsafe` without an adjacent safety justification must fire
+// SAF001 — everywhere, test code included.
+
+fn read_first(p: *const u8) -> u8 {
+    unsafe { *p } // <- SAF001
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_flagged_in_tests() {
+        let x = 7u8;
+        let v = unsafe { *(&x as *const u8) }; // <- SAF001 (tests too)
+        assert_eq!(v, 7);
+    }
+}

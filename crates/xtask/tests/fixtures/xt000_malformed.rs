@@ -1,0 +1,13 @@
+// Fixture: malformed directives must fire XT000 wherever they appear.
+
+fn a() -> u64 {
+    1 // xtask:allow(ERR001)
+}
+
+fn b() -> u64 {
+    2 // xtask:allow(NOPE42, not a real lint)
+}
+
+fn c() -> u64 {
+    3 // xtask:frobnicate
+}

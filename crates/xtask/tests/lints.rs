@@ -1,0 +1,147 @@
+//! Fixture-driven lint tests plus the workspace meta-test.
+//!
+//! Each lint has a `*_bad.rs` fixture asserting it fires (with the
+//! expected count and lines) and a `*_allowed.rs` fixture asserting the
+//! documented suppression silences it without tripping the unused-
+//! directive meta lint. The final test runs the analyzer over the real
+//! workspace with the real `xtask.toml` and requires a clean bill.
+
+use std::path::{Path, PathBuf};
+use xtask::config::Config;
+use xtask::diag::Diagnostic;
+
+fn fixture(name: &str) -> Vec<Diagnostic> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    // Fixtures opt into lint scopes via marker comments, so the default
+    // config (no module lists) exercises the marker path too.
+    xtask::check_file_source(name, &source, &Config::default())
+}
+
+fn ids(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.lint).collect()
+}
+
+fn lines_of(diags: &[Diagnostic], lint: &str) -> Vec<u32> {
+    diags.iter().filter(|d| d.lint == lint).map(|d| d.line).collect()
+}
+
+#[test]
+fn det001_fires_on_rng_in_unordered_iteration() {
+    let d = fixture("det001_bad.rs");
+    assert_eq!(ids(&d), ["DET001"], "{d:#?}");
+    assert_eq!(lines_of(&d, "DET001"), [10]);
+    assert!(d[0].message.contains("random_range"));
+}
+
+#[test]
+fn det001_allow_suppresses_and_sorted_loop_is_clean() {
+    let d = fixture("det001_allowed.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn det002_fires_on_entropy_sources_outside_tests() {
+    let d = fixture("det002_bad.rs");
+    assert_eq!(ids(&d), ["DET002", "DET002"], "{d:#?}");
+    assert_eq!(lines_of(&d, "DET002"), [7, 8]);
+    assert!(d[0].message.contains("Instant::now"));
+    assert!(d[1].message.contains("thread_rng"));
+}
+
+#[test]
+fn det002_allow_suppresses() {
+    let d = fixture("det002_allowed.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn det003_fires_on_unmarked_reordering() {
+    let d = fixture("det003_bad.rs");
+    assert_eq!(ids(&d), ["DET003", "DET003"], "{d:#?}");
+    assert_eq!(lines_of(&d, "DET003"), [6, 7], "vec retain must not fire");
+}
+
+#[test]
+fn det003_order_marker_suppresses() {
+    let d = fixture("det003_allowed.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn saf001_fires_everywhere_including_tests() {
+    let d = fixture("saf001_bad.rs");
+    assert_eq!(ids(&d), ["SAF001", "SAF001"], "{d:#?}");
+    assert_eq!(lines_of(&d, "SAF001"), [5, 13]);
+}
+
+#[test]
+fn saf001_satisfied_by_adjacent_safety_comment() {
+    let d = fixture("saf001_allowed.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn err001_fires_on_panicking_server_surface() {
+    let d = fixture("err001_bad.rs");
+    assert_eq!(ids(&d), ["ERR001", "ERR001", "ERR001"], "{d:#?}");
+    assert_eq!(lines_of(&d, "ERR001"), [6, 7, 9], "test-module unwrap must not fire");
+    assert!(d[0].message.contains(".unwrap()"));
+    assert!(d[2].message.contains("panic!"));
+}
+
+#[test]
+fn err001_allow_suppresses() {
+    let d = fixture("err001_allowed.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn xt000_fires_on_malformed_directives() {
+    let d = fixture("xt000_malformed.rs");
+    assert_eq!(ids(&d), ["XT000", "XT000", "XT000"], "{d:#?}");
+    assert!(d[0].message.contains("needs a reason"), "{}", d[0].message);
+    assert!(d[1].message.contains("unknown lint id"), "{}", d[1].message);
+    assert!(d[2].message.contains("unrecognized"), "{}", d[2].message);
+}
+
+#[test]
+fn xt001_fires_on_unused_directives() {
+    let d = fixture("xt001_unused.rs");
+    assert_eq!(ids(&d), ["XT001", "XT001"], "{d:#?}");
+    assert!(d[0].message.contains("allow(ERR001)"), "{}", d[0].message);
+    assert!(d[1].message.contains("order marker"), "{}", d[1].message);
+}
+
+#[test]
+fn diagnostics_render_rustc_style() {
+    let d = fixture("err001_bad.rs");
+    let rendered = d[0].to_string();
+    assert!(rendered.contains("error[ERR001]:"), "{rendered}");
+    assert!(rendered.contains("--> err001_bad.rs:6:"), "{rendered}");
+    assert!(rendered.contains("^^^^^^"), "{rendered}");
+}
+
+/// The analyzer's own acceptance gate: the real workspace, checked with
+/// the real config, is clean. This is what CI runs; keeping it as a
+/// test means `cargo test` alone catches a regression.
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+    assert!(root.join("xtask.toml").is_file(), "workspace root not found at {}", root.display());
+    let cfg = Config::load(&root.join("xtask.toml")).expect("parse xtask.toml");
+    let report = xtask::check_workspace(&root, &cfg).expect("scan workspace");
+    assert!(report.files > 30, "suspiciously few files scanned: {}", report.files);
+    assert!(report.is_clean(), "workspace has findings:\n{}", report.render());
+    sanity_check_config_paths(&root, &cfg);
+}
+
+/// Every path named in xtask.toml must exist — a renamed module would
+/// otherwise silently fall out of enforcement.
+fn sanity_check_config_paths(root: &Path, cfg: &Config) {
+    for rel in cfg.det_modules.iter().chain(&cfg.err_surfaces) {
+        assert!(root.join(rel).is_file(), "xtask.toml names a missing file: {rel}");
+    }
+}
